@@ -1,0 +1,23 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one figure/table of the paper and prints the
+rows/series the paper plots (run with ``pytest benchmarks/ --benchmark-only
+-s`` to see them).  Benchmarks execute their experiment exactly once via
+``benchmark.pedantic`` — the measured quantity is the experiment itself, not
+a microbenchmark loop.
+"""
+
+import pytest
+
+from repro.harness import format_table
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and return its rows."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+def show(title, rows):
+    print(f"\n== {title} ==")
+    print(format_table(rows))

@@ -1,0 +1,40 @@
+"""Fig. 10 — decoupled epoch/store counters vs monolithic sequence numbers.
+
+Paper: with >= 16-bit store counters and <= 8-bit epochs, CORD simultaneously
+matches SEQ-40's execution time (overflow stalls are rare) and SEQ-8's
+traffic (epochs ride in reserved header bits).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, show
+from repro.harness import fig10_bitwidth
+
+
+def test_fig10_bitwidth(benchmark):
+    rows = run_once(benchmark, fig10_bitwidth)
+    show("Fig. 10: epoch/store-counter bit-width vs SEQ-8/SEQ-40", rows)
+
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+
+    counter = {r["bits"]: r for r in cxl if r["sweep"] == "counter"}
+    # Big counters match SEQ-40 time; the 8-bit counter pays SEQ-8's stalls.
+    assert counter[32]["cord_time_vs_seq40"] == pytest.approx(1.0, abs=0.05)
+    assert counter[16]["cord_time_vs_seq40"] == pytest.approx(1.0, abs=0.05)
+    assert counter[8]["cord_time_vs_seq40"] > counter[32]["cord_time_vs_seq40"]
+    # Traffic matches SEQ-8 at every counter width (counters only ride on
+    # the infrequent Release stores).
+    for row in counter.values():
+        assert row["cord_traffic_vs_seq8"] == pytest.approx(1.0, abs=0.05)
+
+    epoch = {r["bits"]: r for r in cxl if r["sweep"] == "epoch"}
+    # Small epochs never hurt time (releases are infrequent) ...
+    for row in epoch.values():
+        assert row["cord_time_vs_seq40"] == pytest.approx(1.0, abs=0.06)
+    # ... and only epochs beyond the reserved bits inflate traffic.
+    assert epoch[4]["cord_traffic_vs_seq8"] == pytest.approx(1.0, abs=0.02)
+    assert epoch[8]["cord_traffic_vs_seq8"] == pytest.approx(1.0, abs=0.02)
+    assert epoch[16]["cord_traffic_vs_seq8"] > epoch[8]["cord_traffic_vs_seq8"]
+
+    # SEQ-40 itself carries the inflated stores the paper plots against.
+    assert cxl[0]["seq40_traffic"] > cxl[0]["seq8_traffic"]

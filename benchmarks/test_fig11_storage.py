@@ -1,0 +1,36 @@
+"""Fig. 11 — CORD's storage overhead vs number of PUs.
+
+Paper: processor storage is negligible (< 40 B) and scales sub-linearly;
+directory storage grows with hosts but even ATA stays under ~1.5 KB at 8
+hosts — four orders of magnitude below a 2 MB LLC slice.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.harness import fig11_storage
+
+
+def test_fig11_storage(benchmark):
+    rows = run_once(benchmark, fig11_storage)
+    show("Fig. 11: peak proc/dir storage vs hosts", rows)
+
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+
+    # Processor storage negligible for every workload and host count.
+    assert all(r["proc_storage_B"] <= 64 for r in cxl)
+
+    # Directory storage bounded (paper: < 1.5 KB for ATA at 8 hosts).
+    assert all(r["dir_storage_B"] <= 2048 for r in cxl)
+
+    # ATA is the storage-hungriest workload at 8 hosts.
+    at_8 = [r for r in cxl if r["hosts"] == 8]
+    ata = next(r for r in at_8 if r["workload"] == "ATA")
+    assert ata["dir_storage_B"] == max(r["dir_storage_B"] for r in at_8)
+
+    # Sub-linear processor-storage scaling: 4x hosts < 4x bytes.
+    for workload in {r["workload"] for r in cxl}:
+        series = sorted((r for r in cxl if r["workload"] == workload),
+                        key=lambda r: r["hosts"])
+        if series[0]["proc_storage_B"] > 0:
+            growth = series[-1]["proc_storage_B"] / series[0]["proc_storage_B"]
+            host_growth = series[-1]["hosts"] / series[0]["hosts"]
+            assert growth <= host_growth

@@ -1,0 +1,33 @@
+"""Fig. 12 — ATA storage breakdown.
+
+Paper: store counters dominate processor-side storage; at the directory both
+look-up tables and network buffers (recycled Release stores) contribute
+significantly, each scaling sub-linearly with hosts.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.harness import fig12_storage_breakdown
+
+
+def test_fig12_breakdown(benchmark):
+    rows = run_once(benchmark, fig12_storage_breakdown)
+    show("Fig. 12: ATA storage breakdown", rows)
+
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+
+    for row in cxl:
+        # Store counters dominate at the processor once fan-out is real
+        # (they are maintained per directory); the unacked-epoch table is a
+        # small constant.
+        if row["hosts"] >= 4:
+            assert row["proc_store_counters_B"] >= row["proc_other_tables_B"]
+        # Both directory components present and bounded.
+        assert row["dir_lookup_tables_B"] > 0
+        assert row["dir_network_buffer_B"] >= 0
+        assert row["dir_lookup_tables_B"] + row["dir_network_buffer_B"] <= 2048
+
+    # Processor store-counter storage grows with hosts (per-directory
+    # entries) but sub-linearly overall.
+    series = sorted(cxl, key=lambda r: r["hosts"])
+    assert series[-1]["proc_store_counters_B"] >= \
+        series[0]["proc_store_counters_B"]

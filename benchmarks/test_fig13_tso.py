@@ -1,0 +1,33 @@
+"""Fig. 13 — end-to-end workloads under TSO (§6).
+
+Paper: TSO must order *all* stores, so CORD's edge over SO roughly doubles
+(102% CXL / 73% UPI) — but CORD now needs acknowledgments plus notifications
+for every write-through store, so its traffic exceeds SO for most workloads
+(the reverse of the RC result).
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.harness import fig7_end_to_end, fig13_tso, geometric_mean
+
+
+def test_fig13_tso(benchmark):
+    rows = run_once(benchmark, fig13_tso)
+    show("Fig. 13: end-to-end normalized time & traffic (TSO)", rows)
+
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+
+    # CORD still beats SO everywhere — by a larger margin than under RC.
+    assert all(r["time_so"] > 1.0 for r in cxl)
+    tso_mean = geometric_mean([r["time_so"] for r in cxl])
+    rc_rows = fig7_end_to_end(interconnects=(rows and
+                                             __import__("repro.config",
+                                                        fromlist=["CXL"]).CXL,))
+    rc_mean = geometric_mean([r["time_so"] for r in rc_rows])
+    assert tso_mean > rc_mean
+
+    # Traffic flips: most workloads now cost CORD more than SO.
+    so_cheaper = [r for r in cxl if r["traffic_so"] < 1.0]
+    assert len(so_cheaper) >= 5
+
+    # MP (idealized total order) remains the performance upper bound.
+    assert all(r["time_mp"] <= 1.02 for r in cxl if r["time_mp"] is not None)

@@ -1,0 +1,30 @@
+"""Fig. 2 — source ordering's acknowledgment overheads.
+
+Paper: under CXL, all applications except TQH spend > 10% of execution time
+waiting for write-through acknowledgments; all except SSSP/TQH see > 14%
+traffic overhead; UPI shows 4-30% slowdown and 1-30% traffic overhead.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.harness import fig2_source_ordering_overheads
+
+
+def test_fig2_so_overheads(benchmark):
+    rows = run_once(benchmark, fig2_source_ordering_overheads)
+    show("Fig. 2: SO ack overheads (% exec time waiting / % ack traffic)",
+         rows)
+
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+    upi = [r for r in rows if r["interconnect"] == "UPI"]
+    assert len(cxl) == 10 and len(upi) == 10
+
+    # Significant overheads across the board on CXL.
+    significant_time = [r for r in cxl if r["exec_time_waiting_pct"] > 10.0]
+    assert len(significant_time) >= 7
+    significant_traffic = [r for r in cxl if r["ack_traffic_pct"] > 14.0]
+    assert len(significant_traffic) >= 6
+
+    # UPI's shorter latency reduces (but does not eliminate) the waiting.
+    for app_cxl, app_upi in zip(cxl, upi):
+        assert app_upi["exec_time_waiting_pct"] <= \
+            app_cxl["exec_time_waiting_pct"] + 1e-9

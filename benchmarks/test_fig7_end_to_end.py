@@ -1,0 +1,43 @@
+"""Fig. 7 — end-to-end time and traffic under release consistency.
+
+Paper (values normalized to CORD): CORD outperforms SO by 28% (CXL) / 20%
+(UPI) on average and stays within 4% / 2% of MP; CORD cuts SO's traffic by
+11% / 16% and stays within 7% / 5% of MP's; WB loses everywhere except PR;
+only TRNS and MOCFE generate more CORD traffic than SO.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.harness import fig7_end_to_end, geometric_mean
+
+
+def test_fig7_end_to_end(benchmark):
+    rows = run_once(benchmark, fig7_end_to_end)
+    show("Fig. 7: end-to-end normalized time & traffic (RC)", rows)
+
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+
+    # CORD beats SO on every application.
+    assert all(r["time_so"] > 1.0 for r in cxl)
+    mean_so = geometric_mean([r["time_so"] for r in cxl])
+    assert mean_so > 1.10  # tens of percent on average
+
+    # CORD close to MP on average (TQH is N/A under MP, §3.2).
+    mp_times = [r["time_mp"] for r in cxl if r["time_mp"] is not None]
+    assert geometric_mean(mp_times) > 0.85
+
+    # WB slower than CORD everywhere, PR the closest call.
+    assert all(r["time_wb"] > 1.0 for r in cxl)
+    pr = next(r for r in cxl if r["app"] == "PR")
+    assert pr["time_wb"] == min(r["time_wb"] for r in cxl)
+
+    # Traffic: SO above CORD except the fine-sync high-fanout pair.
+    more_traffic_so = {r["app"] for r in cxl if r["traffic_so"] < 1.0}
+    assert more_traffic_so <= {"TRNS", "MOCFE"}
+
+    # WB's traffic advantage appears only for the high-locality graph apps.
+    wb_wins = {r["app"] for r in cxl if r["traffic_wb"] < 1.0}
+    assert wb_wins <= {"PR", "SSSP"}
+
+    # UPI shows the same ordering with smaller margins.
+    upi = [r for r in rows if r["interconnect"] == "UPI"]
+    assert geometric_mean([r["time_so"] for r in upi]) < mean_so

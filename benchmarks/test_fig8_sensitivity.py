@@ -1,0 +1,43 @@
+"""Fig. 8 — sensitivity to store granularity, sync granularity, fan-out.
+
+Paper: CORD's win over SO grows with store granularity (up to 63% lower
+time) while SO's traffic overhead shrinks; the win shrinks as sync
+granularity grows (< 20% at 256 KB); at fan-out 1 CORD matches MP exactly.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, show
+from repro.harness import fig8_sensitivity
+
+
+def test_fig8_store_granularity(benchmark):
+    rows = run_once(benchmark, fig8_sensitivity, "store")
+    show("Fig. 8 (left): store granularity sweep", rows)
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+    assert cxl[-1]["time_so"] > cxl[0]["time_so"]          # benefit grows
+    assert cxl[-1]["traffic_so"] < cxl[0]["traffic_so"]    # acks amortize
+    assert cxl[-1]["traffic_so"] < 1.10                    # < 10% at large
+
+
+def test_fig8_sync_granularity(benchmark):
+    rows = run_once(benchmark, fig8_sensitivity, "sync")
+    show("Fig. 8 (middle): sync granularity sweep", rows)
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+    assert cxl[0]["time_so"] > cxl[-1]["time_so"]          # benefit shrinks
+    assert cxl[-1]["time_so"] < 1.20                       # < 20% at 256 KB
+    # Traffic reduction settles around a constant at coarse sync.
+    assert cxl[-1]["traffic_so"] == pytest.approx(cxl[-2]["traffic_so"],
+                                                  rel=0.05)
+
+
+def test_fig8_fanout(benchmark):
+    rows = run_once(benchmark, fig8_sensitivity, "fanout")
+    show("Fig. 8 (right): communication fan-out sweep", rows)
+    cxl = [r for r in rows if r["interconnect"] == "CXL"]
+    fanout1 = next(r for r in cxl if r["fanout"] == 1)
+    # CORD == MP at fan-out 1 (no notifications ever fire).
+    assert fanout1["time_mp"] == pytest.approx(1.0, abs=0.15)
+    assert fanout1["traffic_mp"] == pytest.approx(1.0, abs=0.05)
+    # SO stays behind CORD at every fan-out.
+    assert all(r["time_so"] > 1.0 for r in cxl)

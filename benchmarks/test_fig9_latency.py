@@ -1,0 +1,36 @@
+"""Fig. 9 — sensitivity to inter-PU directory access latency.
+
+Paper: SO's normalized execution time grows with latency (CORD removes
+round trips from the critical path) while the traffic ratio is latency
+invariant.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, show
+from repro.harness import fig9_latency_sweep
+
+
+def _sweep(parameter):
+    return fig9_latency_sweep(parameter=parameter)
+
+
+def test_fig9_store_granularity_panel(benchmark):
+    rows = run_once(benchmark, _sweep, "store")
+    show("Fig. 9 (left): latency sweep x store granularity", rows)
+    for value in {r["store"] for r in rows}:
+        series = sorted(
+            (r for r in rows if r["store"] == value),
+            key=lambda r: r["latency_ns"],
+        )
+        assert series[-1]["so_time_norm"] > series[0]["so_time_norm"]
+        assert series[-1]["so_traffic_norm"] == pytest.approx(
+            series[0]["so_traffic_norm"], rel=0.05
+        )
+
+
+def test_fig9_fanout_panel(benchmark):
+    rows = run_once(benchmark, _sweep, "fanout")
+    show("Fig. 9 (right): latency sweep x fan-out", rows)
+    # CORD keeps its execution-time edge at every latency and fan-out.
+    assert all(r["so_time_norm"] > 1.0 for r in rows)

@@ -1,0 +1,41 @@
+"""Table 3 — look-up table sizes, area, power, and access energy.
+
+Paper (CACTI 7.0 @ 22 nm): processor total 0.066 mm^2 / 9.242 mW; directory
+total 0.136 mm^2 / 23.454 mW; access energies 0.016-0.025 nJ; directory-side
+area and power < 0.2% and < 1.3% of a host's LLC slices; dynamic energy
+< 1% of transmitting + writing a 64 B store.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, show
+from repro.harness import table3_area_power
+
+
+def test_table3_area_power(benchmark):
+    rows = run_once(benchmark, table3_area_power)
+    show("Table 3: CORD look-up table area/power/energy", rows)
+
+    by_location = {}
+    for row in rows:
+        if row["location"] in ("processor", "directory"):
+            by_location.setdefault(row["location"], []).append(row)
+
+    proc_area = sum(r["area_mm2"] for r in by_location["processor"])
+    proc_power = sum(r["power_mW"] for r in by_location["processor"])
+    assert proc_area == pytest.approx(0.066, rel=0.05)
+    assert proc_power == pytest.approx(9.242, rel=0.05)
+
+    dir_area = sum(r["area_mm2"] for r in by_location["directory"])
+    dir_power = sum(r["power_mW"] for r in by_location["directory"])
+    assert dir_area == pytest.approx(0.136, rel=0.05)
+    assert dir_power == pytest.approx(23.454, rel=0.05)
+
+    for row in by_location["processor"] + by_location["directory"]:
+        assert 0.014 <= row["read_nJ"] <= 0.027
+        assert 0.014 <= row["write_nJ"] <= 0.027
+
+    summary = rows[-1]
+    assert summary["area_mm2"] < 0.002      # dir area ratio < 0.2%
+    assert summary["power_mW"] < 0.014      # dir power ratio < 1.3%
+    assert summary["read_nJ"] < 0.01        # dynamic energy ratio < 1%

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""MPI-over-shared-memory: a halo-exchange stencil (the DOE mini-app port).
+
+The paper evaluates the DOE scientific mini-apps by porting their MPI
+primitives to release-consistent write-through stores (§5.1).  This example
+uses that port directly: a 1-D stencil where every rank computes, exchanges
+halos with both neighbours, and hits a global barrier each timestep — then
+compares CORD against source ordering and message passing.
+
+Run:  python examples/mpi_halo_exchange.py
+"""
+
+from repro import Machine, SystemConfig
+from repro.workloads import MpiWorld
+
+RANKS = 4
+TIMESTEPS = 6
+HALO_BYTES = 4 * 1024
+COMPUTE_NS = 1500.0
+
+
+def build_world(config):
+    world = MpiWorld(config, ranks=RANKS)
+    for _ in range(TIMESTEPS):
+        for rank in range(RANKS):
+            world.compute(rank, COMPUTE_NS)
+        # Exchange halos with both neighbours (periodic boundary).
+        for rank in range(RANKS):
+            world.send(rank, (rank + 1) % RANKS, HALO_BYTES)
+            world.send(rank, (rank - 1) % RANKS, HALO_BYTES)
+        for rank in range(RANKS):
+            world.recv(rank, (rank + 1) % RANKS)
+            world.recv(rank, (rank - 1) % RANKS)
+        world.barrier()
+    return world.build()
+
+
+def main():
+    config = SystemConfig().scaled(hosts=RANKS, cores_per_host=1)
+    print(f"{RANKS}-rank halo exchange, {TIMESTEPS} timesteps, "
+          f"{HALO_BYTES} B halos over {config.interconnect.name}\n")
+    print(f"{'protocol':8s} {'time (us)':>10s} {'traffic (KB)':>13s} "
+          f"{'ctrl msgs':>10s}")
+    baseline = None
+    for protocol in ("mp", "cord", "so"):
+        machine = Machine(config, protocol=protocol)
+        result = machine.run(build_world(config))
+        control = result.stats.value("msgs.inter_host.ctrl_count")
+        print(f"{protocol:8s} {result.time_ns / 1000:10.1f} "
+              f"{result.inter_host_bytes / 1024:13.1f} {control:10.0f}")
+        if protocol == "cord":
+            baseline = result
+    so = Machine(config, protocol="so").run(build_world(config))
+    print(f"\nCORD completes the exchange "
+          f"{so.time_ns / baseline.time_ns:.2f}x faster than source "
+          f"ordering — the per-halo acknowledgment round-trips are gone, "
+          f"and the barrier's fetch-add is directory-ordered too.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Sensitivity analysis (Fig. 8/9/10 condensed): when does CORD win?
+
+Sweeps the §5.3 micro-benchmark along one axis at a time — Relaxed store
+granularity, synchronization granularity, communication fan-out, and
+interconnect latency — and prints SO/MP relative to CORD, plus the
+bit-width study against the SEQ baselines.
+
+Run:  python examples/sensitivity_sweep.py
+"""
+
+from repro.config import CXL
+from repro.harness import (
+    fig8_sensitivity,
+    fig9_latency_sweep,
+    fig10_bitwidth,
+    format_table,
+)
+
+
+def main():
+    for parameter, caption in (
+        ("store", "Relaxed store granularity (B)"),
+        ("sync", "Synchronization granularity (B)"),
+        ("fanout", "Communication fan-out (# hosts)"),
+    ):
+        rows = fig8_sensitivity(parameter, interconnects=(CXL,))
+        print(f"\n=== {caption} — time/traffic normalized to CORD ===")
+        print(format_table(rows))
+
+    print("\n=== Inter-PU latency sweep — SO normalized to CORD ===")
+    rows = fig9_latency_sweep(parameter="store", values=(64,))
+    print(format_table(rows))
+
+    print("\n=== Epoch/store-counter bit-widths vs SEQ-8 / SEQ-40 ===")
+    rows = fig10_bitwidth(interconnects=(CXL,))
+    print(format_table(
+        rows,
+        columns=["sweep", "bits", "cord_time_vs_seq40",
+                 "cord_traffic_vs_seq8"],
+    ))
+
+    print("\nTakeaways (matching §5.3):")
+    print(" * CORD's edge over SO grows with store granularity and shrinks")
+    print("   with synchronization granularity and fan-out;")
+    print(" * CORD equals MP whenever fan-out is 1 (no notifications);")
+    print(" * decoupled epochs+counters match SEQ-40's speed at SEQ-8's")
+    print("   traffic — the trade-off of §4.1, broken.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Trace-driven evaluation: record once, replay everywhere.
+
+The paper evaluates the DOE mini-apps from traces (§5.1).  This example
+shows the same workflow end-to-end: build the MOCFE mini-app through the
+MPI port, serialize its per-core operation streams to a trace file, then
+replay the identical trace under every protocol — guaranteeing all
+protocols see byte-for-byte the same workload.
+
+Run:  python examples/trace_replay.py [trace-path]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import Machine, SystemConfig
+from repro.workloads import build_doe_programs
+from repro.workloads.trace import dump_trace, load_trace
+
+
+def main():
+    config = SystemConfig().scaled(hosts=4, cores_per_host=1)
+
+    # 1. Record: synthesize MOCFE through the MPI port and save the trace.
+    programs = build_doe_programs("MOCFE", config)
+    if len(sys.argv) > 1:
+        trace_path = Path(sys.argv[1])
+    else:
+        trace_path = Path(tempfile.gettempdir()) / "mocfe.trace"
+    dump_trace(programs, trace_path)
+    ops = sum(len(p) for p in programs.values())
+    print(f"recorded MOCFE: {len(programs)} ranks, {ops} ops "
+          f"-> {trace_path} ({trace_path.stat().st_size} bytes)\n")
+
+    # 2. Replay the identical trace under each protocol.
+    print(f"{'protocol':8s} {'time (us)':>10s} {'traffic (KB)':>13s}")
+    results = {}
+    for protocol in ("mp", "cord", "so"):
+        replayed = load_trace(trace_path)
+        machine = Machine(config, protocol=protocol)
+        result = machine.run(replayed)
+        results[protocol] = result
+        print(f"{protocol:8s} {result.time_ns / 1000:10.1f} "
+              f"{result.inter_host_bytes / 1024:13.1f}")
+
+    so, cord = results["so"], results["cord"]
+    print(f"\nsame trace, different protocols: CORD finishes "
+          f"{so.time_ns / cord.time_ns:.2f}x sooner than source ordering "
+          f"and moves {so.inter_host_bytes / cord.inter_host_bytes:.2f}x "
+          f"fewer bytes.")
+    print("(edit the trace file by hand and re-run — the format is plain "
+          "text, one op per line)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — a Python reproduction of CORD (ISCA 2025).
+
+CORD (Consistency ORdered at Directory) is a cache-coherence protocol that
+orders write-through stores at the destination cache directory instead of the
+source processor, eliminating per-store acknowledgments while preserving
+release consistency system-wide.
+
+This package provides:
+
+* :class:`Machine` — a cycle-approximate simulated multi-PU system running
+  CORD or one of the paper's baselines (source ordering, message passing,
+  write-back MESI, monolithic sequence numbers);
+* :class:`SystemConfig` — Table-1 system parameters with CXL/UPI presets;
+* :class:`ProgramBuilder` — a DSL for per-core memory-operation programs;
+* :mod:`repro.workloads` — generators for the paper's evaluated benchmarks;
+* :mod:`repro.litmus` — litmus tests and an explicit-state model checker;
+* :mod:`repro.harness` — experiment runners for every figure and table.
+
+Quickstart::
+
+    from repro import Machine, ProgramBuilder, SystemConfig
+
+    config = SystemConfig().scaled(hosts=2)
+    machine = Machine(config, protocol="cord")
+    flag = machine.address_map.address_in_host(1, 0x4000)
+    data = machine.address_map.address_in_host(1, 0x8000)
+    producer = (ProgramBuilder("producer")
+                .store(data, value=42, size=64)
+                .release_store(flag, value=1)
+                .build())
+    consumer = (ProgramBuilder("consumer")
+                .load_until(flag, 1)
+                .load(data, register="r0")
+                .build())
+    result = machine.run({0: producer, 1: consumer})
+    assert result.history.register(1, "r0") == 42
+"""
+
+from repro.config import CXL, UPI, CordConfig, InterconnectConfig, SystemConfig
+from repro.consistency import (
+    MemOp,
+    Ordering,
+    Policy,
+    check_rc,
+    check_tso,
+)
+from repro.cpu import Program, ProgramBuilder
+from repro.protocols import Machine, RunResult, available_protocols
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "RunResult",
+    "SystemConfig",
+    "CordConfig",
+    "InterconnectConfig",
+    "CXL",
+    "UPI",
+    "Program",
+    "ProgramBuilder",
+    "MemOp",
+    "Ordering",
+    "Policy",
+    "check_rc",
+    "check_tso",
+    "available_protocols",
+]

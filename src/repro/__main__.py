@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro fig2            # SO ack overheads
+    python -m repro fig7            # end-to-end workloads (RC)
+    python -m repro fig8 store      # sensitivity panel: store|sync|fanout
+    python -m repro fig9 fanout     # latency sweep panel
+    python -m repro fig10           # bit-width study
+    python -m repro fig11           # storage vs hosts
+    python -m repro fig12           # ATA storage breakdown
+    python -m repro fig13           # TSO mode
+    python -m repro table3          # area/power
+    python -m repro litmus          # full model-checking sweep (§4.5)
+    python -m repro breakdown CR    # per-message-type traffic for one app
+    python -m repro energy CR       # §5.4 energy comparison for one app
+    python -m repro all             # everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import (
+    fig2_source_ordering_overheads,
+    fig7_end_to_end,
+    fig8_sensitivity,
+    fig9_latency_sweep,
+    fig10_bitwidth,
+    fig11_storage,
+    fig12_storage_breakdown,
+    fig13_tso,
+    print_rows,
+    table3_area_power,
+)
+
+
+def _breakdown(app_name: str) -> None:
+    from repro.harness import message_breakdown, print_rows, protocol_comparison
+    name = app_name if app_name != "store" else "CR"
+    print_rows(protocol_comparison(name),
+               f"Message breakdown: {name} across protocols")
+
+
+def _energy(app_name: str) -> None:
+    from repro.harness import print_rows
+    from repro.overheads import energy_comparison
+    name = app_name if app_name != "store" else "CR"
+    print_rows(energy_comparison(name), f"Energy: {name} (§5.4 constants)")
+
+
+def _run_litmus() -> None:
+    from repro.litmus import full_suite, run_suite
+    report = run_suite(full_suite())
+    status = "ALL PASSED" if report.passed else f"FAILED: {report.failed}"
+    print(f"litmus sweep: {report.total} checker runs, "
+          f"{report.states_total} states explored — {status}")
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+
+    command, rest = args[0], args[1:]
+    panel = rest[0] if rest else "store"
+
+    experiments = {
+        "fig2": lambda: print_rows(fig2_source_ordering_overheads(),
+                                   "Fig. 2: SO ack overheads"),
+        "fig7": lambda: print_rows(fig7_end_to_end(),
+                                   "Fig. 7: end-to-end (RC)"),
+        "fig8": lambda: print_rows(fig8_sensitivity(panel),
+                                   f"Fig. 8: {panel} sensitivity"),
+        "fig9": lambda: print_rows(fig9_latency_sweep(parameter=panel),
+                                   f"Fig. 9: latency sweep ({panel})"),
+        "fig10": lambda: print_rows(fig10_bitwidth(), "Fig. 10: bit-widths"),
+        "fig11": lambda: print_rows(fig11_storage(), "Fig. 11: storage"),
+        "fig12": lambda: print_rows(fig12_storage_breakdown(),
+                                    "Fig. 12: ATA breakdown"),
+        "fig13": lambda: print_rows(fig13_tso(), "Fig. 13: end-to-end (TSO)"),
+        "table3": lambda: print_rows(table3_area_power(),
+                                     "Table 3: area/power"),
+        "litmus": _run_litmus,
+        "breakdown": lambda: _breakdown(panel),
+        "energy": lambda: _energy(panel),
+    }
+    if command == "all":
+        for name, runner in experiments.items():
+            runner()
+        return 0
+    if command not in experiments:
+        print(f"unknown experiment {command!r}; choose from "
+              f"{sorted(experiments)} or 'all'")
+        return 2
+    experiments[command]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

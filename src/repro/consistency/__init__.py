@@ -1,0 +1,20 @@
+"""Consistency machinery: op annotations, histories, RC/TSO checkers."""
+
+from repro.consistency.checker import Violation, check_rc, check_tso, happens_before
+from repro.consistency.history import EventKind, ExecutionHistory, HistoryEvent
+from repro.consistency.ops import AtomicOp, MemOp, OpKind, Ordering, Policy
+
+__all__ = [
+    "MemOp",
+    "AtomicOp",
+    "OpKind",
+    "Ordering",
+    "Policy",
+    "ExecutionHistory",
+    "HistoryEvent",
+    "EventKind",
+    "Violation",
+    "check_rc",
+    "check_tso",
+    "happens_before",
+]

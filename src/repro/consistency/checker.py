@@ -1,0 +1,213 @@
+"""Axiomatic consistency checkers over execution histories.
+
+``check_rc`` validates a value-level execution against release consistency
+(§2.2): it builds the preserved-program-order edges implied by
+Acquire/Release annotations, adds synchronizes-with edges from each release
+store to the acquire loads that read it, takes the transitive closure
+(happens-before, which gives RC its *cumulativity* — the property message
+passing lacks in §3.2), and rejects reads of overwritten or future values.
+
+``check_tso`` does the same under TSO's preserved program order (everything
+except store->load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.consistency.history import EventKind, ExecutionHistory, HistoryEvent
+from repro.consistency.ops import Ordering
+
+__all__ = ["Violation", "check_rc", "check_tso", "happens_before"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A consistency violation found in a history."""
+
+    kind: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.description}"
+
+
+def _program_order_edges_rc(events: List[HistoryEvent]) -> List[Tuple[int, int]]:
+    """Preserved program order under RC for one core's event list."""
+    edges: List[Tuple[int, int]] = []
+    n = len(events)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = events[i], events[j]
+            keep = False
+            # Release (store or fence): no prior access may reorder after it.
+            if b.ordering.is_release and (b.is_store or b.kind is EventKind.FENCE):
+                keep = True
+            # Acquire (load or fence): no later access may reorder before it.
+            if a.ordering.is_acquire and (a.is_load or a.kind is EventKind.FENCE):
+                keep = True
+            # Per-location program order (coherence).
+            if a.addr is not None and a.addr == b.addr:
+                keep = True
+            if keep:
+                edges.append((a.uid, b.uid))
+    return edges
+
+
+def _program_order_edges_tso(events: List[HistoryEvent]) -> List[Tuple[int, int]]:
+    """Preserved program order under TSO: all but store->load."""
+    edges: List[Tuple[int, int]] = []
+    n = len(events)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = events[i], events[j]
+            if a.is_store and b.is_load and a.addr != b.addr:
+                continue  # the one TSO relaxation (store buffer)
+            edges.append((a.uid, b.uid))
+    return edges
+
+
+def _reads_from(history: ExecutionHistory) -> Dict[int, HistoryEvent]:
+    """Map load uid -> the store event it read from (by matching value).
+
+    Loads of the initial value (0 / None with no matching store) have no
+    entry.  Litmus programs write unique values per (location, store) so the
+    match is unambiguous.
+    """
+    rf: Dict[int, HistoryEvent] = {}
+    stores_by_addr: Dict[int, List[HistoryEvent]] = {}
+    for event in history:
+        if event.is_store and event.addr is not None:
+            stores_by_addr.setdefault(event.addr, []).append(event)
+    for event in history:
+        if not event.is_load or event.addr is None:
+            continue
+        if event.value in (None, 0):
+            continue
+        for store in stores_by_addr.get(event.addr, []):
+            if store.value == event.value:
+                rf[event.uid] = store
+                break
+    return rf
+
+
+def happens_before(
+    history: ExecutionHistory, model: str = "rc"
+) -> Dict[int, Set[int]]:
+    """Transitive happens-before relation: uid -> set of uids after it."""
+    if model == "rc":
+        po_fn = _program_order_edges_rc
+        sw_release_only = True
+    elif model == "tso":
+        po_fn = _program_order_edges_tso
+        sw_release_only = False
+    else:
+        raise ValueError(f"unknown model {model!r}")
+
+    edges: List[Tuple[int, int]] = []
+    for events in history.by_core().values():
+        edges.extend(po_fn(events))
+
+    rf = _reads_from(history)
+    for load_uid, store in rf.items():
+        load = next(e for e in history if e.uid == load_uid)
+        if sw_release_only:
+            # synchronizes-with: release store -> acquire load reading it.
+            if store.ordering.is_release and load.ordering.is_acquire:
+                edges.append((store.uid, load.uid))
+        else:
+            # TSO is multi-copy atomic: every rf edge synchronizes.
+            edges.append((store.uid, load.uid))
+
+    successors: Dict[int, Set[int]] = {e.uid: set() for e in history}
+    for a, b in edges:
+        successors[a].add(b)
+
+    # Transitive closure (histories are small; BFS per node).
+    closure: Dict[int, Set[int]] = {}
+    for start in successors:
+        seen: Set[int] = set()
+        frontier = list(successors[start])
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(successors.get(node, ()))
+        closure[start] = seen
+    return closure
+
+
+def _check(history: ExecutionHistory, model: str) -> List[Violation]:
+    violations: List[Violation] = []
+    hb = happens_before(history, model)
+    rf = _reads_from(history)
+    events_by_uid = {e.uid: e for e in history}
+    stores_by_addr: Dict[int, List[HistoryEvent]] = {}
+    for event in history:
+        if event.is_store and event.addr is not None:
+            stores_by_addr.setdefault(event.addr, []).append(event)
+
+    for event in history:
+        if not event.is_load or event.addr is None:
+            continue
+        source = rf.get(event.uid)
+        if source is not None:
+            if source.uid in hb.get(event.uid, set()):
+                violations.append(Violation(
+                    "read-from-future",
+                    f"load {event.uid} (P{event.core}) reads store "
+                    f"{source.uid} that happens-after it",
+                ))
+            for other in stores_by_addr.get(event.addr, []):
+                if other.uid == source.uid:
+                    continue
+                if (
+                    other.uid in hb.get(source.uid, set())
+                    and event.uid in hb.get(other.uid, set())
+                ):
+                    violations.append(Violation(
+                        "stale-read",
+                        f"load {event.uid} (P{event.core}) reads store "
+                        f"{source.uid} overwritten by {other.uid} "
+                        f"before the load (addr {event.addr:#x})",
+                    ))
+        else:
+            # Read of the initial value: stale if any store to the same
+            # address happens-before the load.
+            for other in stores_by_addr.get(event.addr, []):
+                if event.uid in hb.get(other.uid, set()):
+                    violations.append(Violation(
+                        "stale-initial-read",
+                        f"load {event.uid} (P{event.core}) reads initial "
+                        f"value of {event.addr:#x} but store {other.uid} "
+                        f"happens-before it",
+                    ))
+                    break
+            else:
+                if event.value not in (None, 0):
+                    violations.append(Violation(
+                        "thin-air-read",
+                        f"load {event.uid} reads value {event.value} "
+                        f"written by no store",
+                    ))
+    # Deduplicate identical findings.
+    unique: List[Violation] = []
+    seen: Set[Tuple[str, str]] = set()
+    for violation in violations:
+        key = (violation.kind, violation.description)
+        if key not in seen:
+            seen.add(key)
+            unique.append(violation)
+    return unique
+
+
+def check_rc(history: ExecutionHistory) -> List[Violation]:
+    """All release-consistency violations in ``history`` (empty == valid)."""
+    return _check(history, "rc")
+
+
+def check_tso(history: ExecutionHistory) -> List[Violation]:
+    """All TSO violations in ``history`` (empty == valid)."""
+    return _check(history, "tso")

@@ -1,0 +1,74 @@
+"""Modular sequence-number arithmetic for epochs and store counters (§4.1).
+
+CORD decouples sequence numbers into coarse epoch numbers (small bit-width,
+incremented per Release store, carried for free in reserved header bits) and
+fine store counters (large bit-width, incremented per Relaxed store, carried
+only in Release stores).  Both are fixed-width and wrap; the protocol keeps
+the *outstanding window* smaller than the modulus so wrapped wire values can
+be reconstructed unambiguously at the directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["wrap", "unwrap", "SequenceSpace"]
+
+
+def wrap(value: int, bits: int) -> int:
+    """The on-the-wire representation of an unwrapped sequence value."""
+    return value & ((1 << bits) - 1)
+
+
+def unwrap(wire_value: int, reference: int, bits: int) -> int:
+    """Reconstruct an unwrapped value from its wire form.
+
+    ``reference`` is a nearby unwrapped value (e.g. the largest the directory
+    has seen for this processor).  The true value is assumed to lie within
+    half a modulus of the reference — which the processor-side stall rules
+    guarantee (§4.1, §4.3).
+    """
+    modulus = 1 << bits
+    base = reference - (reference % modulus)
+    candidate = base + wire_value
+    # Pick the representative closest to the reference.
+    best = candidate
+    for alt in (candidate - modulus, candidate + modulus):
+        if abs(alt - reference) < abs(best - reference):
+            best = alt
+    return best
+
+
+@dataclass
+class SequenceSpace:
+    """A wrapping counter with overflow detection.
+
+    ``value`` is kept unwrapped internally; :meth:`wire` gives the truncated
+    on-the-wire form.  ``would_alias`` reports whether advancing past the
+    oldest outstanding value would make wire forms ambiguous — the condition
+    under which a CORD processor must stall (§4.1).
+    """
+
+    bits: int
+    value: int = 0
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.bits
+
+    def wire(self) -> int:
+        return wrap(self.value, self.bits)
+
+    def advance(self) -> int:
+        """Increment and return the new unwrapped value."""
+        self.value += 1
+        return self.value
+
+    def would_alias(self, oldest_outstanding: int) -> bool:
+        """True if one more increment would collide with an outstanding value
+        on the wire (i.e. the outstanding window would reach the modulus)."""
+        return (self.value + 1) - oldest_outstanding >= self.modulus
+
+    def at_max(self) -> bool:
+        """True when the wire form is at its maximum (next increment wraps)."""
+        return self.wire() == self.modulus - 1

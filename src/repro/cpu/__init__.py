@@ -1,0 +1,6 @@
+"""Processor model: cores, programs, and the program-builder DSL."""
+
+from repro.cpu.core import Core
+from repro.cpu.program import Program, ProgramBuilder
+
+__all__ = ["Core", "Program", "ProgramBuilder"]

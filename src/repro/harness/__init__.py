@@ -1,0 +1,48 @@
+"""Experiment harnesses: one runner per paper figure/table, plus reporting."""
+
+from repro.harness.experiments import (
+    default_config,
+    fig2_source_ordering_overheads,
+    fig5_message_counts,
+    fig7_end_to_end,
+    fig8_sensitivity,
+    fig9_latency_sweep,
+    fig10_bitwidth,
+    fig11_storage,
+    fig12_storage_breakdown,
+    fig13_tso,
+    print_rows,
+    run_app,
+    run_micro,
+    table3_area_power,
+)
+from repro.harness.breakdown import message_breakdown, protocol_comparison
+from repro.harness.export import export_all, export_csv
+from repro.harness.report import format_table, geometric_mean, normalize_to
+from repro.harness.summary import ReproductionReport, reproduce
+
+__all__ = [
+    "default_config",
+    "run_app",
+    "run_micro",
+    "fig2_source_ordering_overheads",
+    "fig5_message_counts",
+    "fig7_end_to_end",
+    "fig8_sensitivity",
+    "fig9_latency_sweep",
+    "fig10_bitwidth",
+    "fig11_storage",
+    "fig12_storage_breakdown",
+    "fig13_tso",
+    "table3_area_power",
+    "print_rows",
+    "format_table",
+    "normalize_to",
+    "geometric_mean",
+    "export_csv",
+    "export_all",
+    "message_breakdown",
+    "protocol_comparison",
+    "reproduce",
+    "ReproductionReport",
+]

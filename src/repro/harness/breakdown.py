@@ -1,0 +1,72 @@
+"""Protocol message breakdowns: where the traffic and messages go.
+
+The paper's analyses repeatedly reason about *which* messages each protocol
+sends (Fig. 2's acks, Fig. 5's control counts, §5.2's notification
+discussion).  :func:`message_breakdown` turns any run into that accounting —
+per message type, counts and bytes, inter- and intra-host — and
+:func:`protocol_comparison` tabulates it across protocols for one workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.harness.experiments import default_config, run_app
+from repro.protocols.machine import RunResult
+from repro.workloads.table2 import APPLICATIONS
+
+__all__ = ["message_breakdown", "protocol_comparison", "CONTROL_TYPES"]
+
+#: Message types that are pure protocol control (no store payload).
+CONTROL_TYPES = frozenset({
+    "wt_ack", "rel_ack", "req_notify", "notify", "load_req", "seq_flush",
+    "seq_flush_ack", "getm", "gets", "inv", "inv_ack", "wb_ack",
+})
+
+
+def message_breakdown(
+    result: RunResult, scope: str = "inter_host"
+) -> List[Dict[str, Any]]:
+    """Per-message-type counts/bytes for one run, sorted by bytes."""
+    stats = result.stats.as_dict()
+    prefix_msgs = f"msgs.{scope}."
+    prefix_bytes = f"bytes.{scope}."
+    rows: List[Dict[str, Any]] = []
+    for name, count in stats.items():
+        if not name.startswith(prefix_msgs):
+            continue
+        msg_type = name[len(prefix_msgs):]
+        if msg_type == "ctrl_count":
+            continue
+        total_bytes = stats.get(prefix_bytes + msg_type, 0.0)
+        rows.append({
+            "type": msg_type,
+            "messages": int(count),
+            "bytes": int(total_bytes),
+            "control": msg_type in CONTROL_TYPES,
+        })
+    rows.sort(key=lambda r: -r["bytes"])
+    total = sum(r["bytes"] for r in rows) or 1
+    for row in rows:
+        row["share_pct"] = 100.0 * row["bytes"] / total
+    return rows
+
+
+def protocol_comparison(
+    app_name: str,
+    protocols: Sequence[str] = ("mp", "cord", "so"),
+    config: Optional[SystemConfig] = None,
+    consistency: str = "rc",
+) -> List[Dict[str, Any]]:
+    """Message breakdowns for one Table-2 app across protocols."""
+    if app_name not in APPLICATIONS:
+        raise KeyError(f"unknown application {app_name!r}")
+    config = config or default_config()
+    rows: List[Dict[str, Any]] = []
+    for protocol in protocols:
+        result = run_app(APPLICATIONS[app_name], protocol, config,
+                         consistency)
+        for row in message_breakdown(result):
+            rows.append(dict(row, protocol=protocol, app=app_name))
+    return rows

@@ -1,0 +1,69 @@
+"""Report formatting for experiment harnesses.
+
+Each experiment returns structured rows (lists of dicts); these helpers
+render them as aligned text tables (the same rows/series the paper's
+figures plot) and compute the normalizations the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "normalize_to", "geometric_mean"]
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    cells = [[render(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in cells
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def normalize_to(
+    values: Dict[str, float], reference_key: str
+) -> Dict[str, Optional[float]]:
+    """Normalize a {series: value} mapping to one series (the paper
+    normalizes each application's bars to CORD)."""
+    reference = values.get(reference_key)
+    result: Dict[str, Optional[float]] = {}
+    for key, value in values.items():
+        if value is None or not reference:
+            result[key] = None
+        else:
+            result[key] = value / reference
+    return result
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    data = [v for v in values if v is not None]
+    if not data:
+        return 0.0
+    product = 1.0
+    for value in data:
+        product *= value
+    return product ** (1.0 / len(data))

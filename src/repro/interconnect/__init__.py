@@ -1,0 +1,7 @@
+"""Interconnect substrate: messages, topology and the timed network fabric."""
+
+from repro.interconnect.message import Message, NodeId
+from repro.interconnect.network import Network
+from repro.interconnect.topology import Topology
+
+__all__ = ["Message", "NodeId", "Network", "Topology"]

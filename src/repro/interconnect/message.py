@@ -1,0 +1,60 @@
+"""Message and node-addressing primitives for the interconnect."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["NodeId", "Message"]
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """Address of a simulated endpoint.
+
+    ``kind`` is one of ``"core"``, ``"dir"`` (an LLC slice + its co-located
+    cache directory) or ``"mem"``.  ``index`` is the *global* index within the
+    kind, and ``host`` the CPU host the endpoint lives on.
+    """
+
+    kind: str
+    index: int
+    host: int
+
+    @staticmethod
+    def core(index: int, host: int) -> "NodeId":
+        return NodeId("core", index, host)
+
+    @staticmethod
+    def directory(index: int, host: int) -> "NodeId":
+        return NodeId("dir", index, host)
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.index}@h{self.host}"
+
+
+@dataclass
+class Message:
+    """A protocol message travelling over the interconnect.
+
+    ``size_bytes`` is the full wire size (header + payload + metadata
+    overflow bytes).  ``control`` marks acknowledgment/notification-style
+    messages that carry no store data — the traffic breakdowns in Fig. 2 and
+    Fig. 7 separate control from data bytes.
+    """
+
+    src: NodeId
+    dst: NodeId
+    msg_type: str
+    size_bytes: int
+    control: bool = True
+    payload: Dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_message_counter))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.msg_type}[{self.size_bytes}B] {self.src}->{self.dst}"
+        )

@@ -1,0 +1,134 @@
+"""Timed network fabric with serialization, port contention and accounting.
+
+The network delivers :class:`~repro.interconnect.message.Message` objects to
+registered endpoint handlers after
+
+``latency = zero-load topology latency + serialization + egress queuing``
+
+where serialization models the 64 GB/s link of Table 1 and egress queuing
+models contention at each host's switch port (the shared inter-host link is
+the bottleneck resource in these systems; the intra-host mesh is treated as
+latency-only).
+
+Delivery between a fixed (src-host, dst-host) pair is FIFO — messages leave
+the egress port in send order — which matches real load/store interconnects
+and is what the MP (PCIe-like) protocol relies on for its point-to-point
+ordering.  Protocol *correctness* under adversarial reordering is checked
+separately by the untimed model checker (``repro.litmus``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.config import SystemConfig
+from repro.interconnect.message import Message, NodeId
+from repro.interconnect.topology import Topology
+from repro.sim import Simulator, StatRegistry
+
+__all__ = ["Network"]
+
+Handler = Callable[[Message], None]
+
+
+class Network:
+    """Connects endpoint handlers through the Table-1 fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        stats: Optional[StatRegistry] = None,
+        latency_jitter: float = 0.0,
+        rng=None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.topology = Topology(config)
+        self.stats = stats if stats is not None else StatRegistry()
+        self._handlers: Dict[NodeId, Handler] = {}
+        # Next time each host's switch egress port is free.
+        self._egress_free: Dict[int, float] = {}
+        # FIFO guarantee: last arrival time per (src.host, dst.host) pair.
+        self._last_arrival: Dict[tuple, float] = {}
+        # Optional per-message latency perturbation (timed litmus fuzzing).
+        # Jitter is applied before the per-pair FIFO clamp, so same-path
+        # ordering is preserved while cross-path races are explored.
+        if latency_jitter < 0 or latency_jitter >= 1:
+            raise ValueError("latency_jitter must be in [0, 1)")
+        self.latency_jitter = latency_jitter
+        if latency_jitter > 0 and rng is None:
+            from repro.sim import DeterministicRng
+            rng = DeterministicRng(0)
+        self._rng = rng
+
+    def register(self, node: NodeId, handler: Handler) -> None:
+        if node in self._handlers:
+            raise ValueError(f"handler already registered for {node}")
+        self._handlers[node] = handler
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> float:
+        """Inject ``message``; returns its arrival time."""
+        if message.dst not in self._handlers:
+            raise KeyError(f"no handler registered for {message.dst}")
+
+        cross = self.topology.crosses_hosts(message.src, message.dst)
+        latency = self.topology.latency_ns(message.src, message.dst)
+        if self.latency_jitter > 0:
+            factor = 1.0 + self.latency_jitter * (2.0 * self._rng.random() - 1.0)
+            latency *= factor
+        depart = self.sim.now
+
+        if cross:
+            serialization = self.config.interconnect.serialization_ns(
+                message.size_bytes
+            )
+            port_free = self._egress_free.get(message.src.host, 0.0)
+            depart = max(self.sim.now, port_free)
+            finish = depart + serialization
+            self._egress_free[message.src.host] = finish
+            arrival = finish + latency
+        else:
+            arrival = self.sim.now + latency
+
+        # Enforce per host-pair FIFO delivery.
+        pair = (message.src.host, message.dst.host)
+        arrival = max(arrival, self._last_arrival.get(pair, 0.0))
+        self._last_arrival[pair] = arrival
+
+        self._account(message, cross)
+        self.sim.schedule_at(arrival, self._deliver, message)
+        return arrival
+
+    def _deliver(self, message: Message) -> None:
+        self._handlers[message.dst](message)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _account(self, message: Message, cross: bool) -> None:
+        scope = "inter_host" if cross else "intra_host"
+        klass = "ctrl" if message.control else "data"
+        self.stats.counter(f"traffic.{scope}.{klass}").add(message.size_bytes)
+        self.stats.counter(f"traffic.{scope}.total").add(message.size_bytes)
+        self.stats.counter(f"msgs.{scope}.{message.msg_type}").add(1)
+        self.stats.counter(f"bytes.{scope}.{message.msg_type}").add(
+            message.size_bytes
+        )
+        if cross and message.control:
+            self.stats.counter("msgs.inter_host.ctrl_count").add(1)
+
+    # ------------------------------------------------------------------
+    # Queries used by harnesses
+    # ------------------------------------------------------------------
+    def inter_host_bytes(self) -> float:
+        return self.stats.value("traffic.inter_host.total")
+
+    def inter_host_control_bytes(self) -> float:
+        return self.stats.value("traffic.inter_host.ctrl")
+
+    def inter_host_data_bytes(self) -> float:
+        return self.stats.value("traffic.inter_host.data")

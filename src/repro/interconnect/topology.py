@@ -1,0 +1,71 @@
+"""Interconnect topology: per-host 2D mesh of cores/slices + inter-host switch.
+
+Matches Table 1: each host is a ``mesh_dims`` mesh (2x4 by default) where
+every tile holds a core and its co-located LLC slice/directory; hosts attach
+to a single central switch.  One mesh hop costs ``intra_host_hop_cycles``
+core cycles; crossing hosts costs the configured inter-host link latency.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config import SystemConfig
+from repro.interconnect.message import NodeId
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Computes hop counts and zero-load latencies between endpoints."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def tile_of(self, node: NodeId) -> int:
+        """Mesh tile (local index within host) of a core or directory."""
+        per_host = (
+            self.config.cores_per_host
+            if node.kind == "core"
+            else self.config.slices_per_host
+        )
+        return node.index % per_host
+
+    def tile_position(self, tile: int) -> Tuple[int, int]:
+        rows, cols = self.config.mesh_dims
+        return (tile // cols, tile % cols)
+
+    def mesh_hops(self, tile_a: int, tile_b: int) -> int:
+        """Manhattan distance between two tiles of the same host."""
+        ra, ca = self.tile_position(tile_a)
+        rb, cb = self.tile_position(tile_b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def edge_hops(self, tile: int) -> int:
+        """Hops from a tile to the host's switch port (column 0 edge)."""
+        row, col = self.tile_position(tile)
+        return col + row
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def crosses_hosts(self, src: NodeId, dst: NodeId) -> bool:
+        return src.host != dst.host
+
+    def latency_ns(self, src: NodeId, dst: NodeId) -> float:
+        """Zero-load one-way latency from ``src`` to ``dst``."""
+        cfg = self.config
+        hop_ns = cfg.cycles_to_ns(cfg.interconnect.intra_host_hop_cycles)
+        if src.host == dst.host:
+            hops = self.mesh_hops(self.tile_of(src), self.tile_of(dst))
+            return max(1, hops) * hop_ns
+        local = self.edge_hops(self.tile_of(src)) * hop_ns
+        remote = self.edge_hops(self.tile_of(dst)) * hop_ns
+        latency = local + cfg.interconnect.inter_host_latency_ns + remote
+        if cfg.pods > 1 and cfg.pod_of_host(src.host) != cfg.pod_of_host(dst.host):
+            # Two-level fabric: an extra switch tier between pods.
+            latency += cfg.inter_pod_extra_ns
+        return latency

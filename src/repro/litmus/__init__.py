@@ -1,0 +1,54 @@
+"""Litmus tests, the explicit-state model checker, and the timed runner."""
+
+from repro.litmus.dsl import (
+    LitmusTest,
+    cas,
+    faa,
+    faa_rel,
+    fence,
+    fence_rel,
+    ld,
+    ld_acq,
+    poll,
+    poll_acq,
+    st,
+    st_rel,
+    st_so,
+    xchg,
+)
+from repro.litmus.model_checker import (
+    CheckResult,
+    FinalState,
+    ModelChecker,
+    ModelCheckError,
+)
+from repro.litmus.random_walk import RandomWalkResult, random_walk
+from repro.litmus.runner import TimedLitmusResult, run_timed
+from repro.litmus.suite import (
+    CaseSpec,
+    SuiteReport,
+    classic_tests,
+    custom_tests,
+    full_suite,
+    run_suite,
+)
+
+__all__ = [
+    "LitmusTest",
+    "st", "st_rel", "st_so", "ld", "ld_acq", "poll", "poll_acq",
+    "fence", "fence_rel", "faa", "faa_rel", "xchg", "cas",
+    "ModelChecker",
+    "CheckResult",
+    "FinalState",
+    "ModelCheckError",
+    "run_timed",
+    "TimedLitmusResult",
+    "random_walk",
+    "RandomWalkResult",
+    "classic_tests",
+    "custom_tests",
+    "full_suite",
+    "run_suite",
+    "CaseSpec",
+    "SuiteReport",
+]

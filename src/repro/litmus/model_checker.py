@@ -1,0 +1,728 @@
+"""Explicit-state model checker for the coherence protocols (§4.5).
+
+This is the reproduction's Murphi substitute: an *untimed* operational model
+of each protocol (CORD, SO, MP — individually or mixed per thread) explored
+exhaustively by DFS over all interleavings of core steps and message
+deliveries.  Like the paper's Murphi setup, state space is kept tractable by
+bounding addresses, values and nodes to litmus-test scale.
+
+The protocol logic is not re-implemented: the model reuses the exact
+:class:`~repro.core.processor.CordProcessorState` and
+:class:`~repro.core.directory.CordDirectoryState` state machines that drive
+the timed simulator, so the artifact that is model-checked is the artifact
+that is measured.
+
+Network semantics are adversarial for the coherence protocols — messages
+deliver in any order, with one exception: stores from the same core to the
+same *address* stay ordered (real sources never have two conflicting writes
+in flight: MSHRs merge or serialize them; this is per-location coherence,
+orthogonal to the consistency ordering CORD provides).  MP's posted writes
+are additionally FIFO per source-destination pair — which is precisely the
+modelling difference that lets the checker exhibit MP's ISA2
+release-consistency violation (§3.2) while proving CORD safe.
+
+For every reachable final state the checker records the register outcome and
+one representative execution history, validates the history with the
+axiomatic RC checker, and reports deadlocks (unfinished programs with no
+enabled transition).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.config import CordConfig, SystemConfig
+from repro.consistency.checker import Violation, check_rc
+from repro.consistency.history import EventKind, ExecutionHistory
+from repro.consistency.ops import MemOp, OpKind, Ordering
+from repro.core.directory import CordDirectoryState
+from repro.core.messages import NotifyMeta, ReleaseMeta, RelaxedMeta, ReqNotifyMeta
+from repro.core.processor import CordProcessorState
+from repro.litmus.dsl import LitmusTest
+from repro.memory.address import AddressMap
+
+__all__ = ["ModelChecker", "CheckResult", "FinalState", "ModelCheckError"]
+
+
+class ModelCheckError(RuntimeError):
+    """Raised when exploration exceeds its configured bounds."""
+
+
+# ---------------------------------------------------------------------------
+# State
+# ---------------------------------------------------------------------------
+@dataclass
+class _Msg:
+    seq: int
+    kind: str
+    dst_dir: Optional[int]
+    dst_core: Optional[int]
+    fields: Dict[str, Any]
+    fifo_class: Optional[Tuple[int, int]] = None  # (src core, dst dir) for MP
+
+
+@dataclass
+class _CoreState:
+    pc: int = 0
+    regs: Dict[str, int] = field(default_factory=dict)
+    cord: Optional[CordProcessorState] = None
+    so_outstanding: int = 0
+    fence_issued: bool = False
+    blocked: bool = False        # awaiting an atomic RMW response
+    seq_next: int = 0            # SEQ-k: next sequence number to assign
+    seq_outstanding: int = 0     # SEQ-k: stores not yet committed
+
+
+@dataclass
+class _State:
+    cores: List[_CoreState]
+    dirs: List[CordDirectoryState]
+    values: List[Dict[int, int]]     # per directory
+    network: List[_Msg]
+    next_seq: int
+    events: List[Tuple] = field(default_factory=list)  # history log
+    # SEQ-k: committed-store watermark per (directory, core).
+    seq_committed: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def clone(self) -> "_State":
+        return copy.deepcopy(self)
+
+
+def _freeze(obj: Any) -> Any:
+    """Canonical hashable form of protocol state (for the visited set)."""
+    import enum
+    if isinstance(obj, enum.Enum):
+        return (type(obj).__name__, obj.value)
+    if isinstance(obj, dict):
+        return tuple(sorted((_freeze(k), _freeze(v)) for k, v in obj.items()))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_freeze(x) for x in obj)
+    if isinstance(obj, (set, frozenset)):
+        return tuple(sorted(_freeze(x) for x in obj))
+    if isinstance(obj, (int, float, str, bool, type(None))):
+        return obj
+    if hasattr(obj, "__dict__"):
+        skip = {"stalls", "relaxed_issued", "releases_issued",
+                "relaxed_committed", "releases_committed",
+                "notifications_sent", "insertions", "peak_occupancy"}
+        return (
+            type(obj).__name__,
+            tuple(
+                (name, _freeze(value))
+                for name, value in sorted(obj.__dict__.items())
+                if name not in skip and not name.startswith("_partitions")
+            ) + (
+                (("partitions", _freeze(obj._partitions)),)
+                if hasattr(obj, "_partitions") else ()
+            ),
+        )
+    raise TypeError(f"cannot freeze {type(obj)}")
+
+
+@dataclass
+class FinalState:
+    """One distinct terminal outcome."""
+
+    outcome: Dict[str, int]
+    history: ExecutionHistory
+    violations: List[Violation]
+
+
+@dataclass
+class CheckResult:
+    """Result of exhaustively checking one litmus test under one protocol."""
+
+    test: LitmusTest
+    protocol: str
+    finals: List[FinalState]
+    deadlocks: int
+    states_explored: int
+
+    @property
+    def outcomes(self) -> List[Dict[str, int]]:
+        return [f.outcome for f in self.finals]
+
+    @property
+    def forbidden_reached(self) -> List[Dict[str, int]]:
+        reached = []
+        for final in self.finals:
+            if self.test.matches_forbidden(final.outcome) is not None:
+                reached.append(final.outcome)
+        return reached
+
+    @property
+    def rc_violations(self) -> List[Violation]:
+        return [v for final in self.finals for v in final.violations]
+
+    @property
+    def passed(self) -> bool:
+        """Safe: no forbidden outcome, no RC violation, no deadlock."""
+        return (
+            not self.forbidden_reached
+            and not self.rc_violations
+            and self.deadlocks == 0
+        )
+
+    def reaches(self, pattern: Dict[str, int]) -> bool:
+        return any(
+            all(outcome.get(reg) == val for reg, val in pattern.items())
+            for outcome in self.outcomes
+        )
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+class ModelChecker:
+    """Exhaustive interleaving exploration of a litmus test.
+
+    Parameters
+    ----------
+    test:
+        The litmus test.
+    protocol:
+        ``"cord"``, ``"so"``, ``"mp"`` or ``"seq<k>"`` — the protocol each
+        thread uses (overridden per-thread by ``test.thread_protocols``).
+    config:
+        System geometry (defaults to one host per location-home plus one).
+    cord_config:
+        CORD table provisioning — pass small tables to explore the
+        under-provisioned corner cases of §4.5.
+    tso:
+        Model TSO mode (§6): every store is ordered.
+    sc:
+        Model sequential consistency: TSO's store ordering plus
+        store->load ordering (loads wait for the issuing core's stores
+        to commit).
+    """
+
+    def __init__(
+        self,
+        test: LitmusTest,
+        protocol: str = "cord",
+        config: Optional[SystemConfig] = None,
+        cord_config: Optional[CordConfig] = None,
+        tso: bool = False,
+        sc: bool = False,
+        max_states: int = 2_000_000,
+    ) -> None:
+        self.test = test
+        self.protocol = protocol
+        self.sc = sc
+        if sc:
+            tso = True  # SC subsumes TSO's store-store ordering
+        hosts = max(
+            max(test.locations.values()) + 1 if test.locations else 1,
+            test.threads,
+        )
+        self.config = config or SystemConfig().scaled(hosts=hosts)
+        self.cord_config = cord_config or self.config.cord
+        self.tso = tso
+        self.max_states = max_states
+        self.address_map = AddressMap(self.config)
+        self.programs = test.compile(self.config)
+        self.core_protocols = list(
+            test.thread_protocols or [protocol] * test.threads
+        )
+        if len(self.core_protocols) != test.threads:
+            raise ValueError("thread_protocols length != thread count")
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _initial(self) -> _State:
+        cores = []
+        for core_index, proto in enumerate(self.core_protocols):
+            core = _CoreState()
+            if proto == "cord":
+                core.cord = CordProcessorState(core_index, self.cord_config)
+            cores.append(core)
+        dirs = [
+            CordDirectoryState(d, self.test.threads, self.cord_config)
+            for d in range(self.config.total_directories)
+        ]
+        values = [dict() for _ in dirs]
+        return _State(cores=cores, dirs=dirs, values=values, network=[],
+                      next_seq=0)
+
+    def _home(self, addr: int) -> int:
+        return self.address_map.home_directory(addr).index
+
+    def _read(self, state: _State, addr: int) -> int:
+        return state.values[self._home(addr)].get(addr, 0)
+
+    # ------------------------------------------------------------------
+    # Enabled actions
+    # ------------------------------------------------------------------
+    def _enabled(self, state: _State) -> List[Tuple]:
+        actions: List[Tuple] = []
+        for core_index in range(self.test.threads):
+            if self._core_enabled(state, core_index):
+                actions.append(("core", core_index))
+        fifo_heads: Dict[Tuple[int, int], int] = {}
+        for msg in state.network:
+            if msg.fifo_class is not None:
+                head = fifo_heads.get(msg.fifo_class)
+                if head is None or msg.seq < head:
+                    fifo_heads[msg.fifo_class] = msg.seq
+        for position, msg in enumerate(state.network):
+            if msg.fifo_class is not None and msg.seq != fifo_heads[msg.fifo_class]:
+                continue
+            if self._delivery_enabled(state, msg):
+                actions.append(("deliver", position))
+        return actions
+
+    def _core_enabled(self, state: _State, core_index: int) -> bool:
+        core = state.cores[core_index]
+        program = self.programs[core_index]
+        if core.blocked or core.pc >= len(program):
+            return False
+        op = program[core.pc]
+        proto = self.core_protocols[core_index]
+        ordered = op.ordering.is_release or self.tso
+
+        if op.kind is OpKind.COMPUTE:
+            return True
+        if op.kind in (OpKind.LOAD, OpKind.LOAD_UNTIL):
+            if self.sc and not self._stores_drained(state, core_index):
+                return False  # SC: loads wait for the core's own stores
+        if op.kind is OpKind.LOAD:
+            return True
+        if op.kind is OpKind.LOAD_UNTIL:
+            value = self._read(state, op.addr)
+            exact = op.meta.get("cmp") == "eq"
+            return value == op.value or (not exact and value >= op.value)
+        if op.kind is OpKind.FENCE:
+            if not op.ordering.is_release:
+                return True
+            if proto == "so":
+                return core.so_outstanding == 0
+            if proto.startswith("seq"):
+                return core.seq_outstanding == 0
+            if proto == "mp":
+                return True
+            # cord: issue barriers once, then wait for all acks.
+            if not core.fence_issued and core.cord.pending_directories():
+                return core.cord.release_stall_reason(
+                    core.cord.pending_directories()[0]
+                ) is None
+            return core.cord.total_unacked() == 0
+        # Stores and atomics (RMWs follow the same issue rules per class).
+        if proto.startswith("seq"):
+            # Overflow stall: the wire window may not reach the modulus.
+            bits = int(proto[3:])
+            return core.seq_outstanding + 1 < (1 << bits)
+        if proto == "mp":
+            return True
+        if proto == "so" or op.meta.get("via") == "so":
+            # Source-ordered store (including SO-style stores issued from a
+            # CORD core — the mixed-mode corner case of §4.5).
+            return not ordered or core.so_outstanding == 0
+        # cord
+        home = self._home(op.addr)
+        if ordered:
+            # A CORD Release also source-orders any outstanding SO-style
+            # stores this core issued (they have no directory metadata).
+            return (
+                core.so_outstanding == 0
+                and core.cord.release_stall_reason(home) is None
+            )
+        reason = core.cord.relaxed_stall_reason(home)
+        if reason is None:
+            return True
+        # Stalled Relaxed store: enabled if the barrier-release escape
+        # hatch can fire (§4.4).
+        return core.cord.release_stall_reason(home) is None
+
+    def _stores_drained(self, state: _State, core_index: int) -> bool:
+        """True when the core has no store still in flight (SC gating)."""
+        core = state.cores[core_index]
+        if core.so_outstanding > 0:
+            return False
+        if core.cord is not None and core.cord.total_unacked() > 0:
+            return False
+        # MP has no completion signal; approximate with network emptiness
+        # for this core's posted stores.
+        if self.core_protocols[core_index] == "mp":
+            return not any(
+                m.kind == "posted" and m.fields.get("core") == core_index
+                for m in state.network
+            )
+        return True
+
+    def _delivery_enabled(self, state: _State, msg: _Msg) -> bool:
+        if msg.kind == "seq_store":
+            if not msg.fields["ordered"]:
+                return True
+            core_index = msg.fields["core"]
+            committed = sum(
+                count for (d, c), count in state.seq_committed.items()
+                if c == core_index
+            )
+            return committed >= msg.fields["seq"]
+        if msg.kind == "wt_rel":
+            directory = state.dirs[msg.dst_dir]
+            return directory.release_block_reason(msg.fields["meta"]) is None
+        if msg.kind == "req_notify":
+            directory = state.dirs[msg.dst_dir]
+            return directory.req_notify_block_reason(msg.fields["meta"]) is None
+        return True
+
+    # ------------------------------------------------------------------
+    # Transition
+    # ------------------------------------------------------------------
+    def _apply(self, state: _State, action: Tuple) -> _State:
+        new = state.clone()
+        if action[0] == "core":
+            self._step_core(new, action[1])
+        else:
+            msg = new.network.pop(action[1])
+            self._deliver(new, msg)
+        return new
+
+    def _send(
+        self,
+        state: _State,
+        kind: str,
+        fields: Dict[str, Any],
+        dst_dir: Optional[int] = None,
+        dst_core: Optional[int] = None,
+        fifo_class: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        state.network.append(_Msg(
+            seq=state.next_seq, kind=kind, dst_dir=dst_dir, dst_core=dst_core,
+            fields=fields, fifo_class=fifo_class,
+        ))
+        state.next_seq += 1
+
+    def _step_core(self, state: _State, core_index: int) -> None:
+        core = state.cores[core_index]
+        op = self.programs[core_index][core.pc]
+        proto = self.core_protocols[core_index]
+        ordered = op.ordering.is_release or self.tso
+
+        if op.kind is OpKind.COMPUTE:
+            core.pc += 1
+            return
+        if op.kind in (OpKind.LOAD, OpKind.LOAD_UNTIL):
+            value = self._read(state, op.addr)
+            if op.register is not None:
+                core.regs[op.register] = value
+            state.events.append(
+                (core_index, core.pc, EventKind.LOAD, op.ordering, op.addr, value)
+            )
+            core.pc += 1
+            return
+        if op.kind is OpKind.FENCE:
+            if not op.ordering.is_release or proto in ("so", "mp"):
+                core.pc += 1
+                return
+            pending = core.cord.pending_directories()
+            if not core.fence_issued and pending:
+                for directory in pending:
+                    self._issue_cord_release(state, core_index, None, directory,
+                                             barrier=True)
+                core.fence_issued = True
+                return
+            core.fence_issued = False
+            core.pc += 1
+            return
+
+        home = self._home(op.addr)
+        if op.kind is OpKind.ATOMIC:
+            self._step_atomic(state, core_index, op, home, proto, ordered)
+            return
+
+        if proto.startswith("seq"):
+            self._send(state, "seq_store", {
+                "addr": op.addr, "value": op.value, "core": core_index,
+                "pc": core.pc, "ordering": op.ordering,
+                "seq": core.seq_next, "ordered": ordered,
+            }, dst_dir=home, fifo_class=("addr", core_index, op.addr))
+            core.seq_next += 1
+            core.seq_outstanding += 1
+            core.pc += 1
+            return
+
+        # Stores.
+        if proto == "mp":
+            self._send(state, "posted", {
+                "addr": op.addr, "value": op.value, "core": core_index,
+                "pc": core.pc, "ordering": op.ordering,
+            }, dst_dir=home, fifo_class=(core_index, home))
+            core.pc += 1
+            return
+        if proto == "so" or op.meta.get("via") == "so":
+            self._send(state, "wt_store", {
+                "addr": op.addr, "value": op.value, "core": core_index,
+                "pc": core.pc, "ordering": op.ordering,
+            }, dst_dir=home, fifo_class=("addr", core_index, op.addr))
+            core.so_outstanding += 1
+            core.pc += 1
+            return
+        # cord
+        if ordered:
+            self._issue_cord_release(state, core_index, op, home)
+            core.pc += 1
+            return
+        if core.cord.relaxed_stall_reason(home) is not None:
+            # Escape hatch: inject an empty Release barrier (§4.4); the pc
+            # does not advance — the Relaxed store retries afterwards.
+            self._issue_cord_release(state, core_index, None, home, barrier=True)
+            return
+        meta = core.cord.on_relaxed_store(home)
+        self._send(state, "wt_rlx", {
+            "meta": meta, "addr": op.addr, "value": op.value,
+            "core": core_index, "pc": core.pc, "ordering": op.ordering,
+        }, dst_dir=home, fifo_class=("addr", core_index, op.addr))
+        core.pc += 1
+
+    def _step_atomic(self, state, core_index, op, home, proto, ordered):
+        """Issue an RMW; the core blocks until the response delivers."""
+        core = state.cores[core_index]
+        fields = {
+            "addr": op.addr, "value": op.value, "core": core_index,
+            "pc": core.pc, "ordering": op.ordering,
+            "atomic": op.meta["atomic"], "compare": op.meta.get("compare"),
+            "register": op.register,
+        }
+        if proto == "cord" and op.meta.get("via") != "so":
+            if ordered:
+                issue = core.cord.on_release_store(home)
+                for pending_dir, req_meta in issue.notifications:
+                    self._send(state, "req_notify", {"meta": req_meta},
+                               dst_dir=pending_dir)
+                fields["meta"] = issue.release
+                self._send(state, "wt_rel", fields, dst_dir=home,
+                           fifo_class=("addr", core_index, op.addr))
+            else:
+                if core.cord.relaxed_stall_reason(home) is not None:
+                    self._issue_cord_release(state, core_index, None, home,
+                                             barrier=True)
+                    return
+                fields["meta"] = core.cord.on_relaxed_store(home)
+                self._send(state, "atomic", fields, dst_dir=home,
+                           fifo_class=("addr", core_index, op.addr))
+        elif proto == "mp":
+            self._send(state, "atomic", fields, dst_dir=home,
+                       fifo_class=(core_index, home))
+        else:  # so (or via-so)
+            self._send(state, "atomic", fields, dst_dir=home,
+                       fifo_class=("addr", core_index, op.addr))
+        core.blocked = True
+
+    def _perform_atomic(self, state: _State, msg: _Msg) -> None:
+        fields = msg.fields
+        directory = msg.dst_dir
+        old = state.values[directory].get(fields["addr"], 0)
+        new = fields["atomic"].apply(old, fields["value"],
+                                     fields.get("compare"))
+        state.values[directory][fields["addr"]] = new
+        state.events.append((
+            fields["core"], fields["pc"], EventKind.STORE,
+            fields["ordering"], fields["addr"], new,
+        ))
+        self._send(state, "atomic_resp", {
+            "old": old, "register": fields.get("register"),
+        }, dst_core=fields["core"])
+
+    def _issue_cord_release(
+        self,
+        state: _State,
+        core_index: int,
+        op: Optional[MemOp],
+        home: int,
+        barrier: bool = False,
+    ) -> None:
+        core = state.cores[core_index]
+        issue = core.cord.on_release_store(home, barrier=barrier)
+        for pending_dir, req_meta in issue.notifications:
+            self._send(state, "req_notify", {"meta": req_meta},
+                       dst_dir=pending_dir)
+        fields: Dict[str, Any] = {"meta": issue.release, "core": core_index}
+        fifo_class = None
+        if op is not None:
+            fields.update({
+                "addr": op.addr, "value": op.value, "pc": core.pc,
+                "ordering": op.ordering,
+            })
+            fifo_class = ("addr", core_index, op.addr)
+        self._send(state, "wt_rel", fields, dst_dir=home, fifo_class=fifo_class)
+
+    def _deliver(self, state: _State, msg: _Msg) -> None:
+        kind = msg.kind
+        if kind in ("posted", "wt_store", "wt_rlx"):
+            directory = msg.dst_dir
+            state.values[directory][msg.fields["addr"]] = msg.fields["value"]
+            state.events.append((
+                msg.fields["core"], msg.fields["pc"], EventKind.STORE,
+                msg.fields["ordering"], msg.fields["addr"], msg.fields["value"],
+            ))
+            if kind == "wt_rlx":
+                state.dirs[directory].on_relaxed(msg.fields["meta"])
+            if kind == "wt_store":
+                self._send(state, "so_ack", {}, dst_core=msg.fields["core"])
+        elif kind == "seq_store":
+            directory = msg.dst_dir
+            core_index = msg.fields["core"]
+            state.values[directory][msg.fields["addr"]] = msg.fields["value"]
+            state.events.append((
+                core_index, msg.fields["pc"], EventKind.STORE,
+                msg.fields["ordering"], msg.fields["addr"],
+                msg.fields["value"],
+            ))
+            key = (directory, core_index)
+            state.seq_committed[key] = state.seq_committed.get(key, 0) + 1
+            state.cores[core_index].seq_outstanding -= 1
+        elif kind == "so_ack":
+            state.cores[msg.dst_core].so_outstanding -= 1
+        elif kind == "atomic":
+            meta = msg.fields.get("meta")
+            if meta is not None:
+                state.dirs[msg.dst_dir].on_relaxed(meta)
+            self._perform_atomic(state, msg)
+        elif kind == "atomic_resp":
+            core = state.cores[msg.dst_core]
+            register = msg.fields.get("register")
+            if register is not None:
+                core.regs[register] = msg.fields["old"]
+            core.blocked = False
+            core.pc += 1
+        elif kind == "wt_rel" and "atomic" in msg.fields:
+            directory = msg.dst_dir
+            meta: ReleaseMeta = msg.fields["meta"]
+            state.dirs[directory].commit_release(meta)
+            self._perform_atomic(state, msg)
+            self._send(state, "rel_ack", {
+                "dir": directory, "epoch": meta.epoch,
+            }, dst_core=meta.proc)
+        elif kind == "wt_rel":
+            directory = msg.dst_dir
+            meta: ReleaseMeta = msg.fields["meta"]
+            state.dirs[directory].commit_release(meta)
+            if "addr" in msg.fields:
+                state.values[directory][msg.fields["addr"]] = msg.fields["value"]
+                state.events.append((
+                    msg.fields["core"], msg.fields["pc"], EventKind.STORE,
+                    msg.fields["ordering"], msg.fields["addr"],
+                    msg.fields["value"],
+                ))
+            self._send(state, "rel_ack", {
+                "dir": directory, "epoch": meta.epoch,
+            }, dst_core=meta.proc)
+        elif kind == "req_notify":
+            directory = msg.dst_dir
+            meta: ReqNotifyMeta = msg.fields["meta"]
+            notify = state.dirs[directory].consume_req_notify(meta)
+            self._send(state, "notify", {"meta": notify}, dst_dir=meta.noti_dst)
+        elif kind == "notify":
+            state.dirs[msg.dst_dir].on_notify(msg.fields["meta"])
+        elif kind == "rel_ack":
+            core = state.cores[msg.dst_core]
+            core.cord.on_release_ack(msg.fields["dir"], msg.fields["epoch"])
+        else:  # pragma: no cover - exhaustive
+            raise RuntimeError(f"unknown message kind {kind}")
+
+    # ------------------------------------------------------------------
+    # Exploration
+    # ------------------------------------------------------------------
+    def _key(self, state: _State) -> Tuple:
+        return (
+            tuple(
+                (c.pc, _freeze(c.regs), _freeze(c.cord) if c.cord else None,
+                 c.so_outstanding, c.fence_issued, c.blocked,
+                 c.seq_next, c.seq_outstanding)
+                for c in state.cores
+            ),
+            tuple(_freeze(d) for d in state.dirs),
+            tuple(_freeze(v) for v in state.values),
+            _freeze(state.seq_committed),
+            tuple(
+                (m.kind, m.dst_dir, m.dst_core, _freeze(m.fields), m.fifo_class,
+                 # preserve relative FIFO order, not absolute seq
+                 sum(1 for o in state.network
+                     if o.fifo_class == m.fifo_class and o.seq < m.seq))
+                for m in sorted(
+                    state.network,
+                    key=lambda m: (m.kind, str(m.dst_dir), str(m.dst_core), m.seq),
+                )
+            ),
+        )
+
+    def _is_final(self, state: _State) -> bool:
+        return (
+            all(
+                core.pc >= len(self.programs[i])
+                for i, core in enumerate(state.cores)
+            )
+            and not state.network
+        )
+
+    def _history(self, state: _State) -> ExecutionHistory:
+        history = ExecutionHistory()
+        for core_index, pc, kind, ordering, addr, value in state.events:
+            history.record(core_index, pc, kind, ordering, addr=addr,
+                           value=value)
+        for core_index, core in enumerate(state.cores):
+            for register, value in core.regs.items():
+                history.set_register(core_index, register, value)
+        return history
+
+    def run(self) -> CheckResult:
+        """Exhaustively explore; returns all distinct final outcomes."""
+        initial = self._initial()
+        visited: Set[Tuple] = {self._key(initial)}
+        stack = [initial]
+        finals: Dict[Tuple, FinalState] = {}
+        deadlocks = 0
+        explored = 0
+
+        while stack:
+            state = stack.pop()
+            explored += 1
+            if explored > self.max_states:
+                raise ModelCheckError(
+                    f"{self.test.name}: exceeded {self.max_states} states"
+                )
+            actions = self._enabled(state)
+            if not actions:
+                if self._is_final(state):
+                    memory = {
+                        f"mem:{loc}": self._read(
+                            state, self.test.resolve_address(self.config, loc)
+                        )
+                        for loc in self.test.locations
+                    }
+                    outcome_key = _freeze(dict(
+                        {f"P{i}:{r}": v
+                         for i, c in enumerate(state.cores)
+                         for r, v in c.regs.items()},
+                        **memory,
+                    ))
+                    if outcome_key not in finals:
+                        history = self._history(state)
+                        finals[outcome_key] = FinalState(
+                            outcome=dict(history.register_outcome(), **memory),
+                            history=history,
+                            violations=check_rc(history),
+                        )
+                else:
+                    deadlocks += 1
+                continue
+            for action in actions:
+                successor = self._apply(state, action)
+                key = self._key(successor)
+                if key not in visited:
+                    visited.add(key)
+                    stack.append(successor)
+
+        return CheckResult(
+            test=self.test,
+            protocol=self.protocol,
+            finals=list(finals.values()),
+            deadlocks=deadlocks,
+            states_explored=explored,
+        )

@@ -1,0 +1,119 @@
+"""Random-walk protocol validation: sampling where DFS cannot reach.
+
+Exhaustive exploration (:class:`~repro.litmus.model_checker.ModelChecker`)
+is the ground truth for litmus-scale programs, but its state space explodes
+beyond a handful of ops.  The random walker reuses the *same* untimed
+operational machine and, instead of exploring every interleaving, samples
+many schedules with a seeded RNG — validating larger programs (more cores,
+longer op streams, bigger table pressure) against the same oracles: the
+per-test forbidden outcomes, the axiomatic RC checker, and deadlock
+freedom.
+
+This mirrors how protocol teams complement model checking with
+random-stimulus testing at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import CordConfig, SystemConfig
+from repro.litmus.dsl import LitmusTest
+from repro.litmus.model_checker import FinalState, ModelChecker
+from repro.consistency.checker import check_rc
+from repro.sim import DeterministicRng
+
+__all__ = ["RandomWalkResult", "random_walk"]
+
+
+@dataclass
+class RandomWalkResult:
+    """Aggregate of many sampled schedules for one litmus test."""
+
+    test: LitmusTest
+    protocol: str
+    walks: int
+    finals: List[FinalState] = field(default_factory=list)
+    deadlocks: int = 0
+    forbidden_hits: List[Dict[str, int]] = field(default_factory=list)
+
+    @property
+    def outcomes(self) -> List[Dict[str, int]]:
+        return [f.outcome for f in self.finals]
+
+    @property
+    def rc_violations(self):
+        return [v for final in self.finals for v in final.violations]
+
+    @property
+    def passed(self) -> bool:
+        return (not self.forbidden_hits and not self.rc_violations
+                and self.deadlocks == 0)
+
+    def reaches(self, pattern: Dict[str, int]) -> bool:
+        return any(
+            all(outcome.get(k) == v for k, v in pattern.items())
+            for outcome in self.outcomes
+        )
+
+
+def random_walk(
+    test: LitmusTest,
+    protocol: str = "cord",
+    walks: int = 200,
+    seed: int = 0,
+    config: Optional[SystemConfig] = None,
+    cord_config: Optional[CordConfig] = None,
+    tso: bool = False,
+    max_steps: int = 20_000,
+) -> RandomWalkResult:
+    """Sample ``walks`` random schedules of ``test`` under ``protocol``."""
+    checker = ModelChecker(
+        test, protocol=protocol, config=config, cord_config=cord_config,
+        tso=tso,
+    )
+    rng = DeterministicRng(seed)
+    result = RandomWalkResult(test=test, protocol=protocol, walks=walks)
+    seen_outcomes = set()
+
+    for walk in range(walks):
+        walk_rng = rng.child(f"walk{walk}")
+        state = checker._initial()
+        steps = 0
+        while True:
+            actions = checker._enabled(state)
+            if not actions:
+                break
+            if steps >= max_steps:
+                raise RuntimeError(
+                    f"{test.name}: walk exceeded {max_steps} steps "
+                    f"(livelock?)"
+                )
+            action = walk_rng.choice(actions)
+            state = checker._apply(state, action)
+            steps += 1
+
+        if checker._is_final(state):
+            memory = {
+                f"mem:{loc}": checker._read(
+                    state, test.resolve_address(checker.config, loc)
+                )
+                for loc in test.locations
+            }
+            history = checker._history(state)
+            outcome = dict(history.register_outcome(), **memory)
+            key = tuple(sorted(outcome.items()))
+            if key not in seen_outcomes:
+                seen_outcomes.add(key)
+                final = FinalState(
+                    outcome=outcome,
+                    history=history,
+                    violations=check_rc(history),
+                )
+                result.finals.append(final)
+                if test.matches_forbidden(outcome) is not None:
+                    result.forbidden_hits.append(outcome)
+        else:
+            result.deadlocks += 1
+    return result

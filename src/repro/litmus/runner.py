@@ -1,0 +1,135 @@
+"""Timed litmus runs: execute a litmus test on the cycle-approximate Machine.
+
+The model checker (:mod:`repro.litmus.model_checker`) is the exhaustive
+correctness oracle; this runner complements it by executing the same test
+end-to-end through the *timed* protocol actors — the code path that produces
+the paper's performance numbers — and validating the observed execution with
+the axiomatic RC checker.  One timed run explores a single interleaving, so
+it can demonstrate liveness and value-correctness of the timed actors but
+not absence of weak outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.consistency.checker import Violation, check_rc
+from repro.cpu.program import Program
+from repro.litmus.dsl import LitmusTest
+from repro.protocols.machine import Machine, RunResult
+
+__all__ = ["TimedLitmusResult", "run_timed", "fuzz_timed", "FuzzReport"]
+
+
+@dataclass
+class TimedLitmusResult:
+    """Outcome of one timed execution of a litmus test."""
+
+    test: LitmusTest
+    protocol: str
+    outcome: Dict[str, int]
+    violations: List[Violation]
+    run: RunResult
+
+    @property
+    def forbidden_hit(self) -> Optional[Dict[str, int]]:
+        return self.test.matches_forbidden(self.outcome)
+
+    @property
+    def passed(self) -> bool:
+        return self.forbidden_hit is None and not self.violations
+
+
+def run_timed(
+    test: LitmusTest,
+    protocol: str = "cord",
+    config: Optional[SystemConfig] = None,
+    latency_jitter: float = 0.0,
+    seed: int = 0,
+) -> TimedLitmusResult:
+    """Execute ``test`` once on the timed simulator under ``protocol``.
+
+    ``latency_jitter`` perturbs per-message latencies (deterministically,
+    per ``seed``), letting repeated runs explore different timed
+    interleavings — see :func:`fuzz_timed`."""
+    hosts = max(
+        max(test.locations.values()) + 1 if test.locations else 1,
+        test.threads,
+    )
+    config = config or SystemConfig().scaled(hosts=hosts)
+    machine = Machine(config, protocol=protocol, latency_jitter=latency_jitter,
+                      seed=seed)
+    compiled = test.compile(config)
+    programs: Dict[int, Program] = {}
+    for thread, ops in enumerate(compiled):
+        for op in ops:
+            if op.kind.value == "load_until":
+                op.meta.setdefault("cmp", "eq")
+        core_id = thread * config.cores_per_host
+        programs[core_id] = Program(ops=ops, name=f"{test.name}.P{thread}")
+
+    result = machine.run(programs)
+    # Thread indices in the litmus test map to core ids; rebase registers.
+    outcome: Dict[str, int] = {}
+    for (core, register), value in result.history.registers.items():
+        thread = core // config.cores_per_host
+        outcome[f"P{thread}:{register}"] = value
+    violations = check_rc(result.history)
+    return TimedLitmusResult(
+        test=test,
+        protocol=protocol,
+        outcome=outcome,
+        violations=violations,
+        run=result,
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of many jittered timed executions of one litmus test."""
+
+    test: LitmusTest
+    protocol: str
+    runs: int
+    outcomes: List[Dict[str, int]]
+    forbidden_hits: List[Dict[str, int]]
+    violation_runs: int
+
+    @property
+    def passed(self) -> bool:
+        return not self.forbidden_hits and self.violation_runs == 0
+
+    def reaches(self, pattern: Dict[str, int]) -> bool:
+        return any(
+            all(outcome.get(k) == v for k, v in pattern.items())
+            for outcome in self.outcomes
+        )
+
+
+def fuzz_timed(
+    test: LitmusTest,
+    protocol: str = "cord",
+    runs: int = 20,
+    latency_jitter: float = 0.4,
+    config: Optional[SystemConfig] = None,
+) -> FuzzReport:
+    """Run ``test`` many times through the *timed* simulator with randomized
+    message latencies — a dynamic-verification complement to the exhaustive
+    model checker, exercising the production actors themselves."""
+    outcomes: List[Dict[str, int]] = []
+    forbidden: List[Dict[str, int]] = []
+    violation_runs = 0
+    for seed in range(runs):
+        result = run_timed(test, protocol=protocol, config=config,
+                           latency_jitter=latency_jitter, seed=seed)
+        outcomes.append(result.outcome)
+        if result.forbidden_hit is not None:
+            forbidden.append(result.outcome)
+        if result.violations:
+            violation_runs += 1
+    return FuzzReport(
+        test=test, protocol=protocol, runs=runs, outcomes=outcomes,
+        forbidden_hits=forbidden, violation_runs=violation_runs,
+    )

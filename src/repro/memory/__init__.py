@@ -1,0 +1,18 @@
+"""Memory substrate: address mapping, caches, DRAM, and LLC slices."""
+
+from repro.memory.address import AddressMap
+from repro.memory.cache import CacheLine, Eviction, MesiState, SetAssocCache
+from repro.memory.dram import Dram
+from repro.memory.llc import DirectoryEntry, DirEntryState, LlcSlice
+
+__all__ = [
+    "AddressMap",
+    "SetAssocCache",
+    "CacheLine",
+    "Eviction",
+    "MesiState",
+    "Dram",
+    "LlcSlice",
+    "DirectoryEntry",
+    "DirEntryState",
+]

@@ -1,0 +1,43 @@
+"""Per-host DRAM (HBM) timing model.
+
+Write-through stores commit at the LLC; DRAM sits behind it and is touched on
+LLC misses/evictions.  A simple channel-interleaved latency + bandwidth model
+suffices at the granularity this reproduction measures.
+"""
+
+from __future__ import annotations
+
+from repro.config import MemoryConfig
+
+__all__ = ["Dram"]
+
+
+class Dram:
+    """Latency/bandwidth model of one host's memory."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def total_bandwidth_bytes_per_ns(self) -> float:
+        return self.config.channels * self.config.channel_bandwidth_gbps
+
+    def access_ns(self, size_bytes: int) -> float:
+        """Latency to move ``size_bytes`` to/from memory."""
+        return self.config.access_latency_ns + (
+            size_bytes / self.total_bandwidth_bytes_per_ns
+        )
+
+    def read(self, size_bytes: int) -> float:
+        self.reads += 1
+        self.bytes_read += size_bytes
+        return self.access_ns(size_bytes)
+
+    def write(self, size_bytes: int) -> float:
+        self.writes += 1
+        self.bytes_written += size_bytes
+        return self.access_ns(size_bytes)

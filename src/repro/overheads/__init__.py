@@ -1,0 +1,22 @@
+"""Overhead models: table storage accounting and CACTI-style area/power."""
+
+from repro.overheads.cacti import (
+    SramMacro,
+    Table3Row,
+    cord_overhead_table,
+    overhead_ratios,
+)
+from repro.overheads.energy import EnergyReport, energy_comparison, estimate_energy
+from repro.overheads.storage import StorageReport, collect_storage
+
+__all__ = [
+    "StorageReport",
+    "collect_storage",
+    "SramMacro",
+    "Table3Row",
+    "cord_overhead_table",
+    "overhead_ratios",
+    "EnergyReport",
+    "estimate_energy",
+    "energy_comparison",
+]

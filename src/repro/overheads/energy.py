@@ -1,0 +1,110 @@
+"""Interconnect + protocol energy estimation (§5.4's energy analysis).
+
+The paper prices the three energy components of a write-through store:
+moving it over the link (4.6 pJ/bit for CXL 3.0 / PCIe 6.0 transceivers),
+writing it into the LLC (3.407 nJ per 64 B line, CACTI), and CORD's
+look-up table accesses (0.016–0.025 nJ) — concluding the protocol's dynamic
+energy overhead is < 1 %.  :func:`estimate_energy` applies those constants
+to a finished run, so every experiment can report energy alongside time and
+traffic (source ordering's acknowledgments cost energy *proportional to the
+communicated data size*, §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.overheads.cacti import (
+    LINK_ENERGY_PJ_PER_BIT,
+    LLC_WRITE_ENERGY_NJ_64B,
+)
+from repro.protocols.machine import RunResult
+
+__all__ = ["EnergyReport", "estimate_energy", "energy_comparison"]
+
+# Per-access energy for the protocol look-up tables (Table 3's range).
+_TABLE_ACCESS_NJ = 0.020
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Dynamic energy estimate for one run, in nanojoules."""
+
+    link_nj: float           # inter-host transmission
+    llc_nj: float            # LLC line writes at commit points
+    table_nj: float          # protocol look-up table accesses (CORD)
+    total_messages: int
+
+    @property
+    def total_nj(self) -> float:
+        return self.link_nj + self.llc_nj + self.table_nj
+
+    @property
+    def protocol_overhead_fraction(self) -> float:
+        """Table energy relative to everything else (§5.4: < 1 %)."""
+        base = self.link_nj + self.llc_nj
+        return self.table_nj / base if base else 0.0
+
+
+def estimate_energy(result: RunResult) -> EnergyReport:
+    """Price a finished run with the paper's §5.4 energy constants."""
+    link_nj = (
+        result.inter_host_bytes * 8 * LINK_ENERGY_PJ_PER_BIT / 1000.0
+    )
+
+    commits = sum(
+        node.llc.write_through_commits
+        for node in result.machine.directories
+    )
+    llc_nj = commits * LLC_WRITE_ENERGY_NJ_64B
+
+    # Table accesses: roughly two (read + update) per protocol event.
+    table_events = 0
+    for node in result.machine.directories:
+        state = getattr(node, "state", None)
+        if state is not None and hasattr(state, "relaxed_committed"):
+            table_events += 2 * state.relaxed_committed
+            table_events += 4 * state.releases_committed
+            table_events += 2 * state.notifications_sent
+    table_nj = table_events * _TABLE_ACCESS_NJ
+
+    messages = int(sum(
+        value for name, value in result.stats.as_dict().items()
+        if name.startswith("msgs.inter_host.") and name.count(".") == 2
+    ))
+    return EnergyReport(
+        link_nj=link_nj, llc_nj=llc_nj, table_nj=table_nj,
+        total_messages=messages,
+    )
+
+
+def energy_comparison(
+    app_name: str,
+    protocols: Sequence[str] = ("mp", "cord", "so"),
+    config=None,
+) -> List[Dict[str, Any]]:
+    """Energy rows for one Table-2 application across protocols,
+    normalized to CORD."""
+    from repro.harness.experiments import default_config, run_app
+    from repro.workloads.table2 import APPLICATIONS
+
+    config = config or default_config()
+    reports: Dict[str, EnergyReport] = {}
+    for protocol in protocols:
+        result = run_app(APPLICATIONS[app_name], protocol, config)
+        reports[protocol] = estimate_energy(result)
+    cord_total = reports.get("cord").total_nj if "cord" in reports else None
+    rows: List[Dict[str, Any]] = []
+    for protocol, report in reports.items():
+        rows.append({
+            "app": app_name,
+            "protocol": protocol,
+            "link_nJ": report.link_nj,
+            "llc_nJ": report.llc_nj,
+            "table_nJ": report.table_nj,
+            "total_nJ": report.total_nj,
+            "vs_cord": (report.total_nj / cord_total) if cord_total else None,
+            "protocol_overhead_pct": 100 * report.protocol_overhead_fraction,
+        })
+    return rows

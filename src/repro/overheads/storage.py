@@ -1,0 +1,74 @@
+"""Storage-overhead accounting for CORD's look-up tables (§5.4).
+
+Fig. 11 reports the *smallest storage that avoids performance degradation*,
+which the simulator measures as the peak occupancy the tables actually
+reached during a run; Fig. 12 breaks the directory total into look-up tables
+vs network buffers (buffered/recycled Release stores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.protocols.machine import RunResult
+
+__all__ = ["StorageReport", "collect_storage"]
+
+
+@dataclass
+class StorageReport:
+    """Peak protocol-state storage measured during one run."""
+
+    per_core: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    per_dir: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Fig. 11 quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_proc_bytes(self) -> int:
+        """Worst-case processor storage across cores."""
+        return max(
+            (sum(tables.values()) for tables in self.per_core.values()),
+            default=0,
+        )
+
+    @property
+    def max_dir_bytes(self) -> int:
+        """Worst-case directory storage across slices."""
+        return max(
+            (sum(tables.values()) for tables in self.per_dir.values()),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Fig. 12 breakdowns
+    # ------------------------------------------------------------------
+    def proc_breakdown(self) -> Dict[str, int]:
+        """Max per-table processor storage (store counters vs other tables)."""
+        breakdown: Dict[str, int] = {}
+        for tables in self.per_core.values():
+            for name, size in tables.items():
+                breakdown[name] = max(breakdown.get(name, 0), size)
+        return breakdown
+
+    def dir_breakdown(self) -> Dict[str, int]:
+        """Max per-component directory storage (tables vs network buffer)."""
+        breakdown: Dict[str, int] = {}
+        for tables in self.per_dir.values():
+            for name, size in tables.items():
+                breakdown[name] = max(breakdown.get(name, 0), size)
+        return breakdown
+
+
+def collect_storage(result: RunResult) -> StorageReport:
+    """Harvest peak table occupancy from a finished run."""
+    report = StorageReport()
+    for core_id in result.machine.cores:
+        tables = result.proc_storage_bytes(core_id)
+        if tables:
+            report.per_core[core_id] = tables
+    for dir_index in range(len(result.machine.directories)):
+        report.per_dir[dir_index] = result.dir_storage_bytes(dir_index)
+    return report

@@ -1,0 +1,60 @@
+"""Ablation variant: CORD without inter-directory notifications.
+
+``cord-nonotify`` keeps directory ordering *within* each directory (epochs +
+store counters, no per-store acknowledgments) but falls back to source
+ordering *across* directories: before issuing a Release whose epoch has
+pending state at other directories, the processor drains those directories
+with acknowledged barrier Releases instead of sending requests for
+notification.
+
+This isolates the contribution of §4.2's notification mechanism: at fan-out
+1 the variant behaves exactly like CORD, while at higher fan-outs it
+re-introduces the processor stalls notifications exist to avoid.  The
+ablation benchmark (``benchmarks/test_ablation_notifications.py``) measures
+that gap.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.consistency.ops import MemOp
+from repro.protocols.cord import CordCorePort, CordDirectory
+
+__all__ = ["CordNoNotifyCorePort", "CordNoNotifyDirectory"]
+
+
+class CordNoNotifyCorePort(CordCorePort):
+    """CORD core that source-orders cross-directory releases."""
+
+    def _release_store(
+        self,
+        op: MemOp,
+        program_index: int,
+        dir_index: int,
+        barrier: bool = False,
+    ) -> Generator:
+        if not barrier:
+            pending = self.state.pending_directories(exclude=dir_index)
+            if pending:
+                # Source ordering across directories: drain every other
+                # pending directory (acknowledged barrier releases) before
+                # this Release may issue.
+                started = self.sim.now
+                issued = []
+                for other in pending:
+                    epoch = self.state.epoch.value
+                    empty = MemOp.release_store(addr=0, value=None, size=0)
+                    yield from super()._release_store(
+                        empty, program_index, other, barrier=True
+                    )
+                    issued.append((other, epoch))
+                while any(key in self.state.unacked for key in issued):
+                    yield self.ack_signal
+                self.stall("cross_dir_drain", self.sim.now - started)
+        yield from super()._release_store(op, program_index, dir_index,
+                                          barrier=barrier)
+
+
+class CordNoNotifyDirectory(CordDirectory):
+    """Directory side is unchanged — notifications simply never trigger."""

@@ -1,0 +1,352 @@
+"""Shared infrastructure for timed protocol actors.
+
+Each protocol (SO, CORD, MP, WB, SEQ-k) is a pair of classes:
+
+* a :class:`CorePort` — the protocol logic at the processor side, driven as a
+  generator by :class:`repro.cpu.core.Core` (so it can stall, wait on acks,
+  and interleave with the core's program);
+* a :class:`DirectoryNode` — the protocol logic at an LLC slice/directory,
+  driven by network message delivery.
+
+The base classes implement what every protocol shares: the load/response
+path, value storage at the commit point (for litmus value checking), LLC
+service latency, and history recording.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+from repro.consistency.history import EventKind
+from repro.consistency.ops import AtomicOp, MemOp, Ordering
+from repro.interconnect.message import Message, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cpu.core import Core
+    from repro.protocols.machine import Machine
+
+__all__ = ["CorePort", "DirectoryNode"]
+
+
+class CorePort(abc.ABC):
+    """Protocol-specific processor-side logic for one core."""
+
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+        self.machine = core.machine
+        self._load_waiters: Dict[int, Any] = {}
+        self._next_req = 0
+        # Source-side write-combining buffer (§2.1); inert when the config
+        # leaves write_combining_lines at 0 or under TSO (coalescing would
+        # blur the total store order).
+        from repro.protocols.write_combining import WriteCombiningBuffer
+        lines = (self.machine.config.write_combining_lines
+                 if self.machine.consistency == "rc" else 0)
+        self.wc = WriteCombiningBuffer(
+            lines, line_bytes=self.machine.config.llc_slice.line_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.machine.sim
+
+    @property
+    def network(self):
+        return self.machine.network
+
+    @property
+    def config(self):
+        return self.machine.config
+
+    @property
+    def sizes(self):
+        return self.machine.config.message_sizes
+
+    @property
+    def node(self) -> NodeId:
+        return self.core.node_id
+
+    def home(self, addr: int) -> NodeId:
+        return self.machine.address_map.home_directory(addr)
+
+    def stall(self, cause: str, duration_ns: float) -> None:
+        """Account stall time against this core (Fig. 2's wait breakdown)."""
+        if duration_ns > 0:
+            self.machine.stats.counter(f"stall.{cause}").add(duration_ns)
+            self.machine.stats.counter(
+                f"core{self.core.core_id}.stall.{cause}"
+            ).add(duration_ns)
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def store(self, op: MemOp, program_index: int) -> Generator:
+        """Execute a store per the protocol's ordering rules."""
+
+    def fence(self, op: MemOp, program_index: int) -> Generator:
+        """Default fence: drain everything this port has outstanding."""
+        yield from self.drain()
+
+    def drain(self) -> Generator:
+        """Wait until all outstanding operations complete (default no-op)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def finish(self) -> Generator:
+        """Called after the program's last op (lets protocols flush)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def on_message(self, message: Message) -> None:
+        """Handle a protocol response delivered to this core."""
+        if message.msg_type == "load_resp":
+            self._complete_load(message)
+        # Subclasses handle their own message types and call super() for
+        # the shared ones.
+
+    # ------------------------------------------------------------------
+    # Write-combining plumbing
+    # ------------------------------------------------------------------
+    def _emit_relaxed(self, write, program_index: int) -> Generator:
+        """Send one (possibly combined) Relaxed write-through store.
+
+        Overridden by protocols that support write-combining; the default
+        rejects combining (WB keeps its own store path)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support write-combining"
+        )
+
+    def wc_store(self, op: MemOp, program_index: int) -> Generator:
+        """Route a Relaxed store through the write-combining buffer."""
+        for write in self.wc.add(op, program_index):
+            yield from self._emit_relaxed(write, write.program_index)
+
+    def wc_flush(self) -> Generator:
+        """Drain the combining buffer (ordering points)."""
+        for write in self.wc.flush():
+            yield from self._emit_relaxed(write, write.program_index)
+
+    def wc_flush_line(self, addr: int) -> Generator:
+        line = addr - (addr % self.wc.line_bytes)
+        for write in self.wc.flush_line(line):
+            yield from self._emit_relaxed(write, write.program_index)
+
+    # ------------------------------------------------------------------
+    # Shared load path (all WT protocols read at the home slice)
+    # ------------------------------------------------------------------
+    def sc_load_barrier(self) -> Generator:
+        """Under sequential consistency a load may not bypass the core's
+        earlier stores; default: drain everything outstanding."""
+        yield from self.drain()
+
+    def load(self, op: MemOp, program_index: int) -> Generator:
+        """Round-trip read at the home directory; yields, returns the value."""
+        if self.machine.consistency == "sc":
+            yield from self.sc_load_barrier()
+        if self.wc.enabled:
+            # Read-own-write: surface any buffered store to this line first.
+            yield from self.wc_flush_line(op.addr)
+        req_id = self._next_req
+        self._next_req += 1
+        signal = self.sim.signal(f"load{req_id}@core{self.core.core_id}")
+        self._load_waiters[req_id] = signal
+        self.network.send(Message(
+            src=self.node,
+            dst=self.home(op.addr),
+            msg_type="load_req",
+            size_bytes=self.sizes.control_bytes(),
+            control=True,
+            payload={"addr": op.addr, "size": op.size, "req_id": req_id},
+        ))
+        value = yield signal
+        return value
+
+    def _complete_load(self, message: Message) -> None:
+        req_id = message.payload["req_id"]
+        signal = self._load_waiters.pop(req_id, None)
+        if signal is None:
+            raise RuntimeError(f"unexpected load response {message}")
+        signal.trigger(message.payload.get("value", 0))
+
+    # ------------------------------------------------------------------
+    # Shared atomic path: read-modify-write at the home LLC slice.
+    # ------------------------------------------------------------------
+    def atomic(self, op: MemOp, program_index: int) -> Generator:
+        """Default atomic: request/response round trip to the home
+        directory, which performs the RMW at the commit point.  Protocols
+        with ordering obligations override this to add them."""
+        yield from self.wc_flush()   # RMWs never bypass buffered stores
+        old = yield from self._atomic_round_trip(op, program_index)
+        return old
+
+    def _atomic_round_trip(self, op: MemOp, program_index: int) -> Generator:
+        req_id = self._next_req
+        self._next_req += 1
+        signal = self.sim.signal(f"atomic{req_id}@core{self.core.core_id}")
+        self._load_waiters[req_id] = signal
+        self.network.send(Message(
+            src=self.node,
+            dst=self.home(op.addr),
+            msg_type="atomic_req",
+            size_bytes=self.sizes.data_bytes(op.size),
+            control=False,
+            payload={
+                "addr": op.addr,
+                "value": op.value,
+                "size": op.size,
+                "proc": self.core.core_id,
+                "program_index": program_index,
+                "ordering": op.ordering,
+                "atomic": op.meta["atomic"],
+                "compare": op.meta.get("compare"),
+                "cord_meta": op.meta.get("cord_meta"),
+                "req_id": req_id,
+            },
+        ))
+        old = yield signal
+        return old
+
+
+class DirectoryNode:
+    """Base class for a directory/LLC-slice actor.
+
+    Subclasses add ``on_<msg_type>`` handlers; messages are dispatched to
+    them after the slice's service latency.  The node owns the authoritative
+    value map for its addresses (commit point of write-through stores).
+    """
+
+    def __init__(self, machine: "Machine", node_id: NodeId) -> None:
+        self.machine = machine
+        self.node_id = node_id
+        self.values: Dict[int, int] = {}
+        self.llc = machine.new_llc_slice()
+        self.service_ns = machine.config.cycles_to_ns(
+            machine.config.llc_slice.latency_cycles
+        )
+        machine.network.register(node_id, self.handle)
+        # Peak count of buffered (stalled/recycled) protocol messages — the
+        # "network buffer" component of Fig. 12.
+        self.peak_buffered = 0
+
+    @property
+    def sim(self):
+        return self.machine.sim
+
+    @property
+    def network(self):
+        return self.machine.network
+
+    @property
+    def sizes(self):
+        return self.machine.config.message_sizes
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> None:
+        self.sim.schedule(self.service_ns, self._process, message)
+
+    def _process(self, message: Message) -> None:
+        handler = getattr(self, f"on_{message.msg_type}", None)
+        if handler is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has no handler for {message.msg_type}"
+            )
+        handler(message)
+
+    def track_buffered(self, count: int) -> None:
+        if count > self.peak_buffered:
+            self.peak_buffered = count
+
+    # ------------------------------------------------------------------
+    # Commit point
+    # ------------------------------------------------------------------
+    def commit_store(self, message: Message) -> None:
+        """Make a store visible: update values, LLC state and the history."""
+        payload = message.payload
+        addr = payload["addr"]
+        if payload.get("values"):
+            # Write-combined store: apply the coalesced per-address values.
+            self.values.update(payload["values"])
+        elif payload.get("value") is not None:
+            self.values[addr] = payload["value"]
+        self.llc.commit_write_through(addr, payload.get("size", 8))
+        if not payload.get("barrier", False):
+            self.machine.history.record(
+                core=payload["proc"],
+                program_index=payload["program_index"],
+                kind=EventKind.STORE,
+                ordering=payload.get("ordering", Ordering.RELAXED),
+                addr=addr,
+                value=payload.get("value"),
+            )
+
+    def read_value(self, addr: int) -> int:
+        return self.values.get(addr, 0)
+
+    def perform_atomic(self, message: Message) -> int:
+        """Execute an RMW at the commit point; returns the old value.
+
+        The resulting store is recorded in the history; the old value is
+        delivered back to the core (which holds it in a register).  Atomic
+        reads are deliberately not recorded as history load events — the
+        value-matching reads-from inference cannot disambiguate RMW chains
+        (e.g. a ping-ponging lock word).
+        """
+        payload = message.payload
+        addr = payload["addr"]
+        atomic: AtomicOp = payload["atomic"]
+        old = self.values.get(addr, 0)
+        new = atomic.apply(old, payload["value"], payload.get("compare"))
+        self.values[addr] = new
+        self.llc.commit_write_through(addr, payload.get("size", 8))
+        self.machine.history.record(
+            core=payload["proc"],
+            program_index=payload["program_index"],
+            kind=EventKind.STORE,
+            ordering=payload.get("ordering", Ordering.RELAXED),
+            addr=addr,
+            value=new,
+        )
+        return old
+
+    def on_atomic_req(self, message: Message) -> None:
+        """Default atomic handler: RMW immediately, respond with the old
+        value (protocols with ordering conditions override)."""
+        old = self.perform_atomic(message)
+        self.respond_atomic(message, old)
+
+    def respond_atomic(self, message: Message, old: int) -> None:
+        self.network.send(Message(
+            src=self.node_id,
+            dst=message.src,
+            msg_type="load_resp",     # rides the shared response path
+            size_bytes=self.sizes.data_bytes(message.payload.get("size", 8)),
+            control=False,
+            payload={"req_id": message.payload["req_id"], "value": old,
+                     "addr": message.payload["addr"]},
+        ))
+
+    # ------------------------------------------------------------------
+    # Shared load handler
+    # ------------------------------------------------------------------
+    def on_load_req(self, message: Message) -> None:
+        addr = message.payload["addr"]
+        self.llc.read_line(addr)
+        self.network.send(Message(
+            src=self.node_id,
+            dst=message.src,
+            msg_type="load_resp",
+            size_bytes=self.sizes.data_bytes(message.payload.get("size", 8)),
+            control=False,
+            payload={
+                "req_id": message.payload["req_id"],
+                "value": self.read_value(addr),
+                "addr": addr,
+            },
+        ))

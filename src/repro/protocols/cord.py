@@ -1,0 +1,389 @@
+"""CORD: directory-ordered write-through coherence (§4) — timed actors.
+
+The processor side wraps :class:`~repro.core.processor.CordProcessorState`
+(Algorithm 1); the directory side wraps
+:class:`~repro.core.directory.CordDirectoryState` (Algorithm 2).  Relaxed
+stores carry only the epoch number (free in reserved header bits) and are
+*never* acknowledged; Release stores carry the full sequence metadata, fan
+out request-for-notification messages to pending directories, and are
+acknowledged only for epoch-table reclamation — the core does not stall on
+them.
+
+Under TSO mode (§6) every write-through store is ordered with the
+Release-Release mechanism (each store opens a new epoch), which preserves
+CORD's latency advantage but adds acknowledgment and notification traffic —
+reproducing Fig. 13's traffic inflation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from repro.consistency.ops import MemOp, Ordering
+from repro.core.directory import CordDirectoryState
+from repro.core.messages import NotifyMeta, ReleaseMeta, ReqNotifyMeta
+from repro.core.processor import CordProcessorState
+from repro.interconnect.message import Message
+from repro.protocols.base import CorePort, DirectoryNode
+
+__all__ = ["CordCorePort", "CordDirectory"]
+
+
+class CordCorePort(CorePort):
+    """Processor side of CORD (Algorithm 1)."""
+
+    def __init__(self, core) -> None:
+        super().__init__(core)
+        self.state = CordProcessorState(core.core_id, self.config.cord)
+        self.ack_signal = self.sim.signal(f"cord_ack@core{core.core_id}")
+
+    # ------------------------------------------------------------------
+    # Metadata bit widths (traffic model)
+    # ------------------------------------------------------------------
+    @property
+    def _relaxed_bits(self) -> int:
+        return self.config.cord.epoch_bits
+
+    @property
+    def _release_bits(self) -> int:
+        cord = self.config.cord
+        # epoch + store counter + lastPrevEp + notification counter.
+        return (
+            cord.epoch_bits + cord.counter_bits + cord.epoch_bits
+            + cord.notification_bits
+        )
+
+    @property
+    def _req_notify_bits(self) -> int:
+        cord = self.config.cord
+        # pending counter + lastPrevEp + current epoch + NotiDst id.
+        return cord.counter_bits + 2 * cord.epoch_bits + 8
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+    def store(self, op: MemOp, program_index: int) -> Generator:
+        directory = self.home(op.addr)
+        ordered = op.ordering.is_release or self.machine.consistency in ("tso", "sc")
+        if ordered:
+            yield from self._release_store(op, program_index, directory.index)
+        else:
+            yield from self._relaxed_store(op, program_index, directory.index)
+
+    def _relaxed_store(self, op: MemOp, program_index: int, dir_index: int) -> Generator:
+        if self.wc.enabled:
+            yield from self.wc_store(op, program_index)
+            return
+        yield from self._emit_relaxed_to(
+            op.addr, op.size, op.value, program_index, dir_index
+        )
+
+    def _emit_relaxed(self, write, program_index: int) -> Generator:
+        dir_index = self.home(write.addr).index
+        yield from self._emit_relaxed_to(
+            write.addr, write.size, write.value, program_index, dir_index,
+            values=write.values,
+        )
+
+    def _emit_relaxed_to(
+        self, addr: int, size: int, value, program_index: int, dir_index: int,
+        values=None,
+    ) -> Generator:
+        # Handle the rare stall conditions by injecting an empty Release
+        # barrier, which opens a fresh epoch and resets store counters (§4.4).
+        while True:
+            reason = self.state.relaxed_stall_reason(dir_index)
+            if reason is None:
+                break
+            self.state.record_stall(reason)
+            yield from self._barrier_release(dir_index, program_index)
+        meta = self.state.on_relaxed_store(dir_index)
+        self.network.send(Message(
+            src=self.node,
+            dst=self.machine.directory_id(dir_index),
+            msg_type="wt_rlx",
+            size_bytes=self.sizes.data_bytes(size, self._relaxed_bits),
+            control=False,
+            payload={
+                "addr": addr,
+                "value": value,
+                "size": size,
+                "values": values,
+                "proc": self.core.core_id,
+                "program_index": program_index,
+                "ordering": Ordering.RELAXED,
+                "meta": meta,
+            },
+        ))
+
+    def _release_store(
+        self,
+        op: MemOp,
+        program_index: int,
+        dir_index: int,
+        barrier: bool = False,
+    ) -> Generator:
+        if not barrier:
+            yield from self.wc_flush()   # a Release orders buffered stores
+        started = self.sim.now
+        while True:
+            reason = self.state.release_stall_reason(dir_index)
+            if reason is None:
+                break
+            self.state.record_stall(reason)
+            yield self.ack_signal
+        self.stall("release_table", self.sim.now - started)
+
+        issue = self.state.on_release_store(dir_index, barrier=barrier)
+        for pending_dir, req_meta in issue.notifications:
+            self._send_req_notify(pending_dir, req_meta)
+        if barrier:
+            size = self.sizes.control_bytes(self._release_bits)
+        else:
+            size = self.sizes.data_bytes(op.size, self._release_bits)
+        self.network.send(Message(
+            src=self.node,
+            dst=self.machine.directory_id(dir_index),
+            msg_type="wt_rel",
+            size_bytes=size,
+            control=barrier,
+            payload={
+                "addr": op.addr,
+                "value": op.value,
+                "size": op.size,
+                "proc": self.core.core_id,
+                "program_index": program_index,
+                "ordering": op.ordering,
+                "meta": issue.release,
+                "barrier": barrier,
+            },
+        ))
+        # Fire-and-forget: the core proceeds without waiting for the ack.
+
+    def _barrier_release(self, dir_index: int, program_index: int) -> Generator:
+        """An 'empty' directory-ordered Release store (§4.4), then wait for
+        its acknowledgment so the stall condition is guaranteed to clear."""
+        epoch = self.state.epoch.value
+        fake = MemOp.release_store(addr=0, value=None, size=0)
+        fake.addr = 0
+        yield from self._release_store(fake, program_index, dir_index, barrier=True)
+        started = self.sim.now
+        while (dir_index, epoch) in self.state.unacked:
+            yield self.ack_signal
+        self.stall("barrier_ack", self.sim.now - started)
+
+    def _send_req_notify(self, pending_dir: int, meta: ReqNotifyMeta) -> None:
+        self.network.send(Message(
+            src=self.node,
+            dst=self.machine.directory_id(pending_dir),
+            msg_type="req_notify",
+            size_bytes=self.sizes.control_bytes(self._req_notify_bits),
+            control=True,
+            payload={"meta": meta},
+        ))
+
+    # ------------------------------------------------------------------
+    # Atomics: RMWs are directory-ordered like stores of the same class.
+    # ------------------------------------------------------------------
+    def atomic(self, op: MemOp, program_index: int) -> Generator:
+        yield from self.wc_flush()   # RMWs never bypass buffered stores
+        directory = self.home(op.addr)
+        ordered = op.ordering.is_release or self.machine.consistency in ("tso", "sc")
+        if not ordered:
+            # Relaxed/Acquire RMW: counts toward the epoch's store counter
+            # and commits immediately at the directory.
+            while True:
+                reason = self.state.relaxed_stall_reason(directory.index)
+                if reason is None:
+                    break
+                self.state.record_stall(reason)
+                yield from self._barrier_release(directory.index, program_index)
+            meta = self.state.on_relaxed_store(directory.index)
+            op.meta["cord_meta"] = meta
+            old = yield from self._atomic_round_trip(op, program_index)
+            return old
+        # Release-ordered RMW: full release machinery; the directory
+        # performs the RMW when the release commits and returns the old
+        # value with the acknowledgment.
+        started = self.sim.now
+        while True:
+            reason = self.state.release_stall_reason(directory.index)
+            if reason is None:
+                break
+            self.state.record_stall(reason)
+            yield self.ack_signal
+        self.stall("release_table", self.sim.now - started)
+        issue = self.state.on_release_store(directory.index)
+        for pending_dir, req_meta in issue.notifications:
+            self._send_req_notify(pending_dir, req_meta)
+        req_id = self._next_req
+        self._next_req += 1
+        signal = self.sim.signal(f"rel_atomic{req_id}@core{self.core.core_id}")
+        self._load_waiters[req_id] = signal
+        self.network.send(Message(
+            src=self.node,
+            dst=self.machine.directory_id(directory.index),
+            msg_type="wt_rel",
+            size_bytes=self.sizes.data_bytes(op.size, self._release_bits),
+            control=False,
+            payload={
+                "addr": op.addr,
+                "value": op.value,
+                "size": op.size,
+                "proc": self.core.core_id,
+                "program_index": program_index,
+                "ordering": op.ordering,
+                "meta": issue.release,
+                "atomic": op.meta["atomic"],
+                "compare": op.meta.get("compare"),
+                "req_id": req_id,
+            },
+        ))
+        old = yield signal
+        return old
+
+    # ------------------------------------------------------------------
+    # Fences (§4.4): Release/SC barriers broadcast empty Release stores to
+    # all pending directories and wait for their acknowledgments.
+    # ------------------------------------------------------------------
+    def fence(self, op: MemOp, program_index: int) -> Generator:
+        if not (op.ordering.is_release):
+            return  # Acquire barriers need nothing extra (§4.4).
+        yield from self.drain_pending(program_index)
+
+    def drain_pending(self, program_index: int = -1) -> Generator:
+        yield from self.wc_flush()
+        pending = self.state.pending_directories()
+        issued: List[Tuple[int, int]] = []
+        for dir_index in pending:
+            epoch = self.state.epoch.value
+            fake = MemOp.release_store(addr=0, value=None, size=0)
+            yield from self._release_store(fake, program_index, dir_index, barrier=True)
+            issued.append((dir_index, epoch))
+        started = self.sim.now
+        while any(key in self.state.unacked for key in issued):
+            yield self.ack_signal
+        self.stall("fence_ack", self.sim.now - started)
+
+    def drain(self) -> Generator:
+        yield from self.drain_pending()
+
+    def sc_load_barrier(self) -> Generator:
+        """SC store->load ordering: under SC every store is Release-ordered
+        and acknowledged, so a load only needs to wait for the epoch table
+        to drain — no extra messages."""
+        started = self.sim.now
+        while self.state.total_unacked() > 0:
+            yield self.ack_signal
+        self.stall("sc_load_order", self.sim.now - started)
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if message.msg_type == "rel_ack":
+            meta = message.payload["meta"]
+            self.state.on_release_ack(message.src.index, meta.epoch)
+            self.ack_signal.trigger()
+        else:
+            super().on_message(message)
+
+
+class CordDirectory(DirectoryNode):
+    """Directory side of CORD (Algorithm 2) with retry queues.
+
+    Release stores and requests-for-notification that are not yet ready are
+    buffered ("recycled" in the paper) and re-evaluated after every state
+    change; the peak buffer size feeds Fig. 12's network-buffer storage.
+    """
+
+    def __init__(self, machine, node_id) -> None:
+        super().__init__(machine, node_id)
+        self.state = CordDirectoryState(
+            node_id.index, machine.config.total_cores, machine.config.cord
+        )
+        self._pending_releases: List[Message] = []
+        self._pending_reqs: List[Message] = []
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def on_wt_rlx(self, message: Message) -> None:
+        self.state.on_relaxed(message.payload["meta"])
+        self.commit_store(message)
+        self._progress()
+
+    def on_atomic_req(self, message: Message) -> None:
+        """Relaxed/Acquire RMW: commits immediately like a Relaxed store."""
+        meta = message.payload.get("cord_meta")
+        if meta is not None:
+            self.state.on_relaxed(meta)
+        old = self.perform_atomic(message)
+        self.respond_atomic(message, old)
+        self._progress()
+
+    def on_wt_rel(self, message: Message) -> None:
+        self._pending_releases.append(message)
+        self._progress()
+
+    def on_req_notify(self, message: Message) -> None:
+        self._pending_reqs.append(message)
+        self._progress()
+
+    def on_notify(self, message: Message) -> None:
+        self.state.on_notify(message.payload["meta"])
+        self._progress()
+
+    # ------------------------------------------------------------------
+    # Retry loop (Alg. 2 "Retry later")
+    # ------------------------------------------------------------------
+    def _progress(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for message in list(self._pending_reqs):
+                meta: ReqNotifyMeta = message.payload["meta"]
+                if self.state.req_notify_block_reason(meta) is None:
+                    notify = self.state.consume_req_notify(meta)
+                    self._pending_reqs.remove(message)
+                    self._send_notify(meta.noti_dst, notify)
+                    changed = True
+            for message in list(self._pending_releases):
+                meta: ReleaseMeta = message.payload["meta"]
+                if self.state.release_block_reason(meta) is None:
+                    self._pending_releases.remove(message)
+                    if "atomic" in message.payload:
+                        # Release-ordered RMW: perform it at commit time and
+                        # return the old value to the waiting core.
+                        old = self.perform_atomic(message)
+                        self.respond_atomic(message, old)
+                    elif not message.payload.get("barrier", False):
+                        self.commit_store(message)
+                    else:
+                        self.llc.write_through_commits += 1
+                    self.state.commit_release(meta)
+                    self._send_release_ack(message.src, meta)
+                    changed = True
+        self.track_buffered(len(self._pending_releases) + len(self._pending_reqs))
+
+    def _send_notify(self, dst_dir: int, meta: NotifyMeta) -> None:
+        cord = self.machine.config.cord
+        self.network.send(Message(
+            src=self.node_id,
+            dst=self.machine.directory_id(dst_dir),
+            msg_type="notify",
+            size_bytes=self.sizes.control_bytes(cord.epoch_bits + 8),
+            control=True,
+            payload={"meta": meta},
+        ))
+
+    def _send_release_ack(self, core_node, meta: ReleaseMeta) -> None:
+        cord = self.machine.config.cord
+        self.network.send(Message(
+            src=self.node_id,
+            dst=core_node,
+            msg_type="rel_ack",
+            size_bytes=self.sizes.control_bytes(cord.epoch_bits),
+            control=True,
+            payload={"meta": meta},
+        ))

@@ -1,0 +1,56 @@
+"""Protocol registry: name -> (core-port class, directory class).
+
+Names accepted everywhere a protocol is selected (Machine, harness, CLI-ish
+helpers):
+
+* ``"so"``   — source-ordered write-through (baseline, §3.1)
+* ``"cord"`` — directory-ordered write-through (the paper, §4)
+* ``"cord-nonotify"`` — ablation: CORD without inter-directory
+  notifications (cross-directory ordering done at the source)
+* ``"mp"``   — message passing / posted writes (§3.2)
+* ``"wb"``   — source-ordered write-back MESI
+* ``"seq<k>"`` — monolithic k-bit sequence numbers (e.g. ``seq8``, ``seq40``)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple, Type
+
+from repro.protocols.ablation import CordNoNotifyCorePort, CordNoNotifyDirectory
+from repro.protocols.cord import CordCorePort, CordDirectory
+from repro.protocols.mp import MpCorePort, MpDirectory
+from repro.protocols.seq import make_seq_protocol
+from repro.protocols.so import SoCorePort, SoDirectory
+from repro.protocols.wb import WbCorePort, WbDirectory
+
+__all__ = ["protocol_classes", "available_protocols"]
+
+_STATIC = {
+    "so": (SoCorePort, SoDirectory),
+    "cord": (CordCorePort, CordDirectory),
+    "cord-nonotify": (CordNoNotifyCorePort, CordNoNotifyDirectory),
+    "mp": (MpCorePort, MpDirectory),
+    "wb": (WbCorePort, WbDirectory),
+}
+
+_SEQ_PATTERN = re.compile(r"^seq(\d+)$")
+
+
+def protocol_classes(name: str) -> Tuple[Type, Type]:
+    """Resolve a protocol name to its (core port, directory) classes."""
+    if name in _STATIC:
+        return _STATIC[name]
+    match = _SEQ_PATTERN.match(name)
+    if match:
+        bits = int(match.group(1))
+        if not 1 <= bits <= 64:
+            raise ValueError(f"seq bit-width out of range: {bits}")
+        return make_seq_protocol(bits)
+    raise ValueError(
+        f"unknown protocol {name!r}; choose from {available_protocols()}"
+    )
+
+
+def available_protocols() -> Tuple[str, ...]:
+    return tuple(_STATIC) + ("seq<k>",)

@@ -1,0 +1,219 @@
+"""The ``Machine``: a fully wired multi-PU system ready to run programs.
+
+This is the library's main entry point:
+
+>>> from repro import Machine, SystemConfig, ProgramBuilder
+>>> machine = Machine(SystemConfig().scaled(hosts=2), protocol="cord")
+>>> producer = ProgramBuilder().store(0x100).release_store(0x140).build()
+>>> result = machine.run({0: producer})
+>>> result.time_ns > 0
+True
+
+A machine owns the simulator, the network, one directory actor per LLC
+slice, and (once :meth:`Machine.run` is called) one core actor per program.
+:class:`RunResult` exposes the measurements every experiment in the paper
+reports: execution time, inter-host traffic (split data/control), stall
+breakdowns, protocol-table storage, and the value-level history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.consistency.history import ExecutionHistory
+from repro.cpu.core import Core
+from repro.cpu.program import Program
+from repro.interconnect.message import NodeId
+from repro.interconnect.network import Network
+from repro.memory.address import AddressMap
+from repro.memory.llc import LlcSlice
+from repro.protocols.factory import protocol_classes
+from repro.sim import Simulator, StatRegistry
+
+__all__ = ["Machine", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Measurements from one :meth:`Machine.run`."""
+
+    time_ns: float
+    stats: StatRegistry
+    history: ExecutionHistory
+    machine: "Machine"
+    core_finish_ns: Dict[int, float] = field(default_factory=dict)
+    #: Simulation time once all in-flight traffic has drained.  Use this for
+    #: producer-only microbenchmarks where fire-and-forget protocols (MP)
+    #: would otherwise be credited with finishing before their data arrives.
+    quiesce_ns: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Traffic (the paper's "traffic" = inter-host bytes)
+    # ------------------------------------------------------------------
+    @property
+    def inter_host_bytes(self) -> float:
+        return self.stats.value("traffic.inter_host.total")
+
+    @property
+    def inter_host_control_bytes(self) -> float:
+        return self.stats.value("traffic.inter_host.ctrl")
+
+    @property
+    def inter_host_data_bytes(self) -> float:
+        return self.stats.value("traffic.inter_host.data")
+
+    def message_count(self, msg_type: str, scope: str = "inter_host") -> float:
+        return self.stats.value(f"msgs.{scope}.{msg_type}")
+
+    # ------------------------------------------------------------------
+    # Stalls
+    # ------------------------------------------------------------------
+    def stall_ns(self, cause: Optional[str] = None) -> float:
+        if cause is None:
+            total = 0.0
+            for name, value in self.stats.as_dict().items():
+                if name.startswith("stall."):
+                    total += value
+            return total
+        return self.stats.value(f"stall.{cause}")
+
+    def core_stall_ns(self, core_id: int, cause: str) -> float:
+        return self.stats.value(f"core{core_id}.stall.{cause}")
+
+    # ------------------------------------------------------------------
+    # Storage (Fig. 11 / Fig. 12)
+    # ------------------------------------------------------------------
+    def proc_storage_bytes(self, core_id: int) -> Dict[str, int]:
+        port = self.machine.cores[core_id].port
+        tables: Dict[str, int] = {}
+        state = getattr(port, "state", None)
+        if state is not None and hasattr(state, "store_counters"):
+            tables["store_counters"] = state.store_counters.peak_bytes
+            tables["unacked_epochs"] = state.unacked.peak_bytes
+        return tables
+
+    def dir_storage_bytes(self, dir_index: int) -> Dict[str, int]:
+        node = self.machine.directories[dir_index]
+        tables: Dict[str, int] = {}
+        state = getattr(node, "state", None)
+        if state is not None and hasattr(state, "peak_table_bytes"):
+            tables.update(state.peak_table_bytes())
+        # Buffered ("recycled") messages awaiting ordering: charge one
+        # release-sized control entry each (Fig. 12's network buffers).
+        buffer_entry = self.machine.config.message_sizes.control_bytes(
+            self.machine.config.cord.counter_bits
+            + 2 * self.machine.config.cord.epoch_bits
+        )
+        tables["network_buffer"] = node.peak_buffered * buffer_entry
+        return tables
+
+
+class Machine:
+    """A simulated multi-PU system running one protocol.
+
+    Parameters
+    ----------
+    config:
+        The system geometry and interconnect (:class:`SystemConfig`).
+    protocol:
+        One of the registered protocol names (see
+        :func:`repro.protocols.factory.available_protocols`).
+    consistency:
+        ``"rc"`` (release consistency, default), ``"tso"`` (§6 mode), or
+        ``"sc"`` (sequential consistency: TSO's store-store ordering plus
+        store->load ordering — loads wait for the core's outstanding
+        stores to commit).  MP cannot enforce SC (as the paper notes it
+        cannot even enforce TSO); it runs unchanged as an idealized bound.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocol: str = "cord",
+        consistency: str = "rc",
+        latency_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if consistency not in ("rc", "tso", "sc"):
+            raise ValueError(f"unknown consistency model {consistency!r}")
+        self.config = config
+        self.protocol = protocol
+        self.consistency = consistency
+        self._port_cls, self._dir_cls = protocol_classes(protocol)
+
+        self.sim = Simulator()
+        self.stats = StatRegistry()
+        from repro.sim import DeterministicRng
+        self.network = Network(
+            self.sim, config, self.stats,
+            latency_jitter=latency_jitter,
+            rng=DeterministicRng(seed).child("network"),
+        )
+        self.address_map = AddressMap(config)
+        self.history = ExecutionHistory()
+
+        self.directories: List = []
+        for index in range(config.total_directories):
+            node_id = NodeId.directory(index, config.host_of_directory(index))
+            self.directories.append(self._dir_cls(self, node_id))
+        self.cores: Dict[int, Core] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring helpers used by protocol actors
+    # ------------------------------------------------------------------
+    def new_llc_slice(self) -> LlcSlice:
+        return LlcSlice(self.config.llc_slice, self.config.memory)
+
+    def directory_id(self, index: int) -> NodeId:
+        return self.directories[index].node_id
+
+    def core_id(self, index: int) -> NodeId:
+        return NodeId.core(index, self.config.host_of_core(index))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def add_core(self, core_id: int, program: Program) -> Core:
+        if core_id in self.cores:
+            raise ValueError(f"core {core_id} already has a program")
+        if core_id >= self.config.total_cores:
+            raise ValueError(
+                f"core {core_id} beyond system size {self.config.total_cores}"
+            )
+        core = Core(self, core_id, program)
+        core.port = self._port_cls(core)
+        self.cores[core_id] = core
+        return core
+
+    def run(
+        self,
+        programs: Dict[int, Program],
+        max_events: Optional[int] = 20_000_000,
+    ) -> RunResult:
+        """Run ``programs`` (core id -> program) to completion."""
+        for core_id, program in sorted(programs.items()):
+            self.add_core(core_id, program)
+        processes = [
+            self.sim.process(core.run(), name=f"core{core_id}")
+            for core_id, core in sorted(self.cores.items())
+        ]
+        self.sim.run_until_processes_finish(processes, max_events=max_events)
+        # Let in-flight traffic (posted stores, acks) land so traffic and
+        # storage accounting is complete; time is already captured.
+        time_ns = max(
+            (core.finish_time_ns or 0.0) for core in self.cores.values()
+        )
+        quiesce_ns = self.sim.run(max_events=max_events)
+        return RunResult(
+            time_ns=time_ns,
+            stats=self.stats,
+            history=self.history,
+            machine=self,
+            core_finish_ns={
+                core_id: core.finish_time_ns or 0.0
+                for core_id, core in self.cores.items()
+            },
+            quiesce_ns=max(quiesce_ns, time_ns),
+        )

@@ -1,0 +1,68 @@
+"""Message passing (MP): PCIe-like posted writes (§3.2).
+
+Stores are "posted" — fire-and-forget, ordered only at the destination and
+only per source-destination pair (the interconnect's FIFO delivery).  No
+acknowledgments are ever sent, making MP the performance/traffic upper bound
+the paper compares against.
+
+MP does **not** enforce release consistency across more than two endpoints:
+the ISA2 litmus variant of Fig. 3 shows an outcome MP allows that RC forbids
+(demonstrated by the model checker in :mod:`repro.litmus`).  Under TSO mode
+the paper idealizes MP as totally ordered at no extra cost; timing-wise that
+is identical to this implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.consistency.ops import MemOp
+from repro.interconnect.message import Message
+from repro.protocols.base import CorePort, DirectoryNode
+
+__all__ = ["MpCorePort", "MpDirectory"]
+
+
+class MpCorePort(CorePort):
+    """Processor side of message passing: every store is posted."""
+
+    def store(self, op: MemOp, program_index: int) -> Generator:
+        if self.wc.enabled and not op.ordering.is_release:
+            yield from self.wc_store(op, program_index)
+            return
+        if op.ordering.is_release:
+            yield from self.wc_flush()
+        self._post(op.addr, op.size, op.value, program_index, op.ordering)
+
+    def _post(self, addr, size, value, program_index, ordering,
+              values=None) -> None:
+        self.network.send(Message(
+            src=self.node,
+            dst=self.home(addr),
+            msg_type="wt_store",
+            size_bytes=self.sizes.data_bytes(size),
+            control=False,
+            payload={
+                "addr": addr,
+                "value": value,
+                "size": size,
+                "values": values,
+                "proc": self.core.core_id,
+                "program_index": program_index,
+                "ordering": ordering,
+            },
+        ))
+
+    def _emit_relaxed(self, write, program_index: int) -> Generator:
+        from repro.consistency.ops import Ordering
+        self._post(write.addr, write.size, write.value, program_index,
+                   Ordering.RELAXED, values=write.values)
+        return
+        yield  # pragma: no cover - posted writes never block
+
+
+class MpDirectory(DirectoryNode):
+    """Destination commits posted writes in arrival order (per-pair FIFO)."""
+
+    def on_wt_store(self, message: Message) -> None:
+        self.commit_store(message)

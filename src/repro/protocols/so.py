@@ -1,0 +1,111 @@
+"""Source ordering (SO): the baseline write-through protocol (§3.1).
+
+Every write-through store is acknowledged by its home directory.  Release
+consistency is enforced *at the source*: a Release store may not issue until
+all prior write-through stores have been acknowledged (AMBA CHI's Ordered
+Write Observation / CXL.io UIO completions).  Under TSO (§6), *every* store
+waits for all prior acknowledgments.
+
+The acknowledgments are exactly the overhead Fig. 2 quantifies and CORD
+eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.consistency.ops import MemOp, Ordering
+from repro.interconnect.message import Message
+from repro.protocols.base import CorePort, DirectoryNode
+
+__all__ = ["SoCorePort", "SoDirectory"]
+
+
+class SoCorePort(CorePort):
+    """Processor side of source ordering."""
+
+    def __init__(self, core) -> None:
+        super().__init__(core)
+        self.outstanding_acks = 0
+        self.ack_signal = self.sim.signal(f"so_ack@core{core.core_id}")
+
+    def store(self, op: MemOp, program_index: int) -> Generator:
+        ordered = op.ordering.is_release or self.machine.consistency in ("tso", "sc")
+        if not ordered and self.wc.enabled:
+            yield from self.wc_store(op, program_index)
+            return
+        if ordered:
+            yield from self.wc_flush()
+            yield from self._wait_for_acks("wait_wt_ack")
+        self._send_store(op.addr, op.size, op.value, program_index,
+                         op.ordering)
+
+    def _send_store(self, addr, size, value, program_index, ordering,
+                    values=None) -> None:
+        self.outstanding_acks += 1
+        self.network.send(Message(
+            src=self.node,
+            dst=self.home(addr),
+            msg_type="wt_store",
+            size_bytes=self.sizes.data_bytes(size),
+            control=False,
+            payload={
+                "addr": addr,
+                "value": value,
+                "size": size,
+                "values": values,
+                "proc": self.core.core_id,
+                "program_index": program_index,
+                "ordering": ordering,
+            },
+        ))
+
+    def _emit_relaxed(self, write, program_index: int) -> Generator:
+        self._send_store(write.addr, write.size, write.value, program_index,
+                         Ordering.RELAXED, values=write.values)
+        return
+        yield  # pragma: no cover - emission never blocks under SO
+
+    def atomic(self, op: MemOp, program_index: int) -> Generator:
+        """Source ordering for atomics: a Release-ordered RMW may not issue
+        before all prior write-through stores are acknowledged.  The RMW
+        itself is synchronous, so nothing stays outstanding after it."""
+        yield from self.wc_flush()
+        ordered = op.ordering.is_release or self.machine.consistency in ("tso", "sc")
+        if ordered:
+            yield from self._wait_for_acks("wait_wt_ack")
+        old = yield from self._atomic_round_trip(op, program_index)
+        return old
+
+    def _wait_for_acks(self, cause: str) -> Generator:
+        started = self.sim.now
+        while self.outstanding_acks > 0:
+            yield self.ack_signal
+        self.stall(cause, self.sim.now - started)
+
+    def drain(self) -> Generator:
+        yield from self.wc_flush()
+        yield from self._wait_for_acks("wait_drain")
+
+    def on_message(self, message: Message) -> None:
+        if message.msg_type == "wt_ack":
+            self.outstanding_acks -= 1
+            if self.outstanding_acks == 0:
+                self.ack_signal.trigger()
+        else:
+            super().on_message(message)
+
+
+class SoDirectory(DirectoryNode):
+    """Directory side of source ordering: commit, then acknowledge."""
+
+    def on_wt_store(self, message: Message) -> None:
+        self.commit_store(message)
+        self.network.send(Message(
+            src=self.node_id,
+            dst=message.src,
+            msg_type="wt_ack",
+            size_bytes=self.sizes.control_bytes(),
+            control=True,
+            payload={"addr": message.payload["addr"]},
+        ))

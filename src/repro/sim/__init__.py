@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate (kernel, statistics, RNG)."""
+
+from repro.sim.kernel import Future, Process, Signal, SimulationError, Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import Accumulator, Counter, MaxTracker, StatRegistry
+
+__all__ = [
+    "Simulator",
+    "Signal",
+    "Future",
+    "Process",
+    "SimulationError",
+    "DeterministicRng",
+    "StatRegistry",
+    "Counter",
+    "MaxTracker",
+    "Accumulator",
+]

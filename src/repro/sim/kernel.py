@@ -1,0 +1,262 @@
+"""Discrete-event simulation kernel.
+
+This module provides the deterministic event-driven core on which the whole
+simulator is built.  It intentionally mirrors the small subset of SimPy-style
+functionality the coherence models need:
+
+* :class:`Simulator` — an event queue with a monotonically advancing clock.
+* generator-based *processes* that ``yield`` either a delay (a number) or a
+  :class:`Signal` to suspend themselves.
+* :class:`Signal` — a broadcast wake-up primitive used for "retry later"
+  protocol semantics (e.g. a stalled Release store waiting for table space).
+
+Determinism is a hard requirement (DESIGN.md §4): events scheduled for the
+same timestamp fire in scheduling order (FIFO), so identical configurations
+always produce identical executions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = ["Simulator", "Signal", "Future", "Process", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an invalid state (e.g. deadlock)."""
+
+
+class Signal:
+    """A broadcast event that simulation processes can wait on.
+
+    A process waits by ``yield``-ing the signal; :meth:`trigger` wakes every
+    waiter at the current simulation time.  Signals are level-free: a trigger
+    with no waiters is a no-op, and waiters registered after a trigger wait
+    for the *next* trigger.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.trigger_count = 0
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def trigger(self, value: Any = None) -> None:
+        """Wake all current waiters, delivering ``value`` to each."""
+        self.trigger_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(0.0, process._resume, value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Future:
+    """A one-shot result that processes can wait on without lost wake-ups.
+
+    Unlike a bare :class:`Signal`, waiting on an already-resolved future
+    returns immediately — use futures whenever the trigger may fire before
+    the waiter reaches its ``yield`` (e.g. fan-out request/response).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.done = False
+        self.value: Any = None
+        self._signal = Signal(sim, name=name)
+
+    def resolve(self, value: Any = None) -> None:
+        if self.done:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self.done = True
+        self.value = value
+        self._signal.trigger(value)
+
+    def wait(self) -> Generator[Any, Any, Any]:
+        """Generator: suspends until resolved, returns the value."""
+        if not self.done:
+            yield self._signal
+        return self.value
+
+
+class Process:
+    """A generator-based simulation process.
+
+    The wrapped generator may yield:
+
+    * a non-negative number — sleep for that many time units;
+    * a :class:`Signal` — suspend until the signal triggers;
+    * ``None`` — reschedule immediately (yield to other same-time events).
+
+    When the generator returns, :attr:`finished` becomes true and any
+    ``on_finish`` callbacks run.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._finish_callbacks: List[Callable[["Process"], None]] = []
+
+    def on_finish(self, callback: Callable[["Process"], None]) -> None:
+        if self.finished:
+            callback(self)
+        else:
+            self._finish_callbacks.append(callback)
+
+    def _resume(self, value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            for callback in self._finish_callbacks:
+                callback(self)
+            return
+        if yielded is None:
+            self.sim.schedule(0.0, self._resume, None)
+        elif isinstance(yielded, Signal):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.sim.schedule(float(yielded), self._resume, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "active"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Time units are abstract; the coherence models use nanoseconds throughout
+    (``repro.config`` converts cycle counts to ns).
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._sequence = 0
+        self.processed_events = 0
+        self._processes: List[Process] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback, args))
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute time ``when``."""
+        self.schedule(when - self.now, callback, *args)
+
+    def process(
+        self, generator: Generator[Any, Any, Any], name: str = ""
+    ) -> Process:
+        """Register ``generator`` as a process and start it at the current time."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        self.schedule(0.0, proc._resume, None)
+        return proc
+
+    def signal(self, name: str = "") -> Signal:
+        return Signal(self, name=name)
+
+    def future(self, name: str = "") -> Future:
+        return Future(self, name=name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback, args = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = when
+        self.processed_events += 1
+        callback(*args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time at exit.
+        """
+        events = 0
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            if max_events is not None and events >= max_events:
+                break
+            self.step()
+            events += 1
+        return self.now
+
+    def run_until_processes_finish(
+        self,
+        processes: Iterable[Process],
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until every process in ``processes`` has finished.
+
+        Raises :class:`SimulationError` on deadlock (queue empty with
+        unfinished processes) — this is how the timed litmus runner detects
+        protocol deadlocks.
+        """
+        watched = list(processes)
+        events = 0
+        while not all(p.finished for p in watched):
+            if max_events is not None and events >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} with unfinished processes"
+                )
+            if not self.step():
+                stuck = [p.name for p in watched if not p.finished]
+                raise SimulationError(
+                    f"deadlock: event queue empty, unfinished processes: {stuck}"
+                )
+            events += 1
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

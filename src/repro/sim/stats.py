@@ -1,0 +1,132 @@
+"""Statistics collection for simulations.
+
+Every measured quantity in the reproduction (execution time, traffic bytes,
+stall time, table occupancy, message counts) flows through a
+:class:`StatRegistry` so experiment harnesses can introspect runs uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "MaxTracker", "Accumulator", "StatRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter (events, bytes, stalls...)."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class MaxTracker:
+    """Tracks the maximum of a time-varying quantity (e.g. table occupancy)."""
+
+    name: str
+    current: float = 0.0
+    maximum: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.current = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.current + delta)
+
+
+@dataclass
+class Accumulator:
+    """Accumulates samples; reports count/sum/mean/min/max."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    _samples: List[float] = field(default_factory=list)
+    keep_samples: bool = False
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if self.keep_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+
+class StatRegistry:
+    """Named statistics, grouped by dotted paths like ``traffic.inter_host.ctrl``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._max_trackers: Dict[str, MaxTracker] = {}
+        self._accumulators: Dict[str, Accumulator] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def max_tracker(self, name: str) -> MaxTracker:
+        if name not in self._max_trackers:
+            self._max_trackers[name] = MaxTracker(name)
+        return self._max_trackers[name]
+
+    def accumulator(self, name: str, keep_samples: bool = False) -> Accumulator:
+        if name not in self._accumulators:
+            self._accumulators[name] = Accumulator(name, keep_samples=keep_samples)
+        return self._accumulators[name]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def value(self, name: str) -> float:
+        """Counter value (0.0 if the counter was never touched)."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0.0
+
+    def max_value(self, name: str) -> float:
+        tracker = self._max_trackers.get(name)
+        return tracker.maximum if tracker else 0.0
+
+    def sum_matching(self, prefix: str) -> float:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(c.value for n, c in self._counters.items() if n.startswith(prefix))
+
+    def as_dict(self) -> Dict[str, float]:
+        result: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            result[name] = counter.value
+        for name, tracker in self._max_trackers.items():
+            result[f"{name}.max"] = tracker.maximum
+        for name, acc in self._accumulators.items():
+            result[f"{name}.count"] = acc.count
+            result[f"{name}.mean"] = acc.mean
+        return result
+
+    def grouped(self) -> Dict[str, Dict[str, float]]:
+        """Counters grouped by their first dotted component."""
+        groups: Dict[str, Dict[str, float]] = defaultdict(dict)
+        for name, value in self.as_dict().items():
+            head, _, tail = name.partition(".")
+            groups[head][tail or head] = value
+        return dict(groups)

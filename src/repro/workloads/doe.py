@@ -1,0 +1,120 @@
+"""DOE mini-apps expressed through the MPI port (§5.1, Table 2).
+
+The generic Table-2 generators (`repro.workloads.table2`) synthesize the
+apps from their communication *signatures*.  This module builds the four
+DOE scientific mini-apps the way the paper actually ran them: as MPI
+programs, ported to release-consistent shared memory through
+:class:`~repro.workloads.mpi.MpiWorld`.  Each function encodes the app's
+published communication skeleton:
+
+* **MOCFE** (method-of-characteristics neutron transport): per sweep, each
+  rank exchanges small angular-flux blocks with several neighbours, then a
+  global reduction over the iteration residual — fine messages, high
+  fan-out.
+* **CMC-2D** (Monte-Carlo communication kernel, 2-D decomposition): each
+  step sends particle buffers to the four mesh neighbours, followed by a
+  barrier — medium-to-large messages, fan-out 4 (clipped to ranks-1).
+* **BigFFT** (distributed 3-D FFT): alternating large all-to-all transposes
+  with compute between them — very coarse messages, structured fan-out.
+* **CR** (chimaera-style radiation transport): ring sweeps — each rank
+  receives from its predecessor, computes, sends to its successor — low
+  fan-out, pipelined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.config import SystemConfig
+from repro.cpu.program import Program
+from repro.workloads.mpi import MpiWorld
+
+__all__ = ["mocfe", "cmc2d", "bigfft", "cr", "DOE_MPI_APPS",
+           "build_doe_programs"]
+
+
+def _neighbours(rank: int, ranks: int, count: int):
+    return [(rank + k) % ranks for k in range(1, count + 1)]
+
+
+def mocfe(config: SystemConfig, sweeps: int = 6,
+          block_bytes: int = 128) -> Dict[int, Program]:
+    """Neutron-transport sweeps: fine blocks to 3 neighbours + reduction."""
+    world = MpiWorld(config, granularity=32)
+    ranks = world.ranks
+    fanout = min(3, ranks - 1)
+    for _ in range(sweeps):
+        for rank in range(ranks):
+            world.compute(rank, 800.0)
+        for rank in range(ranks):
+            for neighbour in _neighbours(rank, ranks, fanout):
+                world.send(rank, neighbour, block_bytes)
+        for rank in range(ranks):
+            for k in range(1, fanout + 1):
+                world.recv(rank, (rank - k) % ranks)
+        # Residual all-reduce closes the sweep.
+        world.allreduce(8)
+    return world.build()
+
+
+def cmc2d(config: SystemConfig, steps: int = 5,
+          particle_bytes: int = 4 * 1024) -> Dict[int, Program]:
+    """Monte-Carlo particle exchange with mesh neighbours + barrier."""
+    world = MpiWorld(config)
+    ranks = world.ranks
+    fanout = min(4, ranks - 1)
+    for _ in range(steps):
+        for rank in range(ranks):
+            world.compute(rank, 400.0)
+        for rank in range(ranks):
+            for neighbour in _neighbours(rank, ranks, fanout):
+                world.send(rank, neighbour, particle_bytes)
+        for rank in range(ranks):
+            for k in range(1, fanout + 1):
+                world.recv(rank, (rank - k) % ranks)
+        world.barrier()
+    return world.build()
+
+
+def bigfft(config: SystemConfig, transposes: int = 3,
+           slab_bytes: int = 10 * 1024) -> Dict[int, Program]:
+    """Distributed FFT: all-to-all transposes with compute between."""
+    world = MpiWorld(config, granularity=32)
+    ranks = world.ranks
+    for _ in range(transposes):
+        for rank in range(ranks):
+            world.compute(rank, 1200.0)
+        world.alltoall(max(64, slab_bytes // max(1, ranks - 1)))
+    return world.build()
+
+
+def cr(config: SystemConfig, sweeps: int = 8,
+       wavefront_bytes: int = 1024) -> Dict[int, Program]:
+    """Radiation-transport ring sweep: recv-from-left, compute,
+    send-to-right, pipelined around the ring."""
+    world = MpiWorld(config)
+    ranks = world.ranks
+    for sweep in range(sweeps):
+        for rank in range(ranks):
+            world.compute(rank, 250.0)
+            world.send(rank, (rank + 1) % ranks, wavefront_bytes)
+        for rank in range(ranks):
+            world.recv(rank, (rank - 1) % ranks)
+    return world.build()
+
+
+DOE_MPI_APPS: Dict[str, Callable[[SystemConfig], Dict[int, Program]]] = {
+    "MOCFE": mocfe,
+    "CMC-2D": cmc2d,
+    "BigFFT": bigfft,
+    "CR": cr,
+}
+
+
+def build_doe_programs(name: str, config: SystemConfig) -> Dict[int, Program]:
+    """Build a DOE mini-app by name through the MPI port."""
+    if name not in DOE_MPI_APPS:
+        raise KeyError(
+            f"unknown DOE app {name!r}; known: {sorted(DOE_MPI_APPS)}"
+        )
+    return DOE_MPI_APPS[name](config)

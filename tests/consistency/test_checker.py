@@ -1,0 +1,158 @@
+"""Tests for the axiomatic RC/TSO history checkers."""
+
+from repro.consistency import (
+    EventKind,
+    ExecutionHistory,
+    Ordering,
+    check_rc,
+    check_tso,
+)
+
+X, Y = 0x100, 0x200
+
+
+def _history(events):
+    """events: (core, idx, kind, ordering, addr, value)."""
+    history = ExecutionHistory()
+    for core, idx, kind, ordering, addr, value in events:
+        history.record(core, idx, kind, ordering, addr=addr, value=value)
+    return history
+
+
+class TestReleaseConsistency:
+    def test_empty_history_valid(self):
+        assert check_rc(ExecutionHistory()) == []
+
+    def test_mp_pattern_with_sync_stale_read_flagged(self):
+        # P0: X=1 (rlx); Y=1 (rel).  P1: acq-load Y=1; load X=0  -> violation.
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.STORE, Ordering.RELEASE, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.ACQUIRE, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 0),
+        ])
+        violations = check_rc(history)
+        assert any(v.kind == "stale-initial-read" for v in violations)
+
+    def test_mp_pattern_reading_fresh_value_valid(self):
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.STORE, Ordering.RELEASE, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.ACQUIRE, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 1),
+        ])
+        assert check_rc(history) == []
+
+    def test_mp_without_release_is_allowed(self):
+        # Both stores relaxed: reading stale X is fine under RC.
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.STORE, Ordering.RELAXED, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.ACQUIRE, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 0),
+        ])
+        assert check_rc(history) == []
+
+    def test_mp_without_acquire_is_allowed(self):
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.STORE, Ordering.RELEASE, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.RELAXED, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 0),
+        ])
+        assert check_rc(history) == []
+
+    def test_cumulativity_isa2(self):
+        # Transitive sync through an intermediate thread (Fig. 3): stale X at
+        # the end of the chain violates RC.
+        Z = 0x300
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.STORE, Ordering.RELEASE, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.ACQUIRE, Y, 1),
+            (1, 1, EventKind.STORE, Ordering.RELEASE, Z, 1),
+            (2, 0, EventKind.LOAD, Ordering.ACQUIRE, Z, 1),
+            (2, 1, EventKind.LOAD, Ordering.RELAXED, X, 0),
+        ])
+        violations = check_rc(history)
+        assert any(v.kind == "stale-initial-read" for v in violations)
+
+    def test_overwritten_value_stale_read(self):
+        # X=1 then X=2 (same location: coherence order), release-sync, then a
+        # read of 1 is stale.
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.STORE, Ordering.RELAXED, X, 2),
+            (0, 2, EventKind.STORE, Ordering.RELEASE, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.ACQUIRE, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 1),
+        ])
+        violations = check_rc(history)
+        assert any(v.kind == "stale-read" for v in violations)
+
+    def test_thin_air_read_flagged(self):
+        history = _history([
+            (0, 0, EventKind.LOAD, Ordering.RELAXED, X, 77),
+        ])
+        violations = check_rc(history)
+        assert any(v.kind == "thin-air-read" for v in violations)
+
+    def test_fence_orders_prior_stores(self):
+        # Release fence between relaxed stores: consumer with acquire must
+        # not see stale X after observing Y.
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.FENCE, Ordering.RELEASE, None, None),
+            (0, 2, EventKind.STORE, Ordering.RELEASE, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.ACQUIRE, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 0),
+        ])
+        assert check_rc(history)  # violation found
+
+
+class TestTso:
+    def test_store_store_reorder_forbidden_under_tso(self):
+        # Under TSO (unlike RC) two relaxed stores stay ordered, and every
+        # rf edge synchronizes.
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.STORE, Ordering.RELAXED, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.RELAXED, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 0),
+        ])
+        assert check_rc(history) == []      # allowed under RC
+        assert check_tso(history) != []     # forbidden under TSO
+
+    def test_store_load_reorder_allowed_under_tso(self):
+        # SB: both threads read 0 — the one TSO relaxation.
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.LOAD, Ordering.RELAXED, Y, 0),
+            (1, 0, EventKind.STORE, Ordering.RELAXED, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 0),
+        ])
+        assert check_tso(history) == []
+
+    def test_tso_valid_ordered_history(self):
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELAXED, X, 1),
+            (0, 1, EventKind.STORE, Ordering.RELAXED, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.RELAXED, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 1),
+        ])
+        assert check_tso(history) == []
+
+
+class TestHappensBefore:
+    def test_release_sync_creates_cross_core_edge(self):
+        from repro.consistency import happens_before
+        history = _history([
+            (0, 0, EventKind.STORE, Ordering.RELEASE, Y, 1),
+            (1, 0, EventKind.LOAD, Ordering.ACQUIRE, Y, 1),
+            (1, 1, EventKind.LOAD, Ordering.RELAXED, X, 0),
+        ])
+        hb = happens_before(history, "rc")
+        events = list(history)
+        store_uid = events[0].uid
+        last_load_uid = events[2].uid
+        assert last_load_uid in hb[store_uid]

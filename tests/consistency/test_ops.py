@@ -1,0 +1,55 @@
+"""Tests for memory-op constructors and annotations."""
+
+from repro.consistency import MemOp, OpKind, Ordering, Policy
+
+
+class TestOrdering:
+    def test_release_flags(self):
+        assert Ordering.RELEASE.is_release
+        assert Ordering.ACQ_REL.is_release
+        assert not Ordering.RELAXED.is_release
+        assert not Ordering.ACQUIRE.is_release
+
+    def test_acquire_flags(self):
+        assert Ordering.ACQUIRE.is_acquire
+        assert Ordering.ACQ_REL.is_acquire
+        assert not Ordering.RELEASE.is_acquire
+
+
+class TestConstructors:
+    def test_store_defaults(self):
+        op = MemOp.store(0x100, value=5)
+        assert op.kind is OpKind.STORE
+        assert op.is_store and not op.is_load
+        assert op.ordering is Ordering.RELAXED
+        assert op.policy is Policy.WRITE_THROUGH
+        assert op.size == 8
+
+    def test_release_store(self):
+        op = MemOp.release_store(0x100)
+        assert op.ordering is Ordering.RELEASE
+
+    def test_load_carries_register(self):
+        op = MemOp.load(0x100, "r1", ordering=Ordering.ACQUIRE)
+        assert op.is_load
+        assert op.register == "r1"
+
+    def test_load_until(self):
+        op = MemOp.load_until(0x100, 3, register="r2")
+        assert op.kind is OpKind.LOAD_UNTIL
+        assert op.value == 3
+        assert op.ordering is Ordering.ACQUIRE
+
+    def test_fence_default_full_barrier(self):
+        assert MemOp.fence().ordering is Ordering.ACQ_REL
+
+    def test_compute(self):
+        op = MemOp.compute(123.0)
+        assert op.kind is OpKind.COMPUTE
+        assert op.duration_ns == 123.0
+        assert not op.is_store and not op.is_load
+
+    def test_str_forms(self):
+        assert "compute" in str(MemOp.compute(1.0))
+        assert "fence" in str(MemOp.fence())
+        assert "store.rel" in str(MemOp.release_store(0x10))

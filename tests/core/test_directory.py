@@ -1,0 +1,159 @@
+"""Tests for the CORD directory-side state machine (Algorithm 2)."""
+
+import pytest
+
+from repro.config import CordConfig
+from repro.core import (
+    CordDirectoryState,
+    CordProcessorState,
+    NotifyMeta,
+    ReleaseMeta,
+    RelaxedMeta,
+    ReqNotifyMeta,
+)
+
+
+def make_dir(procs=2, **overrides):
+    return CordDirectoryState(0, procs, CordConfig(**overrides))
+
+
+def rel(proc=0, epoch=0, counter=0, last_prev=None, noti=0):
+    return ReleaseMeta(proc=proc, epoch=epoch, counter=counter,
+                       last_prev_epoch=last_prev, noti_cnt=noti)
+
+
+class TestRelaxedCommit:
+    def test_relaxed_commits_immediately_and_counts(self):
+        directory = make_dir()
+        directory.on_relaxed(RelaxedMeta(proc=0, epoch=0))
+        directory.on_relaxed(RelaxedMeta(proc=0, epoch=0))
+        directory.on_relaxed(RelaxedMeta(proc=1, epoch=0))
+        assert directory.store_counters.get(0, 0) == 2
+        assert directory.store_counters.get(1, 0) == 1
+        assert directory.relaxed_committed == 3
+
+    def test_counters_tracked_per_epoch(self):
+        directory = make_dir()
+        directory.on_relaxed(RelaxedMeta(proc=0, epoch=0))
+        directory.on_relaxed(RelaxedMeta(proc=0, epoch=1))
+        assert directory.store_counters.get(0, 0) == 1
+        assert directory.store_counters.get(0, 1) == 1
+
+
+class TestReleaseCommit:
+    def test_release_blocked_until_counter_matches(self):
+        directory = make_dir()
+        release = rel(counter=2)
+        assert "store counter mismatch" in directory.release_block_reason(release)
+        directory.on_relaxed(RelaxedMeta(0, 0))
+        directory.on_relaxed(RelaxedMeta(0, 0))
+        assert directory.release_block_reason(release) is None
+
+    def test_release_blocked_on_uncommitted_prior_epoch(self):
+        directory = make_dir()
+        release = rel(epoch=1, last_prev=0)
+        assert "not committed" in directory.release_block_reason(release)
+        directory.commit_release(rel(epoch=0))
+        assert directory.release_block_reason(release) is None
+
+    def test_release_blocked_until_notifications_arrive(self):
+        directory = make_dir()
+        release = rel(noti=2)
+        assert "waiting notifications" in directory.release_block_reason(release)
+        directory.on_notify(NotifyMeta(proc=0, epoch=0))
+        assert "waiting notifications" in directory.release_block_reason(release)
+        directory.on_notify(NotifyMeta(proc=0, epoch=0))
+        assert directory.release_block_reason(release) is None
+
+    def test_commit_updates_largest_and_reclaims(self):
+        directory = make_dir()
+        directory.on_relaxed(RelaxedMeta(0, 0))
+        directory.commit_release(rel(counter=1))
+        assert directory.largest_committed[0] == 0
+        # Entries for the committed epoch are reclaimed (§4.3).
+        assert directory.store_counters.get(0, 0) is None
+        assert directory.notification_counters.get(0, 0) is None
+
+    def test_commit_not_ready_raises(self):
+        directory = make_dir()
+        with pytest.raises(RuntimeError):
+            directory.commit_release(rel(counter=5))
+
+    def test_per_proc_isolation(self):
+        directory = make_dir()
+        directory.on_relaxed(RelaxedMeta(proc=1, epoch=0))
+        # proc 0's release with counter 0 is unaffected by proc 1's stores.
+        assert directory.release_block_reason(rel(proc=0)) is None
+
+
+class TestReqNotify:
+    def test_req_notify_waits_for_counter(self):
+        directory = make_dir()
+        request = ReqNotifyMeta(proc=0, epoch=0, counter=1,
+                                last_prev_epoch=None, noti_dst=7)
+        assert directory.req_notify_block_reason(request) is not None
+        directory.on_relaxed(RelaxedMeta(0, 0))
+        assert directory.req_notify_block_reason(request) is None
+
+    def test_req_notify_waits_for_prior_epoch(self):
+        directory = make_dir()
+        request = ReqNotifyMeta(proc=0, epoch=1, counter=0,
+                                last_prev_epoch=0, noti_dst=7)
+        assert directory.req_notify_block_reason(request) is not None
+        directory.commit_release(rel(epoch=0))
+        assert directory.req_notify_block_reason(request) is None
+
+    def test_consume_emits_notify_and_reclaims(self):
+        directory = make_dir()
+        directory.on_relaxed(RelaxedMeta(0, 0))
+        request = ReqNotifyMeta(proc=0, epoch=0, counter=1,
+                                last_prev_epoch=None, noti_dst=7)
+        notify = directory.consume_req_notify(request)
+        assert notify == NotifyMeta(proc=0, epoch=0)
+        assert directory.store_counters.get(0, 0) is None
+        assert directory.notifications_sent == 1
+
+    def test_consume_not_ready_raises(self):
+        directory = make_dir()
+        request = ReqNotifyMeta(proc=0, epoch=0, counter=3,
+                                last_prev_epoch=None, noti_dst=7)
+        with pytest.raises(RuntimeError):
+            directory.consume_req_notify(request)
+
+
+class TestEndToEndOrdering:
+    def test_full_relaxed_release_protocol_round(self):
+        """Drive Alg. 1 + Alg. 2 together across two directories."""
+        config = CordConfig()
+        proc = CordProcessorState(0, config)
+        dir_data = CordDirectoryState(1, 1, config)
+        dir_flag = CordDirectoryState(5, 1, config)
+
+        relaxed_meta = proc.on_relaxed_store(1)
+        issue = proc.on_release_store(5)
+        assert issue.release.noti_cnt == 1
+
+        # Release arrives before the relaxed store is confirmed: blocked.
+        assert dir_flag.release_block_reason(issue.release) is not None
+
+        # Relaxed store arrives at its directory; req-notify consumed there.
+        dir_data.on_relaxed(relaxed_meta)
+        (pending_dir, request), = issue.notifications
+        assert pending_dir == 1
+        notify = dir_data.consume_req_notify(request)
+
+        # Notification reaches the flag directory: release can commit.
+        dir_flag.on_notify(notify)
+        assert dir_flag.release_block_reason(issue.release) is None
+        dir_flag.commit_release(issue.release)
+        proc.on_release_ack(5, issue.release.epoch)
+        assert proc.total_unacked() == 0
+
+    def test_peak_table_bytes_reported(self):
+        directory = make_dir()
+        directory.on_relaxed(RelaxedMeta(0, 0))
+        directory.on_notify(NotifyMeta(0, 0))
+        sizes = directory.peak_table_bytes()
+        assert sizes["store_counters"] > 0
+        assert sizes["notification_counters"] > 0
+        assert sizes["largest_committed"] > 0

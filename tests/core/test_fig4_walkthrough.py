@@ -1,0 +1,132 @@
+"""Documentation-grade tests walking through the paper's Fig. 4 examples.
+
+Each test drives the pure state machines through the exact numbered steps
+of the figure: relaxed-release ordering at one directory (left panel),
+release-release ordering (middle panel), and multi-directory ordering via
+inter-directory notification (right panel).
+"""
+
+from repro.config import CordConfig
+from repro.core import CordDirectoryState, CordProcessorState
+
+
+def make_pair(dirs=2):
+    config = CordConfig()
+    proc = CordProcessorState(0, config)
+    directories = [CordDirectoryState(d, 1, config) for d in range(dirs)]
+    return proc, directories
+
+
+class TestFig4Left:
+    """Relaxed-Release ordering at a single directory."""
+
+    def test_numbered_steps(self):
+        proc, (directory, _) = make_pair()
+
+        # (1) P0 issues X :=rlx 1 — only the epoch travels with it.
+        relaxed = proc.on_relaxed_store(0)
+        assert relaxed.epoch == 0
+
+        # (2) P0 issues Y :=rel 1 — epoch AND store counter travel.
+        issue = proc.on_release_store(0)
+        assert issue.release.epoch == 0
+        assert issue.release.counter == 1
+        # Locally, the epoch advanced and the counter reset.
+        assert proc.epoch.value == 1
+        assert proc.store_counters.get(0, 0) == 0
+
+        # (3) The Release arrives first: the directory's counter for
+        # (P0, epoch 0) is still 0 != 1, so the Release stalls.
+        assert "store counter mismatch" in \
+            directory.release_block_reason(issue.release)
+
+        # (4) The Relaxed store arrives and commits immediately;
+        # Cnt[P0, 0] becomes 1.
+        directory.on_relaxed(relaxed)
+        assert directory.store_counters.get(0, 0) == 1
+
+        # (5) Now the embedded counter matches: the Release commits.
+        assert directory.release_block_reason(issue.release) is None
+        directory.commit_release(issue.release)
+        assert directory.largest_committed[0] == 0
+
+
+class TestFig4Middle:
+    """Release-Release ordering via lastPrevEp / largestEp."""
+
+    def test_numbered_steps(self):
+        proc, (directory, _) = make_pair()
+
+        # (6) X :=rel 1 in epoch 0 — no prior unacked epoch.
+        first = proc.on_release_store(0)
+        assert first.release.last_prev_epoch is None
+
+        # (7) Y :=rel 1 in epoch 1 — lastPrevEp points at epoch 0.
+        second = proc.on_release_store(0)
+        assert second.release.epoch == 1
+        assert second.release.last_prev_epoch == 0
+
+        # (8) Epoch 1's Release arrives first: largestEp[P0] is unset,
+        # epoch 0 not committed -> stall.
+        assert "not committed" in directory.release_block_reason(second.release)
+
+        # (9) Epoch 0 commits; largestEp[P0] = 0.
+        directory.commit_release(first.release)
+        assert directory.largest_committed[0] == 0
+
+        # (10) Now epoch 1 may commit; largestEp[P0] advances to 1.
+        assert directory.release_block_reason(second.release) is None
+        directory.commit_release(second.release)
+        assert directory.largest_committed[0] == 1
+
+
+class TestFig4Right:
+    """Multi-directory ordering via inter-directory notification."""
+
+    def test_numbered_steps(self):
+        proc, (dir0, dir1) = make_pair()
+
+        # (11) X :=rlx 1 goes to Dir0 in epoch 0.
+        relaxed = proc.on_relaxed_store(0)
+
+        # (12) Y :=rel 1 goes to Dir1 carrying NotiCnt = 1 (Dir0 pends),
+        # and (13) a request-for-notification goes to Dir0 naming Dir1.
+        issue = proc.on_release_store(1)
+        assert issue.release.noti_cnt == 1
+        (pending_dir, request), = issue.notifications
+        assert pending_dir == 0
+        assert request.counter == 1
+        assert request.noti_dst == 1
+
+        # The Release cannot commit at Dir1 yet: no notification received.
+        assert "waiting notifications" in dir1.release_block_reason(issue.release)
+
+        # (14) The Relaxed store commits at Dir0...
+        dir0.on_relaxed(relaxed)
+        # ...which satisfies the request: (15) Dir0 notifies Dir1.
+        assert dir0.req_notify_block_reason(request) is None
+        notify = dir0.consume_req_notify(request)
+
+        # (16) Dir1 collects the notification; NotiCnt satisfied; commit.
+        dir1.on_notify(notify)
+        assert dir1.release_block_reason(issue.release) is None
+        dir1.commit_release(issue.release)
+
+        # Epoch reclaimed at the processor once acknowledged.
+        proc.on_release_ack(1, issue.release.epoch)
+        assert proc.total_unacked() == 0
+
+    def test_notification_waits_for_pending_relaxed(self):
+        """The pending directory must not notify before its Relaxed stores
+        arrive — the request embeds the expected count."""
+        proc, (dir0, dir1) = make_pair()
+        proc.on_relaxed_store(0)
+        proc.on_relaxed_store(0)
+        issue = proc.on_release_store(1)
+        (_, request), = issue.notifications
+        assert request.counter == 2
+        # Only one of the two Relaxed stores has arrived.
+        dir0.on_relaxed(__import__(
+            "repro.core.messages", fromlist=["RelaxedMeta"]
+        ).RelaxedMeta(proc=0, epoch=0))
+        assert dir0.req_notify_block_reason(request) is not None

@@ -1,0 +1,144 @@
+"""Property-based tests on the CORD state machines.
+
+These drive random (but protocol-legal) sequences of Algorithm 1/2 events
+through the shared state machines and assert the invariants the paper's
+correctness argument rests on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CordConfig
+from repro.core import CordDirectoryState, CordProcessorState
+
+DIRS = 3
+
+
+def _drive(proc, directories, actions):
+    """Apply a random action script, respecting stall conditions the way the
+    protocol actors do (skip blocked issues, deliver eagerly)."""
+    in_flight_relaxed = []       # (dir, meta)
+    in_flight_releases = []      # (dir, release, [(pending_dir, req)])
+    delivered_notifies = []
+
+    def try_progress():
+        changed = True
+        while changed:
+            changed = False
+            for entry in list(in_flight_releases):
+                dir_index, release, requests = entry
+                for pending_dir, request in list(requests):
+                    pending = directories[pending_dir]
+                    if pending.req_notify_block_reason(request) is None:
+                        notify = pending.consume_req_notify(request)
+                        directories[dir_index].on_notify(notify)
+                        requests.remove((pending_dir, request))
+                        changed = True
+                if not requests and directories[dir_index].release_block_reason(
+                    release
+                ) is None:
+                    directories[dir_index].commit_release(release)
+                    proc.on_release_ack(dir_index, release.epoch)
+                    in_flight_releases.remove(entry)
+                    changed = True
+
+    for kind, dir_index in actions:
+        if kind == "relaxed":
+            if proc.relaxed_stall_reason(dir_index) is not None:
+                continue
+            meta = proc.on_relaxed_store(dir_index)
+            directories[dir_index].on_relaxed(meta)  # deliver immediately
+        else:
+            if proc.release_stall_reason(dir_index) is not None:
+                try_progress()
+                if proc.release_stall_reason(dir_index) is not None:
+                    continue
+            issue = proc.on_release_store(dir_index)
+            in_flight_releases.append(
+                (dir_index, issue.release, list(issue.notifications))
+            )
+        try_progress()
+    try_progress()
+    return in_flight_releases
+
+
+@st.composite
+def action_scripts(draw):
+    return draw(st.lists(
+        st.tuples(st.sampled_from(["relaxed", "release"]),
+                  st.integers(min_value=0, max_value=DIRS - 1)),
+        max_size=60,
+    ))
+
+
+class TestProtocolInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(actions=action_scripts())
+    def test_all_releases_eventually_commit(self, actions):
+        """With eager delivery, nothing is ever permanently stuck
+        (deadlock-freedom at the state-machine level)."""
+        config = CordConfig()
+        proc = CordProcessorState(0, config)
+        directories = [CordDirectoryState(d, 1, config) for d in range(DIRS)]
+        stuck = _drive(proc, directories, actions)
+        assert stuck == []
+        assert proc.total_unacked() == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(actions=action_scripts())
+    def test_releases_commit_in_epoch_order_per_directory(self, actions):
+        """largestEp[proc] never decreases and epochs commit in order."""
+        config = CordConfig()
+        proc = CordProcessorState(0, config)
+
+        committed_orders = {d: [] for d in range(DIRS)}
+
+        class SpyDir(CordDirectoryState):
+            def commit_release(self, meta):
+                committed_orders[self.directory].append(meta.epoch)
+                super().commit_release(meta)
+
+        directories = [SpyDir(d, 1, config) for d in range(DIRS)]
+        _drive(proc, directories, actions)
+        for epochs in committed_orders.values():
+            assert epochs == sorted(epochs)
+
+    @settings(max_examples=80, deadline=None)
+    @given(actions=action_scripts())
+    def test_table_occupancy_never_exceeds_provisioning(self, actions):
+        config = CordConfig()
+        proc = CordProcessorState(0, config)
+        directories = [CordDirectoryState(d, 1, config) for d in range(DIRS)]
+        _drive(proc, directories, actions)
+        assert proc.unacked.peak_occupancy <= config.proc_unacked_epoch_entries
+        assert (proc.store_counters.peak_occupancy
+                <= config.proc_store_counter_entries)
+        for directory in directories:
+            per_proc = directory.store_counters.partition(0)
+            assert (per_proc.peak_occupancy
+                    <= config.dir_store_counter_entries_per_proc)
+
+    @settings(max_examples=80, deadline=None)
+    @given(actions=action_scripts())
+    def test_epoch_count_matches_release_count(self, actions):
+        config = CordConfig()
+        proc = CordProcessorState(0, config)
+        directories = [CordDirectoryState(d, 1, config) for d in range(DIRS)]
+        _drive(proc, directories, actions)
+        releases = sum(d.releases_committed for d in directories)
+        assert proc.epoch.value == releases
+        relaxed = sum(d.relaxed_committed for d in directories)
+        assert proc.relaxed_issued == relaxed
+
+    @settings(max_examples=60, deadline=None)
+    @given(actions=action_scripts(),
+           unacked_entries=st.integers(min_value=1, max_value=4))
+    def test_under_provisioned_tables_still_progress(self, actions,
+                                                     unacked_entries):
+        """§4.3: tiny tables cause stalls, never corruption or deadlock."""
+        config = CordConfig(proc_unacked_epoch_entries=unacked_entries)
+        proc = CordProcessorState(0, config)
+        directories = [CordDirectoryState(d, 1, config) for d in range(DIRS)]
+        stuck = _drive(proc, directories, actions)
+        assert stuck == []
+        assert proc.total_unacked() == 0

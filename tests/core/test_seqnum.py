@@ -1,0 +1,73 @@
+"""Tests for modular sequence-number arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SequenceSpace, unwrap, wrap
+
+
+class TestWrap:
+    def test_wrap_truncates(self):
+        assert wrap(0, 8) == 0
+        assert wrap(255, 8) == 255
+        assert wrap(256, 8) == 0
+        assert wrap(257, 8) == 1
+
+    def test_unwrap_recovers_nearby_value(self):
+        for true_value in (0, 1, 255, 256, 300, 1000):
+            wire = wrap(true_value, 8)
+            assert unwrap(wire, reference=true_value, bits=8) == true_value
+
+    def test_unwrap_with_offset_reference(self):
+        # True value 260, directory's reference is 255 (wire 4).
+        assert unwrap(wrap(260, 8), reference=255, bits=8) == 260
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        value=st.integers(min_value=0, max_value=10_000),
+        offset=st.integers(min_value=-100, max_value=100),
+        bits=st.sampled_from([4, 8, 16]),
+    )
+    def test_roundtrip_within_half_modulus(self, value, offset, bits):
+        reference = max(0, value + offset)
+        if abs(value - reference) < (1 << bits) // 2:
+            assert unwrap(wrap(value, bits), reference, bits) == value
+
+
+class TestSequenceSpace:
+    def test_advance_increments(self):
+        seq = SequenceSpace(bits=8)
+        assert seq.value == 0
+        assert seq.advance() == 1
+        assert seq.value == 1
+
+    def test_wire_wraps(self):
+        seq = SequenceSpace(bits=2, value=5)
+        assert seq.wire() == 1
+
+    def test_would_alias_at_window_limit(self):
+        seq = SequenceSpace(bits=2)  # modulus 4
+        seq.value = 3
+        assert seq.would_alias(oldest_outstanding=0)
+        assert not seq.would_alias(oldest_outstanding=1)
+
+    def test_no_alias_when_nothing_outstanding(self):
+        seq = SequenceSpace(bits=2, value=100)
+        assert not seq.would_alias(oldest_outstanding=100)
+
+    def test_at_max(self):
+        seq = SequenceSpace(bits=2, value=3)
+        assert seq.at_max()
+        seq.advance()
+        assert not seq.at_max()
+
+    @settings(max_examples=100, deadline=None)
+    @given(advances=st.integers(min_value=0, max_value=300),
+           bits=st.sampled_from([2, 4, 8]))
+    def test_wire_always_fits_bits(self, advances, bits):
+        seq = SequenceSpace(bits=bits)
+        for _ in range(advances):
+            seq.advance()
+        assert 0 <= seq.wire() < (1 << bits)
+        assert seq.value == advances

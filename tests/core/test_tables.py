@@ -1,0 +1,95 @@
+"""Tests for bounded and partitioned look-up tables."""
+
+import pytest
+
+from repro.core import BoundedTable, PartitionedTable, TableFullError
+
+
+class TestBoundedTable:
+    def test_put_get_remove(self):
+        table = BoundedTable("t", 4)
+        table.put("a", 1)
+        assert table.get("a") == 1
+        assert table.remove("a") == 1
+        assert table.get("a") is None
+
+    def test_capacity_enforced(self):
+        table = BoundedTable("t", 2)
+        table.put("a", 1)
+        table.put("b", 2)
+        assert table.full
+        with pytest.raises(TableFullError):
+            table.put("c", 3)
+
+    def test_update_existing_when_full_ok(self):
+        table = BoundedTable("t", 1)
+        table.put("a", 1)
+        table.put("a", 2)  # update, not insert
+        assert table.get("a") == 2
+
+    def test_has_room(self):
+        table = BoundedTable("t", 3)
+        table.put("a", 1)
+        assert table.has_room(2)
+        assert not table.has_room(3)
+
+    def test_peak_occupancy_tracks_high_water(self):
+        table = BoundedTable("t", 4, entry_bytes=4)
+        table.put("a", 1)
+        table.put("b", 2)
+        table.remove("a")
+        table.remove("b")
+        assert len(table) == 0
+        assert table.peak_occupancy == 2
+        assert table.peak_bytes == 8
+
+    def test_provisioned_bytes(self):
+        assert BoundedTable("t", 8, entry_bytes=4).provisioned_bytes == 32
+
+    def test_contains_and_iter(self):
+        table = BoundedTable("t", 4)
+        table.put("a", 1)
+        assert "a" in table
+        assert dict(iter(table)) == {"a": 1}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedTable("t", 0)
+
+
+class TestPartitionedTable:
+    def test_partitions_isolated(self):
+        table = PartitionedTable("p", procs=2, entries_per_proc=1)
+        table.put(0, "k", 1)
+        # proc 0 is full; proc 1 still has room.
+        assert not table.has_room(0)
+        assert table.has_room(1)
+        table.put(1, "k", 2)
+        assert table.get(0, "k") == 1
+        assert table.get(1, "k") == 2
+
+    def test_overflow_confined_to_partition(self):
+        table = PartitionedTable("p", procs=2, entries_per_proc=1)
+        table.put(0, "a", 1)
+        with pytest.raises(TableFullError):
+            table.put(0, "b", 2)
+
+    def test_unknown_proc_rejected(self):
+        table = PartitionedTable("p", procs=2, entries_per_proc=1)
+        with pytest.raises(KeyError):
+            table.put(5, "a", 1)
+
+    def test_peak_bytes_sums_partitions(self):
+        table = PartitionedTable("p", procs=2, entries_per_proc=2,
+                                 entry_bytes=4)
+        table.put(0, "a", 1)
+        table.put(1, "a", 1)
+        table.put(1, "b", 1)
+        assert table.peak_occupancy == 3
+        assert table.peak_bytes == 12
+
+    def test_remove_returns_value(self):
+        table = PartitionedTable("p", procs=1, entries_per_proc=2)
+        table.put(0, "a", 9)
+        assert table.remove(0, "a") == 9
+        assert table.remove(0, "a") is None

@@ -1,0 +1,66 @@
+"""Tests for message breakdown accounting."""
+
+import pytest
+
+from repro import Machine, SystemConfig
+from repro.harness.breakdown import (
+    CONTROL_TYPES,
+    message_breakdown,
+    protocol_comparison,
+)
+from repro.workloads import app, build_workload_programs
+
+
+@pytest.fixture(scope="module")
+def cr_runs():
+    config = SystemConfig().scaled(hosts=4, cores_per_host=2)
+    spec = app("CR").scaled(iterations=3)
+    runs = {}
+    for protocol in ("cord", "so", "mp"):
+        machine = Machine(config, protocol=protocol)
+        runs[protocol] = machine.run(build_workload_programs(spec, config))
+    return runs
+
+
+class TestMessageBreakdown:
+    def test_shares_sum_to_hundred(self, cr_runs):
+        rows = message_breakdown(cr_runs["cord"])
+        assert sum(r["share_pct"] for r in rows) == pytest.approx(100.0)
+
+    def test_sorted_by_bytes(self, cr_runs):
+        rows = message_breakdown(cr_runs["cord"])
+        sizes = [r["bytes"] for r in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_so_dominated_by_store_plus_ack(self, cr_runs):
+        rows = {r["type"]: r for r in message_breakdown(cr_runs["so"])}
+        assert "wt_ack" in rows
+        assert rows["wt_ack"]["control"] is True
+        # One ack per write-through store.
+        assert rows["wt_ack"]["messages"] == rows["wt_store"]["messages"]
+
+    def test_cord_breakdown_has_notifications_not_acks(self, cr_runs):
+        rows = {r["type"]: r for r in message_breakdown(cr_runs["cord"])}
+        assert "wt_ack" not in rows
+        assert "rel_ack" in rows
+        assert rows["wt_rlx"]["messages"] > 0
+
+    def test_mp_has_no_control_messages(self, cr_runs):
+        rows = message_breakdown(cr_runs["mp"])
+        assert all(not r["control"] for r in rows)
+
+    def test_scope_selection(self, cr_runs):
+        intra = message_breakdown(cr_runs["cord"], scope="intra_host")
+        assert isinstance(intra, list)
+
+
+class TestProtocolComparison:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            protocol_comparison("NOPE")
+
+    def test_rows_tagged_with_protocol_and_app(self):
+        rows = protocol_comparison("CR", protocols=("cord",))
+        assert rows
+        assert all(r["protocol"] == "cord" and r["app"] == "CR"
+                   for r in rows)

@@ -1,0 +1,143 @@
+"""Shape tests for the experiment harnesses (small-scale runs).
+
+These assert the *qualitative* results every figure reports — who wins,
+which direction trends go — on reduced sweeps so the suite stays fast.
+The full-scale sweeps live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.config import CXL
+from repro.harness import (
+    fig2_source_ordering_overheads,
+    fig5_message_counts,
+    fig7_end_to_end,
+    fig8_sensitivity,
+    fig9_latency_sweep,
+    fig10_bitwidth,
+    fig11_storage,
+    fig12_storage_breakdown,
+    format_table,
+    table3_area_power,
+)
+
+
+class TestFig2:
+    def test_so_overheads_significant(self):
+        rows = fig2_source_ordering_overheads(
+            interconnects=(CXL,), apps=("CR", "MOCFE")
+        )
+        for row in rows:
+            assert row["exec_time_waiting_pct"] > 5.0
+            assert row["ack_traffic_pct"] > 5.0
+
+
+class TestFig5:
+    def test_analytic_counts(self):
+        so, cord = fig5_message_counts(m=10, n=4)
+        assert so["control_messages"] == 11       # m + 1
+        assert cord["control_messages"] == 7      # 2n - 1
+        assert so["stall_hops"] == 2 and cord["stall_hops"] == 0
+        assert so["release_delay_hops"] == 3
+        assert cord["release_delay_hops"] == 2
+
+
+class TestFig7:
+    def test_cr_ordering_of_protocols(self):
+        rows = fig7_end_to_end(interconnects=(CXL,), apps=("CR",))
+        row = rows[0]
+        assert row["time_cord"] == 1.0
+        assert row["time_mp"] <= 1.0          # MP at least as fast
+        assert row["time_so"] > 1.0           # SO slower than CORD
+        assert row["time_wb"] > row["time_so"]
+        assert row["traffic_so"] > 1.0        # SO more traffic
+
+    def test_tqh_marked_na_under_mp(self):
+        rows = fig7_end_to_end(interconnects=(CXL,), apps=("TQH",))
+        assert rows[0]["time_mp"] is None
+        assert rows[0]["traffic_mp"] is None
+
+
+class TestFig8:
+    def test_so_gap_grows_with_store_granularity(self):
+        rows = fig8_sensitivity("store", values=(8, 1024),
+                                interconnects=(CXL,))
+        assert rows[1]["time_so"] > rows[0]["time_so"]
+        # Ack traffic matters less for big stores.
+        assert rows[1]["traffic_so"] < rows[0]["traffic_so"]
+
+    def test_so_gap_shrinks_with_sync_granularity(self):
+        rows = fig8_sensitivity("sync", values=(512, 262144),
+                                interconnects=(CXL,))
+        assert rows[0]["time_so"] > rows[1]["time_so"]
+
+    def test_cord_matches_mp_at_fanout_one(self):
+        rows = fig8_sensitivity("fanout", values=(1,), interconnects=(CXL,))
+        assert rows[0]["time_mp"] == pytest.approx(1.0, abs=0.15)
+        assert rows[0]["traffic_mp"] == pytest.approx(1.0, abs=0.05)
+
+
+class TestFig9:
+    def test_so_penalty_grows_with_latency(self):
+        rows = fig9_latency_sweep(latencies_ns=(100, 400),
+                                  parameter="store", values=(64,))
+        assert rows[1]["so_time_norm"] > rows[0]["so_time_norm"]
+
+    def test_traffic_ratio_latency_invariant(self):
+        rows = fig9_latency_sweep(latencies_ns=(100, 400),
+                                  parameter="store", values=(64,))
+        assert rows[0]["so_traffic_norm"] == pytest.approx(
+            rows[1]["so_traffic_norm"], rel=0.02
+        )
+
+
+class TestFig10:
+    def test_cord_matches_seq40_time_and_seq8_traffic(self):
+        rows = fig10_bitwidth(counter_bits=(32,), epoch_bits=(8,),
+                              interconnects=(CXL,))
+        for row in rows:
+            assert row["cord_time_vs_seq40"] == pytest.approx(1.0, abs=0.05)
+            assert row["cord_traffic_vs_seq8"] == pytest.approx(1.0, abs=0.05)
+
+    def test_small_counter_pays_overflow_stalls(self):
+        rows = fig10_bitwidth(counter_bits=(8, 32), epoch_bits=(),
+                              interconnects=(CXL,))
+        small = next(r for r in rows if r["bits"] == 8)
+        large = next(r for r in rows if r["bits"] == 32)
+        assert small["cord_time_vs_seq40"] > large["cord_time_vs_seq40"]
+
+    def test_large_epoch_inflates_traffic(self):
+        rows = fig10_bitwidth(counter_bits=(), epoch_bits=(8, 16),
+                              interconnects=(CXL,))
+        small = next(r for r in rows if r["bits"] == 8)
+        large = next(r for r in rows if r["bits"] == 16)
+        assert large["cord_traffic_vs_seq8"] > small["cord_traffic_vs_seq8"]
+
+
+class TestFig11And12:
+    def test_storage_bounds_hold(self):
+        rows = fig11_storage(host_counts=(2, 4), workloads=("ATA",),
+                             interconnects=(CXL,))
+        for row in rows:
+            assert row["proc_storage_B"] <= 64      # paper: < 40 B
+            assert row["dir_storage_B"] <= 2048     # paper: < 1.5 KB
+
+    def test_breakdown_components_positive(self):
+        rows = fig12_storage_breakdown(host_counts=(3,),
+                                       interconnects=(CXL,))
+        row = rows[0]
+        assert row["proc_store_counters_B"] > 0
+        assert row["dir_lookup_tables_B"] > 0
+
+
+class TestTable3:
+    def test_rows_and_summary(self):
+        rows = table3_area_power()
+        assert len(rows) == 6  # 5 components + summary
+        summary = rows[-1]
+        assert summary["location"] == "summary"
+        assert summary["area_mm2"] < 0.02   # dir area ratio ~1.3%
+
+    def test_format_table_renders(self):
+        text = format_table(table3_area_power())
+        assert "store counter" in text

@@ -1,0 +1,50 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.harness.export import DEFAULT_EXPERIMENTS, export_all, export_csv
+
+
+class TestExportCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = export_csv(rows, tmp_path / "out.csv")
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_column_selection(self, tmp_path):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        path = export_csv(rows, tmp_path / "out.csv", columns=["c", "a"])
+        header = path.read_text().splitlines()[0]
+        assert header == "c,a"
+
+    def test_empty_rows_write_empty_file(self, tmp_path):
+        path = export_csv([], tmp_path / "out.csv")
+        assert path.read_text() == ""
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = export_csv([{"a": 1}], tmp_path / "deep" / "dir" / "out.csv")
+        assert path.exists()
+
+
+class TestExportAll:
+    def test_registry_covers_every_figure(self):
+        names = set(DEFAULT_EXPERIMENTS)
+        for expected in ("fig2_so_overheads", "fig7_end_to_end",
+                         "fig10_bitwidth", "fig11_storage", "fig13_tso",
+                         "table3_area_power"):
+            assert expected in names
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_all(tmp_path, names=["nope"])
+
+    def test_exports_selected_experiment(self, tmp_path):
+        written = export_all(tmp_path, names=["table3_area_power"])
+        assert len(written) == 1
+        content = written[0].read_text()
+        assert "area_mm2" in content
+        assert "store counter" in content

@@ -1,0 +1,59 @@
+"""Tests for report formatting helpers."""
+
+import pytest
+
+from repro.harness import format_table, geometric_mean, normalize_to
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_header(self):
+        text = format_table([{"name": "a", "value": 1.5},
+                             {"name": "bb", "value": 20.25}])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in lines[2]
+        assert "20.250" in lines[3]
+
+    def test_none_rendered_as_dash(self):
+        text = format_table([{"x": None}])
+        assert "-" in text.splitlines()[-1]
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0].split()
+        assert header == ["b", "a"]
+
+    def test_custom_float_format(self):
+        text = format_table([{"v": 1.23456}], float_format="{:.1f}")
+        assert "1.2" in text and "1.235" not in text
+
+
+class TestNormalizeTo:
+    def test_basic_normalization(self):
+        norm = normalize_to({"a": 2.0, "b": 4.0}, "a")
+        assert norm == {"a": 1.0, "b": 2.0}
+
+    def test_none_values_propagate(self):
+        norm = normalize_to({"a": 2.0, "b": None}, "a")
+        assert norm["b"] is None
+
+    def test_missing_reference_yields_none(self):
+        norm = normalize_to({"b": 4.0}, "a")
+        assert norm["b"] is None
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_skips_none(self):
+        assert geometric_mean([2.0, None, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_is_zero(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_identity_element(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)

@@ -1,0 +1,40 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.harness.summary import Claim, ReproductionReport, reproduce
+
+
+class TestReport:
+    def test_markdown_rendering(self):
+        report = ReproductionReport()
+        report.add("a claim", "paper says", "we measured", True)
+        report.add("bad claim", "x", "y", False)
+        text = report.to_markdown()
+        assert "| a claim |" in text
+        assert "PASS" in text and "FAIL" in text
+        assert not report.all_passed
+
+    def test_all_passed_when_empty(self):
+        assert ReproductionReport().all_passed
+
+
+class TestReproduce:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # A reduced app set keeps this test quick while touching every
+        # claim path.
+        return reproduce(apps=("CR", "MOCFE", "PR"))
+
+    def test_all_headline_claims_hold(self, report):
+        failed = [c.name for c in report.claims if not c.passed]
+        assert report.all_passed, failed
+
+    def test_covers_the_headline_artifacts(self, report):
+        names = " ".join(c.name for c in report.claims)
+        for artifact in ("Fig. 2", "Fig. 7", "Fig. 8", "Fig. 10",
+                         "Fig. 11", "Table 3"):
+            assert artifact in names
+
+    def test_markdown_nonempty(self, report):
+        assert "CORD reproduction summary" in report.to_markdown()

@@ -1,0 +1,113 @@
+"""Tests for the timed network fabric."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.interconnect import Message, Network, NodeId
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    config = SystemConfig().scaled(hosts=2, cores_per_host=2)
+    network = Network(sim, config)
+    inbox = []
+    core = NodeId.core(0, 0)
+    local_dir = NodeId.directory(1, 0)
+    remote_dir = NodeId.directory(2, 1)
+    for node in (core, local_dir, remote_dir):
+        network.register(node, inbox.append)
+    return sim, network, inbox, core, local_dir, remote_dir
+
+
+def _msg(src, dst, size=64, control=False, msg_type="wt_store"):
+    return Message(src=src, dst=dst, msg_type=msg_type, size_bytes=size,
+                   control=control)
+
+
+class TestDelivery:
+    def test_message_delivered_to_handler(self, setup):
+        sim, network, inbox, core, local_dir, _ = setup
+        message = _msg(core, local_dir)
+        network.send(message)
+        sim.run()
+        assert inbox == [message]
+
+    def test_unregistered_destination_rejected(self, setup):
+        sim, network, _, core, _, _ = setup
+        stranger = NodeId.directory(99, 1)
+        with pytest.raises(KeyError):
+            network.send(_msg(core, stranger))
+
+    def test_duplicate_registration_rejected(self, setup):
+        _, network, _, core, _, _ = setup
+        with pytest.raises(ValueError):
+            network.register(core, lambda m: None)
+
+    def test_intra_host_faster_than_inter_host(self, setup):
+        sim, network, _, core, local_dir, remote_dir = setup
+        local_arrival = network.send(_msg(core, local_dir))
+        remote_arrival = network.send(_msg(core, remote_dir))
+        assert remote_arrival > local_arrival
+
+    def test_inter_host_latency_includes_link(self, setup):
+        sim, network, _, core, _, remote_dir = setup
+        arrival = network.send(_msg(core, remote_dir, size=64))
+        config = network.config
+        assert arrival >= config.interconnect.inter_host_latency_ns
+
+    def test_serialization_grows_with_size(self, setup):
+        sim, network, _, core, _, remote_dir = setup
+        small = network.send(_msg(core, remote_dir, size=16))
+        # Fresh network to avoid port queuing from the first message.
+        sim2 = Simulator()
+        network2 = Network(sim2, network.config)
+        network2.register(remote_dir, lambda m: None)
+        big = network2.send(_msg(core, remote_dir, size=4096))
+        assert big > small
+
+    def test_egress_port_serializes_cross_host_messages(self, setup):
+        sim, network, _, core, _, remote_dir = setup
+        first = network.send(_msg(core, remote_dir, size=4096))
+        second = network.send(_msg(core, remote_dir, size=4096))
+        serialization = network.config.interconnect.serialization_ns(4096)
+        assert second - first == pytest.approx(serialization)
+
+    def test_per_host_pair_fifo(self, setup):
+        sim, network, inbox, core, _, remote_dir = setup
+        big = _msg(core, remote_dir, size=4096)
+        small = _msg(core, remote_dir, size=8)
+        network.send(big)
+        network.send(small)
+        sim.run()
+        assert inbox == [big, small]
+
+
+class TestAccounting:
+    def test_inter_host_bytes_counted(self, setup):
+        sim, network, _, core, _, remote_dir = setup
+        network.send(_msg(core, remote_dir, size=100))
+        assert network.inter_host_bytes() == 100
+
+    def test_intra_host_not_counted_as_inter(self, setup):
+        sim, network, _, core, local_dir, _ = setup
+        network.send(_msg(core, local_dir, size=100))
+        assert network.inter_host_bytes() == 0
+        assert network.stats.value("traffic.intra_host.total") == 100
+
+    def test_control_vs_data_split(self, setup):
+        sim, network, _, core, _, remote_dir = setup
+        network.send(_msg(core, remote_dir, size=16, control=True))
+        network.send(_msg(core, remote_dir, size=80, control=False))
+        assert network.inter_host_control_bytes() == 16
+        assert network.inter_host_data_bytes() == 80
+
+    def test_per_message_type_counts_and_bytes(self, setup):
+        sim, network, _, core, _, remote_dir = setup
+        network.send(_msg(core, remote_dir, size=24, msg_type="ack",
+                          control=True))
+        network.send(_msg(core, remote_dir, size=24, msg_type="ack",
+                          control=True))
+        assert network.stats.value("msgs.inter_host.ack") == 2
+        assert network.stats.value("bytes.inter_host.ack") == 48

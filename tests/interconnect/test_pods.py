@@ -1,0 +1,85 @@
+"""Tests for the two-level (pod) interconnect topology."""
+
+import pytest
+
+from repro import Machine, ProgramBuilder, SystemConfig
+from repro.interconnect import NodeId, Topology
+
+
+class TestConfig:
+    def test_default_single_pod(self):
+        assert SystemConfig().pods == 1
+
+    def test_pod_assignment(self):
+        config = SystemConfig().scaled(hosts=4).with_pods(2)
+        assert [config.pod_of_host(h) for h in range(4)] == [0, 0, 1, 1]
+
+    def test_indivisible_pods_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig().scaled(hosts=3).with_pods(2)
+
+    def test_zero_pods_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig().scaled(hosts=4).with_pods(0)
+
+
+class TestLatency:
+    def test_cross_pod_adds_extra_latency(self):
+        flat = Topology(SystemConfig().scaled(hosts=4))
+        podded = Topology(
+            SystemConfig().scaled(hosts=4).with_pods(2, inter_pod_extra_ns=200)
+        )
+        src = NodeId.core(0, 0)
+        same_pod = NodeId.directory(1, 1)
+        cross_pod = NodeId.directory(2, 2)
+        assert podded.latency_ns(src, same_pod) == \
+            flat.latency_ns(src, same_pod)
+        assert podded.latency_ns(src, cross_pod) == \
+            flat.latency_ns(src, cross_pod) + 200
+
+    def test_intra_host_unaffected(self):
+        podded = Topology(
+            SystemConfig().scaled(hosts=4, cores_per_host=2).with_pods(2)
+        )
+        flat = Topology(SystemConfig().scaled(hosts=4, cores_per_host=2))
+        src = NodeId.core(0, 0)
+        dst = NodeId.directory(1, 0)
+        assert podded.latency_ns(src, dst) == flat.latency_ns(src, dst)
+
+
+class TestEndToEnd:
+    def test_cord_advantage_grows_across_pods(self):
+        """Crossing pods raises effective latency; CORD's round-trip savings
+        grow with it (the Fig. 9 trend, reproduced on topology)."""
+        from repro.workloads import app, build_workload_programs
+        spec = app("CR").scaled(iterations=3)
+
+        def ratio(pods):
+            config = (SystemConfig().scaled(hosts=4, cores_per_host=2)
+                      .with_pods(pods))
+            times = {}
+            for protocol in ("cord", "so"):
+                machine = Machine(config, protocol=protocol)
+                times[protocol] = machine.run(
+                    build_workload_programs(spec, config)
+                ).time_ns
+            return times["so"] / times["cord"]
+
+        assert ratio(2) > ratio(1)
+
+    def test_values_flow_across_pods(self):
+        config = SystemConfig().scaled(hosts=4).with_pods(2)
+        machine = Machine(config, protocol="cord")
+        amap = machine.address_map
+        data = amap.address_in_host(3, 0x1000)   # other pod
+        flag = amap.address_in_host(3, 0x2000)
+        producer = (ProgramBuilder()
+                    .store(data, value=5, size=64)
+                    .release_store(flag, value=1)
+                    .build())
+        consumer = (ProgramBuilder()
+                    .load_until(flag, 1)
+                    .load(data, register="r0")
+                    .build())
+        result = machine.run({0: producer, 3: consumer})
+        assert result.history.register(3, "r0") == 5

@@ -1,0 +1,74 @@
+"""Tests for the mesh + switch topology."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.interconnect import NodeId, Topology
+
+
+@pytest.fixture
+def topology():
+    return Topology(SystemConfig())  # 8 hosts, 2x4 meshes
+
+
+class TestGeometry:
+    def test_tile_position_row_major(self, topology):
+        assert topology.tile_position(0) == (0, 0)
+        assert topology.tile_position(3) == (0, 3)
+        assert topology.tile_position(4) == (1, 0)
+        assert topology.tile_position(7) == (1, 3)
+
+    def test_mesh_hops_manhattan(self, topology):
+        assert topology.mesh_hops(0, 0) == 0
+        assert topology.mesh_hops(0, 3) == 3
+        assert topology.mesh_hops(0, 7) == 4
+        assert topology.mesh_hops(4, 3) == 4
+
+    def test_tile_of_wraps_per_host(self, topology):
+        core = NodeId.core(9, 1)  # core 9 = host 1, tile 1
+        assert topology.tile_of(core) == 1
+
+    def test_edge_hops(self, topology):
+        assert topology.edge_hops(0) == 0
+        assert topology.edge_hops(3) == 3
+        assert topology.edge_hops(4) == 1
+
+
+class TestLatency:
+    def test_intra_host_latency_scales_with_hops(self, topology):
+        config = topology.config
+        hop_ns = config.cycles_to_ns(config.interconnect.intra_host_hop_cycles)
+        a = NodeId.core(0, 0)
+        b = NodeId.directory(3, 0)
+        assert topology.latency_ns(a, b) == pytest.approx(3 * hop_ns)
+
+    def test_intra_host_same_tile_minimum_one_hop(self, topology):
+        config = topology.config
+        hop_ns = config.cycles_to_ns(config.interconnect.intra_host_hop_cycles)
+        core = NodeId.core(0, 0)
+        directory = NodeId.directory(0, 0)
+        assert topology.latency_ns(core, directory) == pytest.approx(hop_ns)
+
+    def test_inter_host_includes_link_latency(self, topology):
+        a = NodeId.core(0, 0)
+        b = NodeId.directory(8, 1)  # host 1, tile 0
+        latency = topology.latency_ns(a, b)
+        assert latency >= topology.config.interconnect.inter_host_latency_ns
+
+    def test_crosses_hosts(self, topology):
+        assert topology.crosses_hosts(NodeId.core(0, 0), NodeId.core(8, 1))
+        assert not topology.crosses_hosts(NodeId.core(0, 0), NodeId.core(1, 0))
+
+    def test_latency_symmetric(self, topology):
+        a = NodeId.core(2, 0)
+        b = NodeId.directory(13, 1)
+        assert topology.latency_ns(a, b) == pytest.approx(
+            topology.latency_ns(b, a)
+        )
+
+    def test_cxl_slower_than_upi(self):
+        from repro.config import CXL, UPI
+        cxl = Topology(SystemConfig().with_interconnect(CXL))
+        upi = Topology(SystemConfig().with_interconnect(UPI))
+        a, b = NodeId.core(0, 0), NodeId.directory(8, 1)
+        assert cxl.latency_ns(a, b) > upi.latency_ns(a, b)

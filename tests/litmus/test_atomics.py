@@ -1,0 +1,87 @@
+"""Model-checking atomics: atomicity, RMW ordering, lock-style patterns."""
+
+import pytest
+
+from repro.litmus import (
+    LitmusTest,
+    ModelChecker,
+    cas,
+    faa,
+    faa_rel,
+    ld,
+    poll_acq,
+    st,
+    xchg,
+)
+
+ATOMICITY = LitmusTest(
+    name="FAA-atomicity",
+    locations={"C": 1},
+    programs=[[faa("C", 1, "r0")], [faa("C", 1, "r1")]],
+    forbidden=[{"mem:C": 1}, {"mem:C": 0}],
+)
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("protocol", ["cord", "so", "mp"])
+    def test_no_lost_updates(self, protocol):
+        result = ModelChecker(ATOMICITY, protocol=protocol).run()
+        assert result.passed
+        assert all(o["mem:C"] == 2 for o in result.outcomes)
+
+    def test_exactly_one_rmw_observes_zero(self):
+        result = ModelChecker(ATOMICITY, protocol="cord").run()
+        for outcome in result.outcomes:
+            assert sorted([outcome["P0:r0"], outcome["P1:r1"]]) == [0, 1]
+
+
+class TestRmwOrdering:
+    @pytest.mark.parametrize("protocol", ["cord", "so"])
+    def test_release_rmw_publishes_prior_stores(self, protocol):
+        test = LitmusTest(
+            name="MP+faa.rel",
+            locations={"X": 2, "Y": 1},
+            programs=[
+                [st("X", 1), faa_rel("Y", 1, "r0")],
+                [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+            ],
+            forbidden=[{"P1:r1": 1, "P1:r2": 0}],
+        )
+        result = ModelChecker(test, protocol=protocol).run()
+        assert result.passed
+
+    def test_relaxed_rmw_does_not_publish(self):
+        """An Acquire-only RMW flag leaves prior stores unordered: the weak
+        outcome must be reachable under CORD (sanity against
+        over-synchronizing atomics)."""
+        test = LitmusTest(
+            name="MP+faa.acq",
+            locations={"X": 2, "Y": 1},
+            programs=[
+                [st("X", 1), xchg("Y", 1, "r0")],   # acquire ordering only
+                [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+            ],
+        )
+        result = ModelChecker(test, protocol="cord").run()
+        assert result.reaches({"P1:r1": 1, "P1:r2": 0})
+        assert result.reaches({"P1:r1": 1, "P1:r2": 1})
+        assert result.deadlocks == 0
+
+
+class TestCas:
+    def test_cas_winner_takes_lock_word(self):
+        test = LitmusTest(
+            name="CAS-race",
+            locations={"L": 1},
+            programs=[
+                [cas("L", 0, 1, "r0")],
+                [cas("L", 0, 2, "r1")],
+            ],
+            # Somebody must win; the lock word never ends at 0.
+            forbidden=[{"mem:L": 0}],
+        )
+        result = ModelChecker(test, protocol="cord").run()
+        assert result.passed
+        for outcome in result.outcomes:
+            winners = [outcome["P0:r0"], outcome["P1:r1"]]
+            assert winners.count(0) == 1  # exactly one CAS saw 0 and won

@@ -1,0 +1,67 @@
+"""Tests for the litmus DSL and compilation."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.consistency import OpKind, Ordering
+from repro.litmus import LitmusTest, ld, poll_acq, st, st_rel, st_so
+
+
+@pytest.fixture
+def mp_test():
+    return LitmusTest(
+        name="MP",
+        locations={"X": 1, "Y": 1},
+        programs=[
+            [st("X", 1), st_rel("Y", 1)],
+            [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+        ],
+        forbidden=[{"P1:r1": 1, "P1:r2": 0}],
+    )
+
+
+class TestCompilation:
+    def test_locations_resolve_to_home_hosts(self, mp_test):
+        config = SystemConfig().scaled(hosts=2)
+        from repro.memory import AddressMap
+        amap = AddressMap(config)
+        assert amap.host_of(mp_test.resolve_address(config, "X")) == 1
+        assert amap.host_of(mp_test.resolve_address(config, "Y")) == 1
+
+    def test_distinct_locations_distinct_lines(self, mp_test):
+        config = SystemConfig().scaled(hosts=2)
+        x = mp_test.resolve_address(config, "X")
+        y = mp_test.resolve_address(config, "Y")
+        assert abs(x - y) >= 64
+
+    def test_compile_preserves_op_structure(self, mp_test):
+        config = SystemConfig().scaled(hosts=2)
+        programs = mp_test.compile(config)
+        assert len(programs) == 2
+        assert programs[0][0].kind is OpKind.STORE
+        assert programs[0][1].ordering is Ordering.RELEASE
+        assert programs[1][0].kind is OpKind.LOAD_UNTIL
+        assert programs[1][1].register == "r2"
+
+    def test_st_so_carries_via_marker(self):
+        test = LitmusTest(name="t", locations={"X": 1},
+                          programs=[[st_so("X", 1)]])
+        config = SystemConfig().scaled(hosts=2)
+        ops = test.compile(config)
+        assert ops[0][0].meta["via"] == "so"
+
+    def test_too_few_hosts_rejected(self, mp_test):
+        with pytest.raises(ValueError):
+            mp_test.compile(SystemConfig().scaled(hosts=1))
+
+
+class TestForbiddenMatching:
+    def test_partial_pattern_match(self, mp_test):
+        outcome = {"P1:r1": 1, "P1:r2": 0, "mem:X": 1}
+        assert mp_test.matches_forbidden(outcome) is not None
+
+    def test_non_matching_outcome(self, mp_test):
+        assert mp_test.matches_forbidden({"P1:r1": 1, "P1:r2": 1}) is None
+
+    def test_missing_register_does_not_match(self, mp_test):
+        assert mp_test.matches_forbidden({"P1:r1": 1}) is None

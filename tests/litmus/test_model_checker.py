@@ -1,0 +1,159 @@
+"""Tests for the explicit-state model checker (§4.5)."""
+
+import pytest
+
+from repro.config import CordConfig
+from repro.litmus import (
+    LitmusTest,
+    ModelChecker,
+    ld,
+    poll_acq,
+    st,
+    st_rel,
+    st_so,
+)
+
+ISA2 = LitmusTest(
+    name="ISA2",
+    locations={"X": 2, "Y": 1, "Z": 2},
+    programs=[
+        [st("X", 1), st_rel("Y", 1)],
+        [poll_acq("Y", 1, "r1"), st_rel("Z", 1)],
+        [poll_acq("Z", 1, "r2"), ld("X", "r3")],
+    ],
+    forbidden=[{"P2:r2": 1, "P2:r3": 0}],
+)
+
+MP = LitmusTest(
+    name="MP",
+    locations={"X": 2, "Y": 1},
+    programs=[
+        [st("X", 1), st_rel("Y", 1)],
+        [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+    ],
+    forbidden=[{"P1:r1": 1, "P1:r2": 0}],
+)
+
+
+class TestCordSafety:
+    def test_cord_forbids_isa2_outcome(self):
+        result = ModelChecker(ISA2, protocol="cord").run()
+        assert result.passed
+        assert result.forbidden_reached == []
+        assert result.deadlocks == 0
+
+    def test_cord_forbids_mp_pattern_outcome(self):
+        result = ModelChecker(MP, protocol="cord").run()
+        assert result.passed
+        # The only outcome: the load sees the fresh value.
+        assert all(o["P1:r2"] == 1 for o in result.outcomes)
+
+    def test_all_histories_pass_axiomatic_rc(self):
+        result = ModelChecker(ISA2, protocol="cord").run()
+        assert result.rc_violations == []
+
+
+class TestSoSafety:
+    def test_so_forbids_isa2_outcome(self):
+        result = ModelChecker(ISA2, protocol="so").run()
+        assert result.passed
+
+
+class TestMpViolation:
+    def test_mp_reaches_forbidden_isa2_outcome(self):
+        """The paper's Fig. 3: point-to-point ordering lacks cumulativity."""
+        result = ModelChecker(ISA2, protocol="mp").run()
+        assert not result.passed
+        assert result.forbidden_reached
+        # The axiomatic checker independently flags the same execution.
+        assert result.rc_violations
+
+    def test_mp_is_safe_for_two_party_sync(self):
+        """Point-to-point ordering is exactly what MP *can* provide: when
+        data and flag share a destination, per-pair FIFO preserves RC."""
+        from dataclasses import replace
+        same_dest = replace(MP, locations={"X": 1, "Y": 1})
+        result = ModelChecker(same_dest, protocol="mp").run()
+        assert result.passed
+
+    def test_mp_violates_even_mp_pattern_across_destinations(self):
+        """With data and flag on different hosts, MP's point-to-point
+        ordering cannot even preserve the two-thread MP pattern."""
+        result = ModelChecker(MP, protocol="mp").run()
+        assert not result.passed
+        assert result.forbidden_reached
+
+
+class TestMixedProtocols:
+    def test_mixed_cord_so_cores_safe(self):
+        from dataclasses import replace
+        mixed = replace(ISA2, thread_protocols=["cord", "so", "cord"])
+        result = ModelChecker(mixed, protocol="cord").run()
+        assert result.passed
+
+    def test_mixed_op_types_single_core(self):
+        test = LitmusTest(
+            name="mixed-ops",
+            locations={"X": 1, "Y": 1, "Z": 2},
+            programs=[
+                [st("X", 1), st_so("Z", 1), st_rel("Y", 1)],
+                [poll_acq("Y", 1, "r1"), ld("X", "r2"), ld("Z", "r3")],
+            ],
+            forbidden=[{"P1:r2": 0}, {"P1:r3": 0}],
+        )
+        result = ModelChecker(test, protocol="cord").run()
+        assert result.passed
+
+
+class TestBoundedResources:
+    def test_tiny_tables_safe_and_deadlock_free(self):
+        tiny = CordConfig(
+            epoch_bits=2, counter_bits=2,
+            proc_store_counter_entries=1, proc_unacked_epoch_entries=1,
+            dir_store_counter_entries_per_proc=3,
+            dir_notification_entries_per_proc=3,
+        )
+        result = ModelChecker(ISA2, protocol="cord", cord_config=tiny).run()
+        assert result.passed
+
+    def test_max_states_guard(self):
+        from repro.litmus import ModelCheckError
+        with pytest.raises(ModelCheckError):
+            ModelChecker(ISA2, protocol="cord", max_states=3).run()
+
+
+class TestTsoMode:
+    def test_tso_forbids_store_store_reorder(self):
+        test = LitmusTest(
+            name="tso-mp",
+            locations={"X": 2, "Y": 1},
+            programs=[
+                [st("X", 1), st("Y", 1)],   # both relaxed
+                [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+            ],
+            forbidden=[{"P1:r1": 1, "P1:r2": 0}],
+        )
+        rc_result = ModelChecker(test, protocol="cord", tso=False).run()
+        tso_result = ModelChecker(test, protocol="cord", tso=True).run()
+        # Allowed under RC...
+        assert rc_result.reaches({"P1:r2": 0})
+        # ...forbidden under TSO.
+        assert not tso_result.reaches({"P1:r2": 0})
+        assert tso_result.passed
+
+
+class TestWeakOutcomesReachable:
+    def test_relaxed_mp_weak_outcome_reachable(self):
+        """Sanity: without release/acquire the checker must find the weak
+        outcome (it is not over-synchronizing)."""
+        test = LitmusTest(
+            name="mp-rlx",
+            locations={"X": 2, "Y": 1},
+            programs=[
+                [st("X", 1), st("Y", 1)],
+                [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+            ],
+        )
+        result = ModelChecker(test, protocol="cord").run()
+        assert result.reaches({"P1:r1": 1, "P1:r2": 0})
+        assert result.reaches({"P1:r1": 1, "P1:r2": 1})

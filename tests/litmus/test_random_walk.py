@@ -1,0 +1,66 @@
+"""Tests for the random-walk validator."""
+
+import pytest
+
+from repro.config import CordConfig
+from repro.litmus import LitmusTest, ld, poll_acq, st, st_rel
+from repro.litmus.dsl import faa
+from repro.litmus.random_walk import random_walk
+
+ISA2 = LitmusTest(
+    name="ISA2",
+    locations={"X": 2, "Y": 1, "Z": 2},
+    programs=[
+        [st("X", 1), st_rel("Y", 1)],
+        [poll_acq("Y", 1, "r1"), st_rel("Z", 1)],
+        [poll_acq("Z", 1, "r2"), ld("X", "r3")],
+    ],
+    forbidden=[{"P2:r2": 1, "P2:r3": 0}],
+)
+
+
+class TestRandomWalk:
+    def test_cord_safe_over_many_walks(self):
+        result = random_walk(ISA2, protocol="cord", walks=150, seed=1)
+        assert result.passed
+        assert result.finals  # at least one complete execution observed
+
+    def test_mp_violation_found_by_sampling(self):
+        result = random_walk(ISA2, protocol="mp", walks=300, seed=2)
+        assert not result.passed
+        assert result.forbidden_hits
+
+    def test_deterministic_given_seed(self):
+        a = random_walk(ISA2, protocol="cord", walks=50, seed=7)
+        b = random_walk(ISA2, protocol="cord", walks=50, seed=7)
+        assert sorted(map(str, a.outcomes)) == sorted(map(str, b.outcomes))
+
+    def test_scales_to_programs_beyond_dfs(self):
+        """A longer 3-thread program with atomics and table pressure —
+        too big to explore exhaustively, fine to sample."""
+        program0 = []
+        for index in range(1, 9):
+            program0.append(st("X", index))
+            program0.append(st_rel("Y", index))
+        big = LitmusTest(
+            name="big-chain",
+            locations={"X": 1, "Y": 1, "C": 2},
+            programs=[
+                program0,
+                [poll_acq("Y", 8, "r1"), ld("X", "r2"), faa("C", 1, "r3")],
+                [faa("C", 1, "r4")],
+            ],
+            forbidden=[{"P1:r1": 8, "P1:r2": 0}, {"mem:C": 1}],
+        )
+        tiny = CordConfig(
+            epoch_bits=3, counter_bits=4,
+            proc_unacked_epoch_entries=2,
+            dir_store_counter_entries_per_proc=4,
+            dir_notification_entries_per_proc=4,
+        )
+        result = random_walk(big, protocol="cord", walks=60, seed=3,
+                             cord_config=tiny)
+        assert result.passed
+        # The final X must be the last value published before Y=8.
+        assert all(o["P1:r2"] == 8 for o in result.outcomes
+                   if o.get("P1:r1") == 8)

@@ -1,0 +1,59 @@
+"""Model-checking the SEQ-k baseline (§4.1's naive design, Fig. 10)."""
+
+import pytest
+
+from repro.litmus import LitmusTest, ModelChecker, ld, poll_acq, st, st_rel
+
+MP = LitmusTest(
+    name="MP",
+    locations={"X": 2, "Y": 1},
+    programs=[
+        [st("X", 1), st_rel("Y", 1)],
+        [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+    ],
+    forbidden=[{"P1:r1": 1, "P1:r2": 0}],
+)
+
+ISA2 = LitmusTest(
+    name="ISA2",
+    locations={"X": 2, "Y": 1, "Z": 2},
+    programs=[
+        [st("X", 1), st_rel("Y", 1)],
+        [poll_acq("Y", 1, "r1"), st_rel("Z", 1)],
+        [poll_acq("Z", 1, "r2"), ld("X", "r3")],
+    ],
+    forbidden=[{"P2:r2": 1, "P2:r3": 0}],
+)
+
+
+class TestSeqSafety:
+    @pytest.mark.parametrize("protocol", ["seq8", "seq40"])
+    @pytest.mark.parametrize("test", [MP, ISA2], ids=lambda t: t.name)
+    def test_seq_preserves_rc(self, protocol, test):
+        result = ModelChecker(test, protocol=protocol).run()
+        assert result.passed
+
+    def test_tiny_window_still_safe(self):
+        """seq2's 4-entry window forces overflow stalls mid-program."""
+        program = [st("X", value) for value in range(1, 7)]
+        program.append(st_rel("Y", 1))
+        test = LitmusTest(
+            name="seq-overflow",
+            locations={"X": 1, "Y": 1},
+            programs=[
+                program,
+                [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+            ],
+            forbidden=[{"P1:r1": 1, "P1:r2": 0}],
+        )
+        result = ModelChecker(test, protocol="seq2").run()
+        assert result.passed
+        assert all(o["P1:r2"] == 6 for o in result.outcomes
+                   if o.get("P1:r1") == 1)
+
+    def test_mixed_seq_and_cord_cores(self):
+        from dataclasses import replace
+        mixed = replace(MP, name="MP.seq-cord",
+                        thread_protocols=["seq8", "cord"])
+        result = ModelChecker(mixed, protocol="cord").run()
+        assert result.passed

@@ -1,0 +1,60 @@
+"""Tests for the litmus suites (fast subsets; the full sweep is a bench)."""
+
+import pytest
+
+from repro.litmus import CaseSpec, classic_tests, custom_tests, run_suite
+
+
+class TestSuiteConstruction:
+    def test_classic_count_covers_shapes_and_placements(self):
+        tests = classic_tests()
+        assert len(tests) == 56  # 14 shapes x 4 placements
+        names = {t.name for t in tests}
+        assert any(n.startswith("ISA2") for n in names)
+        assert any(n.startswith("IRIW") or n.startswith("2+2W") for n in names)
+
+    def test_custom_covers_paper_axes(self):
+        cases = custom_tests()
+        names = [c.name for c in cases]
+        assert any("mix-" in n for n in names)          # mixed CORD/SO cores
+        assert any("MIXED-OPS" in n for n in names)     # per-op mixing
+        assert any(".tiny" in n for n in names)         # under-provisioning
+        assert any("EPOCH-WRAP" in n for n in names)    # epoch overflow
+        assert any("CNT-WRAP" in n for n in names)      # counter overflow
+        assert any(".tso" in n for n in names)          # TSO mode
+
+    def test_suite_sizes_are_paper_scale(self):
+        # Paper: 122 classic + 180 custom.  Ours: 88 classic runs
+        # (44 tests x {cord, so}) + ~96 custom cases.
+        from repro.litmus import full_suite
+        assert len(full_suite()) >= 180
+
+
+class TestSubsetSweeps:
+    def test_split_placement_classics_pass_under_cord(self):
+        subset = [
+            CaseSpec(test=t, protocol="cord")
+            for t in classic_tests() if t.name.endswith(".split")
+        ]
+        report = run_suite(subset)
+        assert report.passed, report.failed
+
+    def test_spread_placement_classics_pass_under_so(self):
+        subset = [
+            CaseSpec(test=t, protocol="so")
+            for t in classic_tests() if t.name.endswith(".spread")
+        ]
+        report = run_suite(subset)
+        assert report.passed, report.failed
+
+    def test_overflow_customs_pass(self):
+        subset = [c for c in custom_tests() if "WRAP" in c.name][:4]
+        assert subset
+        report = run_suite(subset)
+        assert report.passed, report.failed
+
+    def test_report_counts(self):
+        subset = [CaseSpec(test=classic_tests()[0])]
+        report = run_suite(subset)
+        assert report.total == 1
+        assert report.states_total > 0

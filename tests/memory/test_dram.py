@@ -1,0 +1,37 @@
+"""Tests for the DRAM timing model."""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.memory import Dram
+
+
+class TestDram:
+    def test_access_latency_floor(self):
+        dram = Dram(MemoryConfig())
+        assert dram.access_ns(0) == pytest.approx(40.0)
+
+    def test_bandwidth_term_scales_with_size(self):
+        dram = Dram(MemoryConfig())
+        small = dram.access_ns(64)
+        big = dram.access_ns(64 * 1024)
+        assert big > small
+
+    def test_total_bandwidth_aggregates_channels(self):
+        config = MemoryConfig(channels=8, channel_bandwidth_gbps=64.0)
+        dram = Dram(config)
+        assert dram.total_bandwidth_bytes_per_ns == 512.0
+
+    def test_read_write_accounting(self):
+        dram = Dram(MemoryConfig())
+        dram.read(64)
+        dram.read(64)
+        dram.write(128)
+        assert dram.reads == 2
+        assert dram.writes == 1
+        assert dram.bytes_read == 128
+        assert dram.bytes_written == 128
+
+    def test_read_returns_latency(self):
+        dram = Dram(MemoryConfig())
+        assert dram.read(64) == pytest.approx(dram.access_ns(64))

@@ -1,0 +1,74 @@
+"""Tests for the CACTI-style area/power model (Table 3)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.overheads import SramMacro, cord_overhead_table, overhead_ratios
+
+
+class TestSramMacro:
+    def test_proc_store_counter_matches_table3(self):
+        macro = SramMacro("proc.store_counter", entries=8, entry_bytes=4)
+        assert macro.area_mm2 == pytest.approx(0.033, rel=0.05)
+        assert macro.static_power_mw == pytest.approx(4.621, rel=0.05)
+        assert macro.read_energy_nj == pytest.approx(0.016, rel=0.1)
+
+    def test_dir_store_counter_matches_table3(self):
+        macro = SramMacro("dir.store_counter", entries=128, entry_bytes=4)
+        assert macro.area_mm2 == pytest.approx(0.045, rel=0.05)
+        assert macro.static_power_mw == pytest.approx(7.776, rel=0.05)
+
+    def test_dir_notification_matches_table3(self):
+        macro = SramMacro("dir.notification", entries=256, entry_bytes=2)
+        assert macro.area_mm2 == pytest.approx(0.058, rel=0.05)
+        assert macro.static_power_mw == pytest.approx(11.057, rel=0.05)
+        assert macro.write_energy_nj == pytest.approx(0.025, rel=0.1)
+
+    def test_area_monotone_in_entries(self):
+        small = SramMacro("s", entries=8, entry_bytes=4)
+        big = SramMacro("b", entries=256, entry_bytes=4)
+        assert big.area_mm2 > small.area_mm2
+        assert big.static_power_mw > small.static_power_mw
+
+    def test_size_bytes(self):
+        assert SramMacro("s", entries=8, entry_bytes=4).size_bytes == 32
+
+
+class TestOverheadTable:
+    def test_table_has_paper_components(self):
+        rows = cord_overhead_table(SystemConfig())
+        components = {(r.location, r.component) for r in rows}
+        assert ("processor", "store counter") in components
+        assert ("processor", "unAck-ed epoch") in components
+        assert ("directory", "store counter") in components
+        assert ("directory", "notification counter") in components
+        assert ("directory", "largest Comm. epoch") in components
+
+    def test_table3_entry_counts(self):
+        rows = {(r.location, r.component): r
+                for r in cord_overhead_table(SystemConfig())}
+        assert rows[("processor", "store counter")].entries == 8
+        assert rows[("directory", "store counter")].entries == 8 * 16
+        assert rows[("directory", "notification counter")].entries == 16 * 16
+
+    def test_paper_headline_claims(self):
+        """§5.4: < 0.2% directory area, < 1.3% power, < 1% dynamic energy
+        relative to a host's LLC slices + directories."""
+        ratios = overhead_ratios(cord_overhead_table(SystemConfig()))
+        assert ratios["dir_area_ratio"] < 0.002
+        assert ratios["dir_power_ratio"] < 0.014
+        assert ratios["dynamic_energy_ratio"] < 0.01
+
+    def test_processor_totals_match_paper_magnitude(self):
+        rows = cord_overhead_table(SystemConfig())
+        proc_area = sum(r.area_mm2 for r in rows if r.location == "processor")
+        proc_power = sum(r.power_mw for r in rows if r.location == "processor")
+        assert proc_area == pytest.approx(0.066, rel=0.05)
+        assert proc_power == pytest.approx(9.242, rel=0.05)
+
+    def test_directory_totals_match_paper_magnitude(self):
+        rows = cord_overhead_table(SystemConfig())
+        dir_area = sum(r.area_mm2 for r in rows if r.location == "directory")
+        dir_power = sum(r.power_mw for r in rows if r.location == "directory")
+        assert dir_area == pytest.approx(0.136, rel=0.05)
+        assert dir_power == pytest.approx(23.454, rel=0.05)

@@ -1,0 +1,44 @@
+"""Tests for storage-overhead accounting (Fig. 11 / Fig. 12)."""
+
+from repro import Machine, SystemConfig
+from repro.overheads import collect_storage
+from repro.workloads import AtaSpec, build_ata_programs
+
+
+def run_ata(hosts=3, rounds=6):
+    config = SystemConfig().scaled(hosts=hosts, cores_per_host=1)
+    machine = Machine(config, protocol="cord")
+    result = machine.run(build_ata_programs(AtaSpec(rounds=rounds), config))
+    return collect_storage(result)
+
+
+class TestStorageReport:
+    def test_ata_consumes_proc_and_dir_storage(self):
+        report = run_ata()
+        assert report.max_proc_bytes > 0
+        assert report.max_dir_bytes > 0
+
+    def test_proc_storage_is_paper_magnitude(self):
+        """Fig. 11: processor storage stays tiny (tens of bytes)."""
+        report = run_ata(hosts=4)
+        assert report.max_proc_bytes <= 64
+
+    def test_dir_storage_is_paper_magnitude(self):
+        """Fig. 11: directory storage well under 1.5 KB per slice."""
+        report = run_ata(hosts=4)
+        assert report.max_dir_bytes <= 1536
+
+    def test_breakdowns_cover_components(self):
+        report = run_ata()
+        proc = report.proc_breakdown()
+        assert "store_counters" in proc
+        assert "unacked_epochs" in proc
+        directory = report.dir_breakdown()
+        assert "store_counters" in directory
+        assert "notification_counters" in directory
+        assert "network_buffer" in directory
+
+    def test_storage_grows_with_hosts(self):
+        small = run_ata(hosts=2)
+        large = run_ata(hosts=4)
+        assert large.max_dir_bytes >= small.max_dir_bytes

@@ -1,0 +1,34 @@
+"""Shared fixtures for protocol tests."""
+
+import pytest
+
+from repro import Machine, ProgramBuilder, SystemConfig
+
+
+@pytest.fixture
+def two_hosts():
+    """2 hosts x 1 core: producer on host 0, consumer on host 1."""
+    return SystemConfig().scaled(hosts=2, cores_per_host=1)
+
+
+@pytest.fixture
+def two_hosts_two_slices():
+    """2 hosts x 2 cores (2 LLC slices per host)."""
+    return SystemConfig().scaled(hosts=2, cores_per_host=2)
+
+
+def producer_consumer(machine, data_value=42, data_size=64):
+    """Build the canonical producer-consumer pair on a 2-host machine."""
+    amap = machine.address_map
+    data = amap.address_in_host(1, 0x8000)
+    flag = amap.address_in_host(1, 0x4000)
+    producer = (ProgramBuilder("producer")
+                .store(data, value=data_value, size=data_size)
+                .release_store(flag, value=1)
+                .build())
+    consumer = (ProgramBuilder("consumer")
+                .load_until(flag, 1)
+                .load(data, register="r0")
+                .build())
+    consumer_core = machine.config.cores_per_host  # first core of host 1
+    return {0: producer, consumer_core: consumer}, data, flag

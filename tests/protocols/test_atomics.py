@@ -1,0 +1,149 @@
+"""Tests for write-through atomics (RMWs at the home LLC) and spinlocks."""
+
+import pytest
+
+from repro import Machine, ProgramBuilder, SystemConfig
+from repro.consistency import AtomicOp, MemOp, Ordering
+
+PROTOCOLS = ["cord", "so", "mp", "wb", "seq16"]
+
+
+class TestAtomicOp:
+    def test_exchange(self):
+        assert AtomicOp.EXCHANGE.apply(5, 9, None) == 9
+
+    def test_fetch_add(self):
+        assert AtomicOp.FETCH_ADD.apply(5, 3, None) == 8
+
+    def test_cas_success_and_failure(self):
+        assert AtomicOp.COMPARE_SWAP.apply(5, 9, 5) == 9
+        assert AtomicOp.COMPARE_SWAP.apply(5, 9, 4) == 5
+
+    def test_constructors(self):
+        op = MemOp.fetch_add(0x100, 2, "r0")
+        assert op.meta["atomic"] is AtomicOp.FETCH_ADD
+        op = MemOp.compare_swap(0x100, compare=0, operand=1)
+        assert op.meta["compare"] == 0
+
+
+def _counter_value(machine, addr):
+    home = machine.address_map.home_directory(addr)
+    return machine.directories[home.index].values.get(addr, 0)
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_concurrent_fetch_adds_never_lose_updates(self, protocol):
+        config = SystemConfig().scaled(hosts=3, cores_per_host=1)
+        machine = Machine(config, protocol=protocol)
+        counter = machine.address_map.address_in_host(2, 0x1000)
+        programs = {}
+        for core in (0, 1):
+            builder = ProgramBuilder()
+            for _ in range(10):
+                builder.fetch_add(counter, 1, register="last")
+            programs[core] = builder.build()
+        machine.run(programs)
+        assert _counter_value(machine, counter) == 20
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_old_value_returned(self, protocol):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        machine = Machine(config, protocol=protocol)
+        addr = machine.address_map.address_in_host(1, 0x1000)
+        program = (ProgramBuilder()
+                   .store(addr, value=7, size=8)
+                   .fence()
+                   .fetch_add(addr, 5, register="old")
+                   .build())
+        result = machine.run({0: program})
+        assert result.history.register(0, "old") == 7
+        assert _counter_value(machine, addr) == 12
+
+
+class TestReleaseOrderedAtomics:
+    @pytest.mark.parametrize("protocol", ["cord", "so"])
+    def test_release_rmw_publishes_prior_stores(self, protocol):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        machine = Machine(config, protocol=protocol)
+        amap = machine.address_map
+        data = amap.address_in_host(1, 0x1000)
+        flag = amap.address_in_host(1, 0x2000)
+        producer = (ProgramBuilder()
+                    .store(data, value=42, size=64)
+                    .fetch_add(flag, 1, ordering=Ordering.RELEASE)
+                    .build())
+        consumer = (ProgramBuilder()
+                    .load_until(flag, 1)
+                    .load(data, register="r0")
+                    .build())
+        result = machine.run({0: producer, 1: consumer})
+        assert result.history.register(1, "r0") == 42
+
+    def test_cord_release_atomic_uses_release_machinery(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        machine = Machine(config, protocol="cord")
+        amap = machine.address_map
+        program = (ProgramBuilder()
+                   .store(amap.address_in_host(1, 0x1000), size=64)
+                   .fetch_add(amap.address_in_host(1, 0x2000), 1,
+                              ordering=Ordering.RELEASE)
+                   .build())
+        result = machine.run({0: program})
+        # The RMW travelled as a Release store and was acknowledged.
+        assert result.message_count("wt_rel") == 1
+        assert result.message_count("rel_ack") == 1
+
+
+class TestSpinlock:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_mutual_exclusion(self, protocol):
+        """Each worker writes its id into a shared slot inside the critical
+        section and reads it back; with working mutual exclusion it always
+        reads its own id."""
+        config = SystemConfig().scaled(hosts=3, cores_per_host=1)
+        machine = Machine(config, protocol=protocol)
+        amap = machine.address_map
+        lock = amap.address_in_host(2, 0x2000)
+        slot = amap.address_in_host(2, 0x3000)
+        programs = {}
+        for core, my_id in ((0, 101), (1, 202)):
+            builder = ProgramBuilder(f"worker{core}")
+            for _ in range(5):
+                builder.lock(lock)
+                builder.store(slot, value=my_id, size=8)
+                builder.compute(35.0)
+                builder.load(slot, register="mine")
+                builder.unlock(lock)
+            programs[core] = builder.build()
+        result = machine.run(programs)
+        assert result.history.register(0, "mine") == 101
+        assert result.history.register(1, "mine") == 202
+
+    def test_lock_is_eventually_acquired(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        machine = Machine(config, protocol="cord")
+        lock = machine.address_map.address_in_host(1, 0x2000)
+        program = (ProgramBuilder().lock(lock).unlock(lock).build())
+        result = machine.run({0: program})
+        assert result.time_ns > 0
+
+
+class TestWbAtomics:
+    def test_atomic_reclaims_owned_line(self):
+        """A far atomic on a line another core owns must fetch it back."""
+        config = SystemConfig().scaled(hosts=2, cores_per_host=2)
+        machine = Machine(config, protocol="wb")
+        amap = machine.address_map
+        addr = amap.address_in_host(1, 0x1000)
+        owner = (ProgramBuilder()
+                 .store(addr, value=5, size=8)
+                 .fence()
+                 .release_store(amap.address_in_host(1, 0x2000), value=1)
+                 .build())
+        rmw = (ProgramBuilder()
+               .load_until(amap.address_in_host(1, 0x2000), 1)
+               .fetch_add(addr, 1, register="old")
+               .build())
+        result = machine.run({0: owner, 2: rmw})
+        assert result.history.register(2, "old") == 5

@@ -1,0 +1,105 @@
+"""Property-based cross-protocol fuzzing on the timed machine.
+
+Random (but well-synchronized) producer-consumer programs must, under every
+protocol: run to completion (liveness), deliver the same synchronized
+values (they are fully determined by the program), and produce RC-clean
+histories for the ordered protocols.  This is the integration-level
+complement to the per-module property tests and the untimed model checker.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine, ProgramBuilder, SystemConfig, check_rc
+
+PROTOCOLS = ("cord", "so", "mp", "wb", "seq16")
+
+
+@st.composite
+def scenarios(draw):
+    return {
+        "stores": draw(st.integers(min_value=1, max_value=12)),
+        "store_size": draw(st.sampled_from([8, 64, 256])),
+        "iterations": draw(st.integers(min_value=1, max_value=3)),
+        "use_atomic_flag": draw(st.booleans()),
+        "wc_lines": draw(st.sampled_from([0, 4])),
+    }
+
+
+def _build(machine, scenario):
+    amap = machine.address_map
+    data = amap.address_in_host(1, 0x100000)
+    flag = amap.address_in_host(1, 0x4000)
+    producer = ProgramBuilder("producer")
+    consumer = ProgramBuilder("consumer")
+    stores = scenario["stores"]
+    for iteration in range(scenario["iterations"]):
+        base_value = iteration * stores
+        for index in range(stores):
+            producer.store(
+                data + index * scenario["store_size"],
+                value=base_value + index + 1,
+                size=scenario["store_size"],
+            )
+        if scenario["use_atomic_flag"]:
+            from repro.consistency import Ordering
+            producer.fetch_add(flag, 1, ordering=Ordering.RELEASE)
+        else:
+            producer.release_store(flag, value=iteration + 1)
+        consumer.load_until(flag, iteration + 1)
+        consumer.load(data, register=f"first{iteration}")
+        consumer.load(
+            data + (stores - 1) * scenario["store_size"],
+            register=f"last{iteration}",
+        )
+    return {0: producer.build(), 1: consumer.build()}
+
+
+class TestCrossProtocol:
+    @settings(max_examples=15, deadline=None)
+    @given(scenario=scenarios())
+    def test_all_protocols_agree_on_synchronized_values(self, scenario):
+        expected = None
+        for protocol in PROTOCOLS:
+            config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+            if scenario["wc_lines"]:
+                config = config.with_write_combining(scenario["wc_lines"])
+            machine = Machine(config, protocol=protocol)
+            result = machine.run(_build(machine, scenario))
+            registers = {
+                name: value
+                for (core, name), value in result.history.registers.items()
+                if core == 1
+            }
+            # Only the final iteration's reads are fully determined: the
+            # producer may run ahead (no backpressure), so earlier
+            # iterations can legitimately observe later data.
+            last = scenario["iterations"] - 1
+            stores = scenario["stores"]
+            final = (registers[f"first{last}"], registers[f"last{last}"])
+            assert final == (last * stores + 1, (last + 1) * stores), protocol
+            if expected is None:
+                expected = final
+            else:
+                assert final == expected, protocol
+
+    @settings(max_examples=10, deadline=None)
+    @given(scenario=scenarios())
+    def test_ordered_protocol_histories_pass_rc(self, scenario):
+        for protocol in ("cord", "so"):
+            config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+            machine = Machine(config, protocol=protocol)
+            result = machine.run(_build(machine, scenario))
+            assert check_rc(result.history) == [], protocol
+
+    @settings(max_examples=10, deadline=None)
+    @given(scenario=scenarios())
+    def test_mp_never_slower_and_cord_never_slower_than_so(self, scenario):
+        times = {}
+        for protocol in ("mp", "cord", "so"):
+            config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+            machine = Machine(config, protocol=protocol)
+            times[protocol] = machine.run(_build(machine, scenario)).time_ns
+        assert times["mp"] <= times["cord"] + 1e-6
+        assert times["cord"] <= times["so"] + 1e-6

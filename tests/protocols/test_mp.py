@@ -1,0 +1,57 @@
+"""Tests for the message-passing (MP) protocol actors."""
+
+from repro import Machine, ProgramBuilder
+from tests.protocols.conftest import producer_consumer
+
+
+class TestPostedWrites:
+    def test_no_control_traffic_at_all(self, two_hosts):
+        machine = Machine(two_hosts, protocol="mp")
+        programs, _, _ = producer_consumer(machine)
+        result = machine.run(programs)
+        assert result.message_count("wt_ack") == 0
+        assert result.message_count("rel_ack") == 0
+
+    def test_value_flows_point_to_point(self, two_hosts):
+        machine = Machine(two_hosts, protocol="mp")
+        programs, _, _ = producer_consumer(machine)
+        result = machine.run(programs)
+        assert result.history.register(1, "r0") == 42
+
+    def test_producer_never_stalls(self, two_hosts):
+        machine = Machine(two_hosts, protocol="mp")
+        amap = machine.address_map
+        builder = ProgramBuilder()
+        for i in range(5):
+            builder.store(amap.address_in_host(1, 0x1000 + 64 * i))
+            builder.release_store(amap.address_in_host(1, 0x3000 + 64 * i))
+        result = machine.run({0: builder.build()})
+        assert result.stall_ns() == 0
+
+    def test_mp_is_traffic_lower_bound(self, two_hosts):
+        def traffic(protocol):
+            machine = Machine(two_hosts, protocol=protocol)
+            programs, _, _ = producer_consumer(machine)
+            return machine.run(programs).inter_host_bytes
+
+        mp = traffic("mp")
+        assert mp <= traffic("cord")
+        assert mp <= traffic("so")
+
+    def test_same_pair_fifo_preserves_point_to_point_order(self, two_hosts):
+        """Per-pair FIFO: a later small posted write does not pass an
+        earlier large one on the same path."""
+        machine = Machine(two_hosts, protocol="mp")
+        amap = machine.address_map
+        data = amap.address_in_host(1, 0x1000)
+        flag = amap.address_in_host(1, 0x2000)
+        producer = (ProgramBuilder()
+                    .store(data, value=9, size=4096)
+                    .store(flag, value=1, size=8)
+                    .build())
+        consumer = (ProgramBuilder()
+                    .load_until(flag, 1)
+                    .load(data, register="r0")
+                    .build())
+        result = machine.run({0: producer, 1: consumer})
+        assert result.history.register(1, "r0") == 9

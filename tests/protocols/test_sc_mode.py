@@ -1,0 +1,127 @@
+"""Tests for the sequential-consistency mode (the 'other models' claim).
+
+The paper's conclusion argues directory ordering "is generalizable for
+efficiently enforcing other consistency models"; SC is the strictest, and
+the canonical discriminator is store buffering (SB): the both-zero outcome
+is allowed under RC and TSO but forbidden under SC.
+"""
+
+import pytest
+
+from repro import Machine, ProgramBuilder, SystemConfig
+from repro.litmus import LitmusTest, ModelChecker, ld, st
+
+SB = LitmusTest(
+    name="SB",
+    locations={"X": 1, "Y": 2},
+    programs=[
+        [st("X", 1), ld("Y", "r1")],
+        [st("Y", 1), ld("X", "r2")],
+    ],
+)
+BOTH_ZERO = {"P0:r1": 0, "P1:r2": 0}
+
+
+class TestModelChecker:
+    @pytest.mark.parametrize("protocol", ["cord", "so"])
+    def test_sb_both_zero_reachable_under_rc_and_tso(self, protocol):
+        assert ModelChecker(SB, protocol=protocol).run().reaches(BOTH_ZERO)
+        assert ModelChecker(SB, protocol=protocol,
+                            tso=True).run().reaches(BOTH_ZERO)
+
+    @pytest.mark.parametrize("protocol", ["cord", "so"])
+    def test_sb_both_zero_forbidden_under_sc(self, protocol):
+        result = ModelChecker(SB, protocol=protocol, sc=True).run()
+        assert not result.reaches(BOTH_ZERO)
+        assert result.deadlocks == 0
+        # At least one SC-consistent outcome exists.
+        assert result.outcomes
+
+    def test_sc_subsumes_tso_store_ordering(self):
+        from repro.litmus import poll_acq
+        mp_pattern = LitmusTest(
+            name="mp-rlx",
+            locations={"X": 2, "Y": 1},
+            programs=[
+                [st("X", 1), st("Y", 1)],
+                [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+            ],
+        )
+        result = ModelChecker(mp_pattern, protocol="cord", sc=True).run()
+        assert not result.reaches({"P1:r1": 1, "P1:r2": 0})
+
+
+class TestTimedMachine:
+    def test_sc_accepted_by_machine(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        machine = Machine(config, protocol="cord", consistency="sc")
+        assert machine.consistency == "sc"
+
+    @pytest.mark.parametrize("protocol", ["cord", "so", "wb"])
+    def test_producer_consumer_under_sc(self, protocol):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        machine = Machine(config, protocol=protocol, consistency="sc")
+        amap = machine.address_map
+        data = amap.address_in_host(1, 0x1000)
+        flag = amap.address_in_host(1, 0x2000)
+        producer = (ProgramBuilder()
+                    .store(data, value=3, size=8)
+                    .store(flag, value=1, size=8)  # plain store suffices
+                    .build())
+        consumer = (ProgramBuilder()
+                    .load_until(flag, 1)
+                    .load(data, register="r0")
+                    .build())
+        result = machine.run({0: producer, 1: consumer})
+        assert result.history.register(1, "r0") == 3
+
+    def test_sc_load_waits_for_own_stores(self):
+        """A load after a store may not issue until the store commits:
+        SC mode must show a store->load stall CORD's RC mode doesn't."""
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+
+        def run(consistency):
+            machine = Machine(config, protocol="cord",
+                              consistency=consistency)
+            amap = machine.address_map
+            program = (ProgramBuilder()
+                       .store(amap.address_in_host(1, 0x1000), value=1)
+                       .load(amap.address_in_host(1, 0x2000), register="r0")
+                       .build())
+            return machine.run({0: program}).time_ns
+
+        assert run("sc") > run("rc")
+
+    def test_sc_slower_than_tso_slower_than_rc(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+
+        def run(consistency):
+            machine = Machine(config, protocol="cord",
+                              consistency=consistency)
+            amap = machine.address_map
+            builder = ProgramBuilder()
+            for index in range(6):
+                builder.store(amap.address_in_host(1, 0x1000 + 64 * index))
+                builder.load(amap.address_in_host(1, 0x8000 + 64 * index),
+                             register=f"r{index}")
+            return machine.run({0: builder.build()}).time_ns
+
+        rc, tso, sc = run("rc"), run("tso"), run("sc")
+        assert rc <= tso <= sc
+        assert sc > rc
+
+    def test_cord_still_beats_so_under_sc(self):
+        """Directory ordering pays off under SC too: SO must serialize a
+        full round trip per store, CORD pipelines its release chain."""
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+
+        def run(protocol):
+            machine = Machine(config, protocol=protocol, consistency="sc")
+            amap = machine.address_map
+            builder = ProgramBuilder()
+            for index in range(12):
+                builder.store(amap.address_in_host(1, 0x1000 + 64 * index))
+            builder.fence()
+            return machine.run({0: builder.build()}).time_ns
+
+        assert run("cord") < run("so")

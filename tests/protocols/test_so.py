@@ -1,0 +1,83 @@
+"""Tests for the source-ordering (SO) protocol actors."""
+
+import pytest
+
+from repro import Machine, ProgramBuilder
+from tests.protocols.conftest import producer_consumer
+
+
+class TestBasics:
+    def test_producer_consumer_value_flows(self, two_hosts):
+        machine = Machine(two_hosts, protocol="so")
+        programs, _, _ = producer_consumer(machine)
+        result = machine.run(programs)
+        assert result.history.register(1, "r0") == 42
+
+    def test_every_wt_store_is_acked(self, two_hosts):
+        machine = Machine(two_hosts, protocol="so")
+        amap = machine.address_map
+        builder = ProgramBuilder()
+        for i in range(5):
+            builder.store(amap.address_in_host(1, 0x1000 + 64 * i), value=i)
+        builder.fence()
+        result = machine.run({0: builder.build()})
+        assert result.message_count("wt_store") == 5
+        assert result.message_count("wt_ack") == 5
+
+    def test_release_stalls_for_outstanding_acks(self, two_hosts):
+        machine = Machine(two_hosts, protocol="so")
+        amap = machine.address_map
+        program = (ProgramBuilder()
+                   .store(amap.address_in_host(1, 0x1000), size=64)
+                   .release_store(amap.address_in_host(1, 0x2000))
+                   .build())
+        result = machine.run({0: program})
+        # The release waited roughly one interconnect round trip.
+        assert result.stall_ns("wait_wt_ack") > \
+            machine.config.interconnect.inter_host_latency_ns
+
+    def test_relaxed_stores_do_not_stall(self, two_hosts):
+        machine = Machine(two_hosts, protocol="so")
+        amap = machine.address_map
+        builder = ProgramBuilder()
+        for i in range(10):
+            builder.store(amap.address_in_host(1, 0x1000 + 64 * i))
+        result = machine.run({0: builder.build()})
+        assert result.stall_ns("wait_wt_ack") == 0
+
+    def test_consecutive_releases_serialize(self, two_hosts):
+        machine = Machine(two_hosts, protocol="so")
+        amap = machine.address_map
+        program = (ProgramBuilder()
+                   .release_store(amap.address_in_host(1, 0x1000))
+                   .release_store(amap.address_in_host(1, 0x2000))
+                   .build())
+        result = machine.run({0: program})
+        # The second release waits for the first release's ack.
+        assert result.stall_ns("wait_wt_ack") > 0
+
+
+class TestTsoMode:
+    def test_tso_orders_every_store(self, two_hosts):
+        machine = Machine(two_hosts, protocol="so", consistency="tso")
+        amap = machine.address_map
+        builder = ProgramBuilder()
+        for i in range(4):
+            builder.store(amap.address_in_host(1, 0x1000 + 64 * i))
+        result = machine.run({0: builder.build()})
+        # Stores 2..4 each waited for the previous ack.
+        round_trip = 2 * machine.config.interconnect.inter_host_latency_ns
+        assert result.stall_ns("wait_wt_ack") >= 3 * round_trip * 0.9
+
+    def test_tso_slower_than_rc(self, two_hosts):
+        def run(consistency):
+            machine = Machine(two_hosts, protocol="so",
+                              consistency=consistency)
+            amap = machine.address_map
+            builder = ProgramBuilder()
+            for i in range(6):
+                builder.store(amap.address_in_host(1, 0x1000 + 64 * i))
+            builder.fence()
+            return machine.run({0: builder.build()}).time_ns
+
+        assert run("tso") > run("rc")

@@ -1,0 +1,65 @@
+"""Tests for the deterministic RNG."""
+
+from repro.sim import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_child_streams_are_independent(self):
+        root = DeterministicRng(7)
+        child_a = root.child("alpha")
+        child_b = root.child("alpha")
+        assert [child_a.random() for _ in range(5)] == [
+            child_b.random() for _ in range(5)
+        ]
+
+    def test_child_label_matters(self):
+        root = DeterministicRng(7)
+        assert root.child("x").seed != root.child("y").seed
+
+
+class TestHelpers:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(3)
+        values = [rng.randint(2, 5) for _ in range(200)]
+        assert min(values) >= 2 and max(values) <= 5
+
+    def test_choice_from_sequence(self):
+        rng = DeterministicRng(3)
+        options = ["a", "b", "c"]
+        assert all(rng.choice(options) in options for _ in range(20))
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(3)
+        items = list(range(10))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_sample_size_and_membership(self):
+        rng = DeterministicRng(3)
+        sample = rng.sample(range(100), 10)
+        assert len(sample) == 10
+        assert all(0 <= x < 100 for x in sample)
+
+    def test_geometric_jitter_bounds(self):
+        rng = DeterministicRng(3)
+        for _ in range(100):
+            value = rng.geometric_jitter(100.0, spread=0.2)
+            assert 80.0 <= value <= 120.0
+
+    def test_geometric_jitter_zero_mean(self):
+        assert DeterministicRng(0).geometric_jitter(0.0) == 0.0

@@ -1,0 +1,108 @@
+"""Tests for the statistics registry."""
+
+from repro.sim import StatRegistry
+
+
+class TestCounters:
+    def test_counter_starts_at_zero(self):
+        stats = StatRegistry()
+        assert stats.counter("x").value == 0.0
+
+    def test_counter_accumulates(self):
+        stats = StatRegistry()
+        stats.counter("bytes").add(10)
+        stats.counter("bytes").add(2.5)
+        assert stats.value("bytes") == 12.5
+
+    def test_counter_identity_is_stable(self):
+        stats = StatRegistry()
+        assert stats.counter("a") is stats.counter("a")
+
+    def test_missing_counter_reads_zero(self):
+        assert StatRegistry().value("nope") == 0.0
+
+    def test_sum_matching_prefix(self):
+        stats = StatRegistry()
+        stats.counter("traffic.ctrl").add(3)
+        stats.counter("traffic.data").add(4)
+        stats.counter("other").add(100)
+        assert stats.sum_matching("traffic.") == 7
+
+
+class TestMaxTracker:
+    def test_tracks_maximum(self):
+        stats = StatRegistry()
+        tracker = stats.max_tracker("occupancy")
+        tracker.set(3)
+        tracker.set(10)
+        tracker.set(5)
+        assert tracker.maximum == 10
+        assert tracker.current == 5
+
+    def test_add_delta(self):
+        stats = StatRegistry()
+        tracker = stats.max_tracker("o")
+        tracker.add(4)
+        tracker.add(-2)
+        tracker.add(5)
+        assert tracker.current == 7
+        assert tracker.maximum == 7
+
+    def test_max_value_query(self):
+        stats = StatRegistry()
+        stats.max_tracker("t").set(9)
+        assert stats.max_value("t") == 9
+        assert stats.max_value("missing") == 0.0
+
+
+class TestAccumulator:
+    def test_count_sum_mean(self):
+        stats = StatRegistry()
+        acc = stats.accumulator("lat")
+        for value in (1.0, 2.0, 3.0):
+            acc.add(value)
+        assert acc.count == 3
+        assert acc.total == 6.0
+        assert acc.mean == 2.0
+
+    def test_min_max(self):
+        stats = StatRegistry()
+        acc = stats.accumulator("lat")
+        for value in (5.0, 1.0, 9.0):
+            acc.add(value)
+        assert acc.minimum == 1.0
+        assert acc.maximum == 9.0
+
+    def test_empty_mean_is_zero(self):
+        assert StatRegistry().accumulator("x").mean == 0.0
+
+    def test_samples_kept_only_when_requested(self):
+        stats = StatRegistry()
+        keep = stats.accumulator("keep", keep_samples=True)
+        keep.add(1.0)
+        assert keep.samples == [1.0]
+        drop = stats.accumulator("drop")
+        drop.add(1.0)
+        assert drop.samples == []
+
+
+class TestViews:
+    def test_as_dict_contains_all_kinds(self):
+        stats = StatRegistry()
+        stats.counter("c").add(1)
+        stats.max_tracker("m").set(2)
+        stats.accumulator("a").add(3)
+        flattened = stats.as_dict()
+        assert flattened["c"] == 1
+        assert flattened["m.max"] == 2
+        assert flattened["a.count"] == 1
+        assert flattened["a.mean"] == 3
+
+    def test_grouped_by_head(self):
+        stats = StatRegistry()
+        stats.counter("traffic.ctrl").add(1)
+        stats.counter("traffic.data").add(2)
+        stats.counter("stall.ack").add(3)
+        groups = stats.grouped()
+        assert set(groups) >= {"traffic", "stall"}
+        assert groups["traffic"]["ctrl"] == 1

@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_help_returns_zero(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "litmus" in out
+
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_table3_runs(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "store counter" in out
+        assert "area_mm2" in out
+
+    def test_fig8_accepts_panel_argument(self, capsys):
+        # Reduced check: the panel name flows through to the title.
+        assert main(["fig9", "fanout"]) == 0
+        out = capsys.readouterr().out
+        assert "fanout" in out

@@ -1,0 +1,108 @@
+"""Tests for system configuration (Table 1 parameters)."""
+
+import pytest
+
+from repro.config import (
+    CXL,
+    UPI,
+    CacheConfig,
+    CordConfig,
+    MessageSizeConfig,
+    SystemConfig,
+)
+
+
+class TestCacheConfig:
+    def test_sets_derived_from_geometry(self):
+        cache = CacheConfig(64 * 1024, 2, 2)
+        assert cache.sets == 64 * 1024 // (2 * 64)
+
+    def test_rejects_non_divisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 1)
+
+
+class TestInterconnectPresets:
+    def test_table1_latencies(self):
+        assert CXL.inter_host_latency_ns == 150.0
+        assert UPI.inter_host_latency_ns == 50.0
+
+    def test_serialization_matches_bandwidth(self):
+        # 64 GB/s == 64 B/ns.
+        assert CXL.serialization_ns(64) == pytest.approx(1.0)
+        assert CXL.serialization_ns(4096) == pytest.approx(64.0)
+
+
+class TestSystemConfig:
+    def test_table1_defaults(self):
+        config = SystemConfig()
+        assert config.hosts == 8
+        assert config.cores_per_host == 8
+        assert config.total_cores == 64
+        assert config.total_directories == 64
+        assert config.llc_slice.size_bytes == 2 * 1024 * 1024
+
+    def test_host_of_core(self):
+        config = SystemConfig()
+        assert config.host_of_core(0) == 0
+        assert config.host_of_core(8) == 1
+        assert config.host_of_core(63) == 7
+
+    def test_cycles_to_ns(self):
+        config = SystemConfig()  # 2 GHz
+        assert config.cycles_to_ns(2) == pytest.approx(1.0)
+
+    def test_scaled_reduces_geometry(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        assert config.total_cores == 2
+        assert config.total_directories == 2
+
+    def test_with_interconnect(self):
+        config = SystemConfig().with_interconnect(UPI)
+        assert config.interconnect.name == "UPI"
+        assert config.hosts == 8  # unchanged
+
+    def test_mesh_must_fit_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cores_per_host=10, mesh_dims=(2, 4))
+
+
+class TestCordConfig:
+    def test_moduli(self):
+        cord = CordConfig(epoch_bits=8, counter_bits=32)
+        assert cord.epoch_modulus == 256
+        assert cord.counter_modulus == 2**32
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            CordConfig(epoch_bits=0)
+
+    def test_table3_default_provisioning(self):
+        cord = CordConfig()
+        assert cord.proc_store_counter_entries == 8
+        assert cord.proc_unacked_epoch_entries == 8
+        assert cord.dir_store_counter_entries_per_proc == 8
+        assert cord.dir_notification_entries_per_proc == 16
+
+
+class TestMessageSizes:
+    def test_epoch_fits_reserved_bits_for_free(self):
+        sizes = MessageSizeConfig()
+        # 8-bit epochs ride in reserved header bits (§4.1).
+        assert sizes.metadata_overhead_bytes(8) == 0
+
+    def test_release_metadata_overhead(self):
+        sizes = MessageSizeConfig()
+        # epoch(8) + counter(32) + lastPrevEp(8) + notiCnt(8) = 56 bits;
+        # 8 ride free, 48 remain -> 6 bytes.
+        assert sizes.metadata_overhead_bytes(56) == 6
+
+    def test_data_bytes_includes_header_and_payload(self):
+        sizes = MessageSizeConfig()
+        assert sizes.data_bytes(64) == 16 + 64
+        assert sizes.data_bytes(64, metadata_bits=16) == 16 + 64 + 1
+
+    def test_control_bytes(self):
+        sizes = MessageSizeConfig()
+        assert sizes.control_bytes() == 16
+        assert sizes.control_bytes(40) == 16 + 4

@@ -1,0 +1,109 @@
+"""Cross-module integration tests: the paper's headline claims in miniature."""
+
+import pytest
+
+from repro import Machine, SystemConfig, check_rc
+from repro.workloads import app, build_workload_programs
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run one communication-heavy app (CR) under all four protocols once."""
+    config = SystemConfig().scaled(hosts=4, cores_per_host=2)
+    spec = app("CR").scaled(iterations=4)
+    out = {}
+    for protocol in ("mp", "cord", "so", "wb"):
+        machine = Machine(config, protocol=protocol)
+        out[protocol] = machine.run(build_workload_programs(spec, config))
+    return out
+
+
+class TestHeadlineClaims:
+    def test_cord_faster_than_so(self, results):
+        assert results["cord"].time_ns < results["so"].time_ns
+
+    def test_cord_within_striking_distance_of_mp(self, results):
+        assert results["cord"].time_ns <= results["mp"].time_ns * 1.15
+
+    def test_cord_less_traffic_than_so(self, results):
+        assert results["cord"].inter_host_bytes < results["so"].inter_host_bytes
+
+    def test_wb_slowest_for_streaming_workload(self, results):
+        assert results["wb"].time_ns > results["cord"].time_ns
+
+    def test_so_control_traffic_dominated_by_acks(self, results):
+        so = results["so"]
+        ack_bytes = so.stats.value("bytes.inter_host.wt_ack")
+        assert ack_bytes > 0.5 * so.inter_host_control_bytes
+
+    def test_cord_has_no_relaxed_store_acks(self, results):
+        cord = results["cord"]
+        assert cord.message_count("wt_ack") == 0
+        assert cord.message_count("wt_rlx") > 0
+
+
+class TestValueCorrectness:
+    @pytest.mark.parametrize("protocol", ["mp", "cord", "so", "wb"])
+    def test_consumers_observe_final_values(self, results, protocol):
+        history = results[protocol].history
+        # Every consumer finished its polls: all registers populated.
+        assert history.registers
+        assert all(v is not None for v in history.registers.values())
+
+    @pytest.mark.parametrize("protocol", ["cord", "so"])
+    def test_histories_satisfy_release_consistency(self, results, protocol):
+        violations = check_rc(results[protocol].history)
+        assert violations == []
+
+
+class TestTsoMode:
+    def test_cord_advantage_grows_under_tso(self):
+        """§6: TSO orders every store, amplifying CORD's benefit over SO."""
+        config = SystemConfig().scaled(hosts=4, cores_per_host=2)
+        spec = app("CR").scaled(iterations=3)
+
+        def ratio(consistency):
+            times = {}
+            for protocol in ("cord", "so"):
+                machine = Machine(config, protocol=protocol,
+                                  consistency=consistency)
+                times[protocol] = machine.run(
+                    build_workload_programs(spec, config)
+                ).time_ns
+            return times["so"] / times["cord"]
+
+        assert ratio("tso") > ratio("rc")
+
+    def test_cord_traffic_inflates_under_tso(self):
+        """§6: per-store ordering metadata + acks + notifications make CORD
+        traffic-heavier under TSO than under RC."""
+        config = SystemConfig().scaled(hosts=4, cores_per_host=2)
+        spec = app("CR").scaled(iterations=3)
+
+        def traffic(consistency):
+            machine = Machine(config, protocol="cord",
+                              consistency=consistency)
+            return machine.run(
+                build_workload_programs(spec, config)
+            ).inter_host_bytes
+
+        assert traffic("tso") > traffic("rc")
+
+
+class TestInterconnectSensitivity:
+    def test_cord_benefit_larger_on_cxl_than_upi(self):
+        """Higher interconnect latency means more to save (§5.2)."""
+        from repro.config import CXL, UPI
+        spec = app("CR").scaled(iterations=3)
+
+        def ratio(interconnect):
+            config = SystemConfig().scaled(4, 2).with_interconnect(interconnect)
+            times = {}
+            for protocol in ("cord", "so"):
+                machine = Machine(config, protocol=protocol)
+                times[protocol] = machine.run(
+                    build_workload_programs(spec, config)
+                ).time_ns
+            return times["so"] / times["cord"]
+
+        assert ratio(CXL) > ratio(UPI)

@@ -1,0 +1,46 @@
+"""Tests for the ATA storage-stress workload (§5.4)."""
+
+from repro.config import SystemConfig
+from repro.consistency import Ordering
+from repro.workloads import AtaSpec, build_ata_programs
+
+
+class TestAta:
+    def test_one_broadcaster_per_host(self):
+        config = SystemConfig().scaled(hosts=4, cores_per_host=2)
+        programs = build_ata_programs(AtaSpec(rounds=2), config)
+        assert set(programs) == {0, 2, 4, 6}
+
+    def test_each_peer_gets_payload_plus_release_flag(self):
+        config = SystemConfig().scaled(hosts=3, cores_per_host=1)
+        programs = build_ata_programs(AtaSpec(rounds=2), config)
+        for program in programs.values():
+            stores = [op for op in program.ops if op.is_store]
+            releases = [op for op in stores
+                        if op.ordering is Ordering.RELEASE]
+            # one payload + one flag per peer per round
+            assert len(stores) == 2 * 2 * 2
+            assert len(releases) == 2 * 2
+
+    def test_broadcast_covers_all_peers(self):
+        from repro.memory import AddressMap
+        config = SystemConfig().scaled(hosts=4, cores_per_host=1)
+        amap = AddressMap(config)
+        programs = build_ata_programs(AtaSpec(rounds=1), config)
+        host0 = programs[0]
+        targets = {amap.host_of(op.addr) for op in host0.ops if op.is_store}
+        assert targets == {1, 2, 3}
+
+    def test_payload_is_8_bytes(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        programs = build_ata_programs(AtaSpec(rounds=1), config)
+        assert all(op.size == 8 for op in programs[0].ops if op.is_store)
+
+    def test_runs_to_completion_under_cord(self):
+        from repro import Machine
+        config = SystemConfig().scaled(hosts=3, cores_per_host=1)
+        machine = Machine(config, protocol="cord")
+        result = machine.run(build_ata_programs(AtaSpec(rounds=4), config))
+        assert result.time_ns > 0
+        # Release-only traffic: every store needed an ack for reclamation.
+        assert result.message_count("rel_ack", "inter_host") > 0

@@ -1,0 +1,144 @@
+"""Tests for the generic workload generator."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.consistency import OpKind, Ordering
+from repro.workloads import (
+    WorkloadSpec,
+    build_workload_programs,
+    consumer_core,
+    producer_core,
+)
+
+
+@pytest.fixture
+def config():
+    return SystemConfig().scaled(hosts=4, cores_per_host=2)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="t", relaxed_granularity=64, release_granularity=256,
+        fanout=1, iterations=2,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestStructure:
+    def test_producer_and_consumer_per_host(self, config):
+        programs = build_workload_programs(small_spec(), config)
+        expected = set()
+        for host in range(config.hosts):
+            expected.add(producer_core(config, host))
+            expected.add(consumer_core(config, host))
+        assert set(programs) == expected
+
+    def test_stores_per_release(self):
+        assert small_spec().stores_per_release == 4
+        assert small_spec(relaxed_granularity=8,
+                          release_granularity=700).stores_per_release == 87
+
+    def test_producer_emits_expected_store_counts(self, config):
+        spec = small_spec(fanout=2, iterations=3)
+        programs = build_workload_programs(spec, config)
+        producer = programs[producer_core(config, 0)]
+        relaxed = [op for op in producer.ops
+                   if op.is_store and op.ordering is Ordering.RELAXED]
+        releases = [op for op in producer.ops
+                    if op.is_store and op.ordering is Ordering.RELEASE]
+        assert len(relaxed) == spec.stores_per_release * 2 * 3
+        assert len(releases) == 2 * 3  # one flag per target per iteration
+
+    def test_producer_targets_only_fanout_hosts(self, config):
+        from repro.memory import AddressMap
+        amap = AddressMap(config)
+        programs = build_workload_programs(small_spec(fanout=2), config)
+        producer = programs[producer_core(config, 0)]
+        store_hosts = {
+            amap.host_of(op.addr) for op in producer.ops if op.is_store
+        }
+        assert store_hosts == {1, 2}
+
+    def test_consumer_polls_each_source(self, config):
+        programs = build_workload_programs(small_spec(fanout=2), config)
+        consumer = programs[consumer_core(config, 0)]
+        polls = [op for op in consumer.ops if op.kind is OpKind.LOAD_UNTIL]
+        assert len(polls) == 2 * 2  # two sources x two iterations
+
+    def test_lockstep_producers_wait_for_acks(self, config):
+        programs = build_workload_programs(small_spec(window=1), config)
+        producer = programs[producer_core(config, 0)]
+        assert any(op.kind is OpKind.LOAD_UNTIL for op in producer.ops)
+
+    def test_window_delays_first_ack_wait(self, config):
+        lockstep = build_workload_programs(small_spec(window=1), config)
+        pipelined = build_workload_programs(
+            small_spec(window=2, iterations=4), config
+        )
+        def first_poll_index(programs):
+            producer = programs[producer_core(config, 0)]
+            return next(i for i, op in enumerate(producer.ops)
+                        if op.kind is OpKind.LOAD_UNTIL)
+        assert first_poll_index(pipelined) > first_poll_index(lockstep)
+
+    def test_fanout_must_fit_hosts(self, config):
+        with pytest.raises(ValueError):
+            build_workload_programs(small_spec(fanout=4), config)
+
+    def test_single_core_hosts_rejected(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        with pytest.raises(ValueError):
+            build_workload_programs(small_spec(), config)
+
+
+class TestReuse:
+    def test_full_reuse_repeats_addresses(self, config):
+        from repro.memory import AddressMap
+        spec = small_spec(reuse_fraction=1.0, iterations=3)
+        programs = build_workload_programs(spec, config)
+        producer = programs[producer_core(config, 0)]
+        relaxed = [op.addr for op in producer.ops
+                   if op.is_store and op.ordering is Ordering.RELAXED]
+        per_iter = spec.stores_per_release
+        assert relaxed[:per_iter] == relaxed[per_iter:2 * per_iter]
+
+    def test_no_reuse_walks_fresh_addresses(self, config):
+        spec = small_spec(reuse_fraction=0.0, iterations=3)
+        programs = build_workload_programs(spec, config)
+        producer = programs[producer_core(config, 0)]
+        relaxed = [op.addr for op in producer.ops
+                   if op.is_store and op.ordering is Ordering.RELAXED]
+        per_iter = spec.stores_per_release
+        assert set(relaxed[:per_iter]).isdisjoint(relaxed[per_iter:2 * per_iter])
+
+
+class TestTable2Catalog:
+    def test_all_apps_present(self):
+        from repro.workloads import APPLICATIONS, app_names
+        assert app_names() == [
+            "PR", "SSSP", "PAD", "TQH", "HSTI", "TRNS",
+            "MOCFE", "CMC-2D", "BigFFT", "CR",
+        ]
+        assert len(APPLICATIONS) == 10
+
+    def test_table2_granularity_classes(self):
+        from repro.workloads import app
+        assert app("PR").relaxed_granularity == 8      # word
+        assert app("PAD").relaxed_granularity == 64    # line
+        assert app("TQH").fanout == 1                  # low fan-out
+        assert app("PR").fanout == 3                   # high fan-out
+
+    def test_unknown_app_rejected(self):
+        from repro.workloads import app
+        with pytest.raises(KeyError):
+            app("NOPE")
+
+    def test_specs_buildable_on_default_harness_config(self):
+        from repro.workloads import APPLICATIONS
+        config = SystemConfig().scaled(hosts=4, cores_per_host=2)
+        for spec in APPLICATIONS.values():
+            programs = build_workload_programs(spec.scaled(iterations=1),
+                                               config)
+            assert programs

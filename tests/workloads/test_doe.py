@@ -1,0 +1,64 @@
+"""Tests for the MPI-built DOE mini-apps."""
+
+import pytest
+
+from repro import Machine, SystemConfig
+from repro.workloads import DOE_MPI_APPS, build_doe_programs
+
+
+@pytest.fixture
+def config():
+    return SystemConfig().scaled(hosts=4, cores_per_host=1)
+
+
+class TestConstruction:
+    def test_catalog_matches_table2_doe_rows(self):
+        assert set(DOE_MPI_APPS) == {"MOCFE", "CMC-2D", "BigFFT", "CR"}
+
+    def test_unknown_app_rejected(self, config):
+        with pytest.raises(KeyError):
+            build_doe_programs("NOPE", config)
+
+    def test_every_rank_gets_a_program(self, config):
+        for name in DOE_MPI_APPS:
+            programs = build_doe_programs(name, config)
+            assert set(programs) == {0, 1, 2, 3}
+            assert all(len(p) > 0 for p in programs.values())
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(DOE_MPI_APPS))
+    @pytest.mark.parametrize("protocol", ["cord", "so", "mp"])
+    def test_runs_to_completion(self, config, name, protocol):
+        machine = Machine(config, protocol=protocol)
+        result = machine.run(build_doe_programs(name, config))
+        assert result.time_ns > 0
+        assert result.inter_host_bytes > 0
+
+    @pytest.mark.parametrize("name", sorted(DOE_MPI_APPS))
+    def test_cord_beats_so(self, config, name):
+        """The Fig.-7 headline holds for the MPI-built apps too."""
+        times = {}
+        for protocol in ("cord", "so"):
+            machine = Machine(config, protocol=protocol)
+            times[protocol] = machine.run(
+                build_doe_programs(name, config)
+            ).time_ns
+        assert times["so"] > times["cord"] * 1.1
+
+    def test_mocfe_reduction_synchronizes(self, config):
+        """MOCFE ends each sweep with an all-reduce: ranks cannot drift a
+        full sweep apart, so finish times are tightly grouped."""
+        machine = Machine(config, protocol="cord")
+        result = machine.run(build_doe_programs("MOCFE", config))
+        finishes = sorted(result.core_finish_ns.values())
+        assert finishes[-1] - finishes[0] < result.time_ns * 0.2
+
+    def test_cr_ring_is_low_fanout(self, config):
+        """CR only talks to ring neighbours: per-rank channel count is 1."""
+        programs = build_doe_programs("CR", config)
+        from repro.memory import AddressMap
+        amap = AddressMap(config)
+        stores = [op for op in programs[0].ops if op.is_store]
+        target_hosts = {amap.host_of(op.addr) for op in stores}
+        assert target_hosts == {1}  # successor only

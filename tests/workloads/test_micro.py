@@ -1,0 +1,69 @@
+"""Tests for the sensitivity micro-benchmark (§5.3)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.consistency import OpKind, Ordering
+from repro.workloads import MicroSpec, build_micro_programs
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = MicroSpec()
+        assert spec.store_granularity == 64
+        assert spec.sync_granularity == 4 * 1024
+        assert spec.fanout == 1
+
+    def test_derived_counts(self):
+        spec = MicroSpec(store_granularity=64, sync_granularity=4096,
+                         total_bytes=64 * 1024)
+        assert spec.stores_per_release == 64
+        assert spec.releases == 16
+
+
+class TestPrograms:
+    def test_single_producer_on_host_zero(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        programs = build_micro_programs(MicroSpec(total_bytes=8192), config)
+        assert set(programs) == {0}
+
+    def test_fig5_pattern_release_targets_last_host(self):
+        config = SystemConfig().scaled(hosts=4, cores_per_host=1)
+        spec = MicroSpec(fanout=3, total_bytes=8192)
+        programs = build_micro_programs(spec, config)
+        from repro.memory import AddressMap
+        amap = AddressMap(config)
+        releases = [op for op in programs[0].ops
+                    if op.is_store and op.ordering is Ordering.RELEASE]
+        assert all(amap.host_of(op.addr) == 3 for op in releases)
+
+    def test_stores_spread_across_targets_in_total(self):
+        config = SystemConfig().scaled(hosts=4, cores_per_host=1)
+        spec = MicroSpec(fanout=3, sync_granularity=4096, total_bytes=4096)
+        programs = build_micro_programs(spec, config)
+        from repro.memory import AddressMap
+        amap = AddressMap(config)
+        relaxed = [op for op in programs[0].ops
+                   if op.is_store and op.ordering is Ordering.RELAXED]
+        # m stores in total (not per target), round-robin over targets.
+        assert len(relaxed) == spec.stores_per_release
+        assert {amap.host_of(op.addr) for op in relaxed} == {1, 2, 3}
+
+    def test_ends_with_drain_fence(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        programs = build_micro_programs(MicroSpec(total_bytes=4096), config)
+        assert programs[0].ops[-1].kind is OpKind.FENCE
+
+    def test_issue_gap_emits_compute_ops(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        spec = MicroSpec(total_bytes=4096, store_issue_ns=10.0)
+        programs = build_micro_programs(spec, config)
+        computes = [op for op in programs[0].ops
+                    if op.kind is OpKind.COMPUTE]
+        stores = [op for op in programs[0].ops if op.is_store]
+        assert len(computes) == len(stores) - spec.releases  # one per relaxed
+
+    def test_fanout_requires_enough_hosts(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        with pytest.raises(ValueError):
+            build_micro_programs(MicroSpec(fanout=2), config)

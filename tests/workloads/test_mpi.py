@@ -1,0 +1,132 @@
+"""Tests for the MPI-over-shared-memory primitives (§5.1's port)."""
+
+import pytest
+
+from repro import Machine, SystemConfig
+from repro.consistency import OpKind, Ordering
+from repro.workloads import MpiWorld
+
+
+@pytest.fixture
+def config():
+    return SystemConfig().scaled(hosts=4, cores_per_host=1)
+
+
+class TestConstruction:
+    def test_rank_count_defaults_to_hosts(self, config):
+        assert MpiWorld(config).ranks == 4
+
+    def test_too_many_ranks_rejected(self, config):
+        with pytest.raises(ValueError):
+            MpiWorld(config, ranks=5)
+
+    def test_send_to_self_rejected(self, config):
+        with pytest.raises(ValueError):
+            MpiWorld(config).send(1, 1, 64)
+
+    def test_build_only_once(self, config):
+        world = MpiWorld(config)
+        world.build()
+        with pytest.raises(RuntimeError):
+            world.build()
+
+
+class TestSendRecv:
+    def test_send_emits_relaxed_burst_plus_release_flag(self, config):
+        world = MpiWorld(config, granularity=64)
+        world.send(0, 1, 256)
+        programs = world.build()
+        ops = programs[0].ops
+        relaxed = [op for op in ops
+                   if op.is_store and op.ordering is Ordering.RELAXED]
+        releases = [op for op in ops
+                    if op.is_store and op.ordering is Ordering.RELEASE]
+        assert len(relaxed) == 4      # 256 B / 64 B
+        assert len(releases) == 1
+
+    def test_payload_lands_in_receiver_region(self, config):
+        from repro.memory import AddressMap
+        amap = AddressMap(config)
+        world = MpiWorld(config)
+        world.send(0, 2, 64)
+        programs = world.build()
+        stores = [op for op in programs[0].ops if op.is_store]
+        assert all(amap.host_of(op.addr) == 2 for op in stores)
+
+    def test_flag_values_count_messages_per_channel(self, config):
+        world = MpiWorld(config)
+        world.send(0, 1, 64)
+        world.recv(1, 0)
+        world.send(0, 1, 64)
+        world.recv(1, 0)
+        programs = world.build()
+        polls = [op for op in programs[1].ops
+                 if op.kind is OpKind.LOAD_UNTIL]
+        assert [op.value for op in polls] == [1, 2]
+
+    def test_pipeline_runs_end_to_end(self, config):
+        world = MpiWorld(config)
+        for rank in range(4):
+            world.send(rank, (rank + 1) % 4, 1024)
+        for rank in range(4):
+            world.recv((rank + 1) % 4, rank)
+        machine = Machine(config, protocol="cord")
+        result = machine.run(world.build())
+        assert result.time_ns > 0
+
+
+class TestCollectives:
+    def test_barrier_synchronizes_all_ranks(self, config):
+        world = MpiWorld(config)
+        world.barrier()
+        programs = world.build()
+        for rank, program in enumerate(programs.values()):
+            kinds = [op.kind for op in program.ops]
+            assert OpKind.ATOMIC in kinds
+            assert OpKind.LOAD_UNTIL in kinds
+
+    @pytest.mark.parametrize("protocol", ["cord", "so", "mp"])
+    def test_barrier_runs_under_protocols(self, config, protocol):
+        world = MpiWorld(config)
+        world.compute(0, 500.0)   # straggler
+        world.barrier()
+        machine = Machine(config, protocol=protocol)
+        result = machine.run(world.build())
+        # Nobody passes the barrier before the straggler arrives.
+        assert result.time_ns >= 500.0
+
+    def test_broadcast_reaches_all_ranks(self, config):
+        world = MpiWorld(config)
+        world.broadcast(0, 512)
+        machine = Machine(config, protocol="cord")
+        result = machine.run(world.build())
+        assert result.time_ns > 0
+
+    def test_alltoall_runs(self, config):
+        world = MpiWorld(config)
+        world.alltoall(128)
+        machine = Machine(config, protocol="cord")
+        result = machine.run(world.build())
+        assert result.inter_host_bytes > 4 * 3 * 128  # payload moved
+
+    def test_allreduce_runs(self, config):
+        world = MpiWorld(config)
+        world.allreduce(8)
+        machine = Machine(config, protocol="cord")
+        assert machine.run(world.build()).time_ns > 0
+
+
+class TestProtocolComparison:
+    def test_cord_beats_so_on_mpi_pipeline(self, config):
+        def run(protocol):
+            world = MpiWorld(config)
+            for _ in range(6):
+                for rank in range(4):
+                    world.send(rank, (rank + 1) % 4, 2048)
+                for rank in range(4):
+                    world.recv((rank + 1) % 4, rank)
+                world.barrier()
+            machine = Machine(config, protocol=protocol)
+            return machine.run(world.build()).time_ns
+
+        assert run("cord") < run("so")

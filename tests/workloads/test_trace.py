@@ -1,0 +1,142 @@
+"""Tests for trace serialization and replay (round-trip + property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine, ProgramBuilder, SystemConfig
+from repro.consistency.ops import AtomicOp, MemOp, OpKind, Ordering
+from repro.workloads.trace import (
+    TraceError,
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+)
+
+
+def sample_programs():
+    producer = (ProgramBuilder()
+                .store(0x100000, value=1, size=64)
+                .compute(250.0)
+                .release_store(0x104000, value=1)
+                .fetch_add(0x200000, 1, register="r2")
+                .fence()
+                .build())
+    consumer = (ProgramBuilder()
+                .load_until(0x104000, 1, register="r0")
+                .load(0x100000, "r1")
+                .build())
+    return {0: producer, 1: consumer}
+
+
+class TestRoundTrip:
+    def test_text_round_trip_preserves_semantics(self):
+        original = sample_programs()
+        restored = loads_trace(dumps_trace(original))
+        assert set(restored) == set(original)
+        for core in original:
+            assert len(restored[core].ops) == len(original[core].ops)
+            for a, b in zip(original[core].ops, restored[core].ops):
+                assert a.kind == b.kind
+                assert a.addr == b.addr
+                assert a.size == b.size
+                assert a.ordering == b.ordering
+                assert a.value == b.value
+                assert a.register == b.register
+                assert a.duration_ns == b.duration_ns
+                assert a.meta.get("atomic") == b.meta.get("atomic")
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        dump_trace(sample_programs(), path)
+        restored = load_trace(path)
+        assert set(restored) == {0, 1}
+
+    def test_replay_produces_same_result_as_original(self):
+        config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+
+        def run(programs):
+            machine = Machine(config, protocol="cord")
+            result = machine.run(programs)
+            return (result.time_ns, result.inter_host_bytes,
+                    result.history.register(1, "r1"))
+
+        from repro.memory import AddressMap
+        amap = AddressMap(config)
+        data = amap.address_in_host(1, 0x1000)
+        flag = amap.address_in_host(1, 0x2000)
+        original = {
+            0: (ProgramBuilder().store(data, value=9, size=64)
+                .release_store(flag, value=1).build()),
+            1: (ProgramBuilder().load_until(flag, 1)
+                .load(data, register="r1").build()),
+        }
+        replayed = loads_trace(dumps_trace(original))
+        assert run(original) == run(replayed)
+
+
+class TestErrors:
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceError, match="header"):
+            loads_trace("st rlx 0x0 8 1\n")
+
+    def test_op_before_core_header_rejected(self):
+        with pytest.raises(TraceError, match="before any"):
+            loads_trace("# repro-trace v1\nst rlx 0x0 8 1\n")
+
+    def test_duplicate_core_rejected(self):
+        text = "# repro-trace v1\n[core 0]\n[core 0]\n"
+        with pytest.raises(TraceError, match="duplicate"):
+            loads_trace(text)
+
+    def test_unknown_op_rejected(self):
+        text = "# repro-trace v1\n[core 0]\nbogus rlx 0x0 8 1\n"
+        with pytest.raises(TraceError, match="unknown op"):
+            loads_trace(text)
+
+    def test_malformed_fields_rejected(self):
+        text = "# repro-trace v1\n[core 0]\nst rlx nothex 8 1\n"
+        with pytest.raises(TraceError):
+            loads_trace(text)
+
+    def test_comments_and_blanks_ignored(self):
+        text = ("# repro-trace v1\n\n# a comment\n[core 0]\n"
+                "st rlx 0x0 8 1\n\n")
+        programs = loads_trace(text)
+        assert len(programs[0].ops) == 1
+
+
+@st.composite
+def random_programs(draw):
+    ops = []
+    count = draw(st.integers(min_value=0, max_value=30))
+    for index in range(count):
+        kind = draw(st.sampled_from(["st", "ld", "poll", "faa", "fence",
+                                     "cmp"]))
+        addr = draw(st.integers(min_value=0, max_value=2**20)) * 8
+        ordering = draw(st.sampled_from(list(Ordering)))
+        if kind == "st":
+            ops.append(MemOp.store(addr, value=index, size=8,
+                                   ordering=ordering))
+        elif kind == "ld":
+            ops.append(MemOp.load(addr, f"r{index}", ordering=ordering))
+        elif kind == "poll":
+            ops.append(MemOp.load_until(addr, index, f"r{index}"))
+        elif kind == "faa":
+            ops.append(MemOp.fetch_add(addr, index, f"r{index}"))
+        elif kind == "fence":
+            ops.append(MemOp.fence(ordering))
+        else:
+            ops.append(MemOp.compute(float(index)))
+    from repro.cpu import Program
+    return {0: Program(ops=ops)}
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(programs=random_programs())
+    def test_round_trip_is_identity_on_wire_format(self, programs):
+        once = dumps_trace(programs)
+        twice = dumps_trace(loads_trace(once))
+        assert once == twice
