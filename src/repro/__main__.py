@@ -15,13 +15,25 @@ Usage::
     python -m repro breakdown CR    # per-message-type traffic for one app
     python -m repro energy CR       # §5.4 energy comparison for one app
     python -m repro all             # everything (slow)
+
+Executor options (any experiment):
+
+    --jobs N          run independent simulations across N worker processes
+    --cache-dir PATH  result-cache directory (default: $REPRO_CACHE_DIR or
+                      .repro-cache)
+    --no-cache        disable the on-disk result cache
+    --run-log PATH    append per-run metadata (sim/wall time, events,
+                      cache hit/miss) as JSON lines to PATH
 """
 
 from __future__ import annotations
 
 import sys
+from typing import List, Optional, Tuple
 
 from repro.harness import (
+    Executor,
+    default_cache_dir,
     fig2_source_ordering_overheads,
     fig7_end_to_end,
     fig8_sensitivity,
@@ -31,6 +43,7 @@ from repro.harness import (
     fig12_storage_breakdown,
     fig13_tso,
     print_rows,
+    set_default_executor,
     table3_area_power,
 )
 
@@ -57,44 +70,125 @@ def _run_litmus() -> None:
           f"{report.states_total} states explored — {status}")
 
 
+def _parse_executor_flags(
+    args: List[str],
+) -> Tuple[Optional[List[str]], Optional[Executor]]:
+    """Strip ``--jobs/--cache-dir/--no-cache/--run-log`` from ``args``.
+
+    Returns (remaining args, executor), or (None, None) on a usage error
+    (after printing a message)."""
+    remaining: List[str] = []
+    jobs = 1
+    cache_dir: Optional[str] = str(default_cache_dir())
+    run_log: Optional[str] = None
+    index = 0
+
+    def value_of(flag: str) -> Optional[str]:
+        nonlocal index
+        if index + 1 >= len(args):
+            print(f"{flag} requires a value")
+            return None
+        index += 1
+        return args[index]
+
+    while index < len(args):
+        arg = args[index]
+        if arg == "--jobs":
+            value = value_of("--jobs")
+            if value is None:
+                return None, None
+            try:
+                jobs = int(value)
+                if jobs < 1:
+                    raise ValueError
+            except ValueError:
+                print(f"--jobs expects a positive integer, got {value!r}")
+                return None, None
+        elif arg == "--cache-dir":
+            value = value_of("--cache-dir")
+            if value is None:
+                return None, None
+            cache_dir = value
+        elif arg == "--no-cache":
+            cache_dir = None
+        elif arg == "--run-log":
+            value = value_of("--run-log")
+            if value is None:
+                return None, None
+            run_log = value
+        elif arg.startswith("--") and arg not in ("-h", "--help"):
+            print(f"unknown option {arg!r}")
+            return None, None
+        else:
+            remaining.append(arg)
+        index += 1
+    return remaining, Executor(jobs=jobs, cache_dir=cache_dir,
+                               run_log=run_log)
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or args[0] in ("-h", "--help"):
         print(__doc__)
         return 0
 
+    args, executor = _parse_executor_flags(args)
+    if args is None or executor is None:
+        return 2
+    if not args:
+        print(__doc__)
+        return 0
+
     command, rest = args[0], args[1:]
     panel = rest[0] if rest else "store"
 
+    ex = executor
     experiments = {
-        "fig2": lambda: print_rows(fig2_source_ordering_overheads(),
-                                   "Fig. 2: SO ack overheads"),
-        "fig7": lambda: print_rows(fig7_end_to_end(),
+        "fig2": lambda: print_rows(
+            fig2_source_ordering_overheads(executor=ex),
+            "Fig. 2: SO ack overheads"),
+        "fig7": lambda: print_rows(fig7_end_to_end(executor=ex),
                                    "Fig. 7: end-to-end (RC)"),
-        "fig8": lambda: print_rows(fig8_sensitivity(panel),
+        "fig8": lambda: print_rows(fig8_sensitivity(panel, executor=ex),
                                    f"Fig. 8: {panel} sensitivity"),
-        "fig9": lambda: print_rows(fig9_latency_sweep(parameter=panel),
-                                   f"Fig. 9: latency sweep ({panel})"),
-        "fig10": lambda: print_rows(fig10_bitwidth(), "Fig. 10: bit-widths"),
-        "fig11": lambda: print_rows(fig11_storage(), "Fig. 11: storage"),
-        "fig12": lambda: print_rows(fig12_storage_breakdown(),
+        "fig9": lambda: print_rows(
+            fig9_latency_sweep(parameter=panel, executor=ex),
+            f"Fig. 9: latency sweep ({panel})"),
+        "fig10": lambda: print_rows(fig10_bitwidth(executor=ex),
+                                    "Fig. 10: bit-widths"),
+        "fig11": lambda: print_rows(fig11_storage(executor=ex),
+                                    "Fig. 11: storage"),
+        "fig12": lambda: print_rows(fig12_storage_breakdown(executor=ex),
                                     "Fig. 12: ATA breakdown"),
-        "fig13": lambda: print_rows(fig13_tso(), "Fig. 13: end-to-end (TSO)"),
+        "fig13": lambda: print_rows(fig13_tso(executor=ex),
+                                    "Fig. 13: end-to-end (TSO)"),
         "table3": lambda: print_rows(table3_area_power(),
                                      "Table 3: area/power"),
         "litmus": _run_litmus,
         "breakdown": lambda: _breakdown(panel),
         "energy": lambda: _energy(panel),
     }
-    if command == "all":
-        for name, runner in experiments.items():
-            runner()
-        return 0
-    if command not in experiments:
-        print(f"unknown experiment {command!r}; choose from "
-              f"{sorted(experiments)} or 'all'")
-        return 2
-    experiments[command]()
+
+    # Route any harness call made behind these entry points (and "all")
+    # through the same configured executor.
+    previous = set_default_executor(executor)
+    try:
+        if command == "all":
+            for name, runner in experiments.items():
+                runner()
+        elif command not in experiments:
+            print(f"unknown experiment {command!r}; choose from "
+                  f"{sorted(experiments)} or 'all'")
+            return 2
+        else:
+            experiments[command]()
+    finally:
+        set_default_executor(previous)
+
+    if executor.hits or executor.misses:
+        cache = executor.cache_dir if executor.cache_dir else "off"
+        print(f"[executor] jobs={executor.jobs} cache={cache} "
+              f"hits={executor.hits} misses={executor.misses}")
     return 0
 
 

@@ -17,6 +17,16 @@ from repro.harness.experiments import (
     table3_area_power,
 )
 from repro.harness.breakdown import message_breakdown, protocol_comparison
+from repro.harness.executor import (
+    Executor,
+    RunRecord,
+    RunSpec,
+    default_cache_dir,
+    default_executor,
+    read_run_log,
+    set_default_executor,
+    spec_key,
+)
 from repro.harness.export import export_all, export_csv
 from repro.harness.report import format_table, geometric_mean, normalize_to
 from repro.harness.summary import ReproductionReport, reproduce
@@ -45,4 +55,12 @@ __all__ = [
     "protocol_comparison",
     "reproduce",
     "ReproductionReport",
+    "Executor",
+    "RunSpec",
+    "RunRecord",
+    "spec_key",
+    "default_cache_dir",
+    "default_executor",
+    "set_default_executor",
+    "read_run_log",
 ]

@@ -1,0 +1,467 @@
+"""Parallel sweep execution with on-disk result caching.
+
+Every figure/table experiment decomposes into independent simulations:
+one :class:`~repro.protocols.machine.Machine` run per (protocol, workload,
+config) point.  This module turns that structure into infrastructure:
+
+* :class:`RunSpec` — a frozen, picklable description of one simulation
+  (protocol x workload x ``SystemConfig`` point, plus consistency mode,
+  CORD table provisioning, seed and event budget).
+* :class:`RunRecord` — the serializable measurements of one run: final
+  stats, timings, per-node peak storage, event count and a final-state
+  hash.  It mirrors the accessors experiments use on
+  :class:`~repro.protocols.machine.RunResult` (``inter_host_bytes``,
+  ``core_stall_ns`` ...) so harness code is agnostic to which one it holds.
+* :class:`Executor` — expands experiments into flat spec lists, runs them
+  across a ``multiprocessing`` worker pool, memoizes completed runs in a
+  content-addressed on-disk cache, and appends per-run metadata to a JSONL
+  run log.
+
+Cache keying
+------------
+A run's cache key is the SHA-256 of the canonical JSON form of its
+:class:`RunSpec` (every nested dataclass serialized field-by-field with its
+class name) combined with a *code version* — the hash of every ``*.py``
+file in the installed ``repro`` package.  Any change to the simulator, the
+protocols or the spec therefore invalidates exactly the affected entries;
+identical reruns are pure cache hits.  Records round-trip through JSON
+losslessly (Python floats serialize via ``repr``), so a cached record
+compares equal to a freshly computed one.
+
+Determinism
+-----------
+Workers receive the full spec (including the seed) and build the machine
+from scratch, so a run computed in a pool worker is bit-identical to the
+same run computed inline (DESIGN.md §4); ``tests/harness/test_determinism``
+pins this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.config import CordConfig, SystemConfig
+from repro.workloads.ata import AtaSpec, build_ata_programs
+from repro.workloads.base import WorkloadSpec, build_workload_programs
+from repro.workloads.micro import MicroSpec, build_micro_programs
+
+__all__ = [
+    "RunSpec",
+    "RunRecord",
+    "Executor",
+    "spec_key",
+    "code_version",
+    "default_cache_dir",
+    "default_executor",
+    "set_default_executor",
+    "read_run_log",
+]
+
+Workload = Union[WorkloadSpec, MicroSpec, AtaSpec]
+
+#: Workload kinds an executor knows how to build programs for.
+_BUILDERS = {
+    "app": build_workload_programs,
+    "micro": build_micro_programs,
+    "ata": build_ata_programs,
+}
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation: protocol x workload x config point."""
+
+    kind: str                              # "app" | "micro" | "ata"
+    protocol: str
+    workload: Workload
+    config: SystemConfig
+    consistency: str = "rc"
+    #: Overrides ``config.cord`` when set (Fig. 10's bit-width sweeps).
+    cord_config: Optional[CordConfig] = None
+    #: Machine seed; ``None`` derives a stable per-spec seed from the
+    #: spec's content hash (deterministic across processes and sweeps).
+    seed: Optional[int] = None
+    max_events: Optional[int] = 20_000_000
+    #: Experiment label for the run log (e.g. ``"fig7"``).
+    experiment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BUILDERS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; "
+                f"choose from {sorted(_BUILDERS)}"
+            )
+
+    @property
+    def workload_label(self) -> str:
+        if isinstance(self.workload, WorkloadSpec):
+            return self.workload.name
+        if isinstance(self.workload, MicroSpec):
+            w = self.workload
+            return (f"micro.g{w.store_granularity}.s{w.sync_granularity}"
+                    f".f{w.fanout}")
+        return f"ata.r{self.workload.rounds}"
+
+    @property
+    def effective_seed(self) -> int:
+        if self.seed is not None:
+            return self.seed
+        digest = hashlib.sha256(_canonical_json(self).encode()).digest()
+        return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON-serializable canonical form (dataclasses tagged by class name)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, Any] = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for hashing")
+
+
+def _canonical_json(spec: RunSpec) -> str:
+    return json.dumps(_canonical(spec), sort_keys=True,
+                      separators=(",", ":"))
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``*.py`` file in the ``repro`` package.
+
+    Part of every cache key, so editing any simulator/protocol source
+    invalidates previously cached runs.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+def spec_key(spec: RunSpec, version: Optional[str] = None) -> str:
+    """Content-addressed cache key of one run."""
+    version = version if version is not None else code_version()
+    payload = f"{version}\n{_canonical_json(spec)}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+@dataclass
+class RunRecord:
+    """Serializable measurements of one completed run.
+
+    Mirrors the accessors experiments use on
+    :class:`~repro.protocols.machine.RunResult`, but carries no live
+    simulator state, so it crosses process boundaries and round-trips
+    through the on-disk cache losslessly.
+    """
+
+    spec_key: str
+    experiment: str
+    kind: str
+    protocol: str
+    workload: str
+    time_ns: float
+    quiesce_ns: float
+    core_finish_ns: Dict[int, float]
+    stats: Dict[str, float]
+    proc_storage: Dict[int, Dict[str, int]]
+    dir_storage: Dict[int, Dict[str, int]]
+    events: int
+    final_state_hash: str
+    wall_time_s: float
+    cached: bool = False
+
+    # -- RunResult-compatible accessors --------------------------------
+    def stat(self, name: str) -> float:
+        return self.stats.get(name, 0.0)
+
+    @property
+    def inter_host_bytes(self) -> float:
+        return self.stat("traffic.inter_host.total")
+
+    @property
+    def inter_host_control_bytes(self) -> float:
+        return self.stat("traffic.inter_host.ctrl")
+
+    @property
+    def inter_host_data_bytes(self) -> float:
+        return self.stat("traffic.inter_host.data")
+
+    def message_count(self, msg_type: str, scope: str = "inter_host") -> float:
+        return self.stat(f"msgs.{scope}.{msg_type}")
+
+    def stall_ns(self, cause: Optional[str] = None) -> float:
+        if cause is None:
+            return sum(v for n, v in self.stats.items()
+                       if n.startswith("stall."))
+        return self.stat(f"stall.{cause}")
+
+    def core_stall_ns(self, core_id: int, cause: str) -> float:
+        return self.stat(f"core{core_id}.stall.{cause}")
+
+    def storage_report(self):
+        from repro.overheads.storage import StorageReport
+        return StorageReport(
+            per_core=dict(self.proc_storage), per_dir=dict(self.dir_storage)
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data.pop("cached")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], cached: bool = False
+                  ) -> "RunRecord":
+        data = dict(data)
+        data["core_finish_ns"] = {
+            int(k): v for k, v in data["core_finish_ns"].items()
+        }
+        for key in ("proc_storage", "dir_storage"):
+            data[key] = {int(k): v for k, v in data[key].items()}
+        return cls(cached=cached, **data)
+
+
+def _final_state_hash(result, stats: Dict[str, float]) -> str:
+    """Stable digest of a run's observable final state (registers + stats)."""
+    registers = {
+        f"{core}:{reg}": value
+        for (core, reg), value in result.history.registers.items()
+    }
+    payload = json.dumps(
+        {"registers": registers, "time_ns": result.time_ns,
+         "quiesce_ns": result.quiesce_ns, "stats": stats},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _execute_spec(spec: RunSpec) -> RunRecord:
+    """Worker entry point: build the machine, run it, harvest a record."""
+    from repro.overheads.storage import collect_storage
+    from repro.protocols.machine import Machine
+
+    started = time.perf_counter()
+    config = spec.config
+    if spec.cord_config is not None:
+        config = replace(config, cord=spec.cord_config)
+    machine = Machine(config, protocol=spec.protocol,
+                      consistency=spec.consistency, seed=spec.effective_seed)
+    programs = _BUILDERS[spec.kind](spec.workload, config)
+    result = machine.run(programs, max_events=spec.max_events)
+    storage = collect_storage(result)
+    stats = result.stats.as_dict()
+    return RunRecord(
+        spec_key=spec_key(spec),
+        experiment=spec.experiment,
+        kind=spec.kind,
+        protocol=spec.protocol,
+        workload=spec.workload_label,
+        time_ns=result.time_ns,
+        quiesce_ns=result.quiesce_ns,
+        core_finish_ns=dict(result.core_finish_ns),
+        stats=stats,
+        proc_storage=dict(storage.per_core),
+        dir_storage=dict(storage.per_dir),
+        events=machine.sim.processed_events,
+        final_state_hash=_final_state_hash(result, stats),
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the working directory."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+class Executor:
+    """Runs :class:`RunSpec` sweeps, in parallel and/or from cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) executes inline, preserving the
+        exact single-process behaviour.
+    cache_dir:
+        Directory of the content-addressed result cache.  ``None`` (the
+        default) disables caching entirely.
+    run_log:
+        Path of a JSONL run log; one line is appended per completed run
+        (sim-time, wall-time, event count, message counts, cache hit/miss).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        run_log: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.run_log = Path(run_log) if run_log is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    # -- cache ---------------------------------------------------------
+    def _cache_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _cache_load(self, key: str) -> Optional[RunRecord]:
+        path = self._cache_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return RunRecord.from_dict(data, cached=True)
+
+    def _cache_store(self, record: RunRecord) -> None:
+        path = self._cache_path(record.spec_key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record.to_dict()))
+        tmp.replace(path)
+
+    # -- run log -------------------------------------------------------
+    def _log(self, record: RunRecord) -> None:
+        if self.run_log is None:
+            return
+        inter_host_msgs = sum(
+            v for n, v in record.stats.items()
+            if n.startswith("msgs.inter_host.")
+        )
+        line = {
+            "experiment": record.experiment,
+            "spec_key": record.spec_key,
+            "kind": record.kind,
+            "protocol": record.protocol,
+            "workload": record.workload,
+            "cached": record.cached,
+            "jobs": self.jobs,
+            "sim_time_ns": record.time_ns,
+            "quiesce_ns": record.quiesce_ns,
+            "wall_time_s": record.wall_time_s,
+            "events": record.events,
+            "inter_host_msgs": inter_host_msgs,
+            "inter_host_bytes": record.inter_host_bytes,
+        }
+        self.run_log.parent.mkdir(parents=True, exist_ok=True)
+        with self.run_log.open("a") as handle:
+            handle.write(json.dumps(line) + "\n")
+
+    # -- execution -----------------------------------------------------
+    def run(self, spec: RunSpec) -> RunRecord:
+        """Execute (or recall) a single run."""
+        return self.map([spec])[0]
+
+    def map(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute ``specs``, returning records in spec order.
+
+        Cache hits are recalled without simulating; misses run across the
+        worker pool (``jobs > 1``) or inline.  Results, cache entries and
+        run-log lines are always produced in spec order, so a sweep's
+        output is independent of worker scheduling.
+        """
+        version = code_version()
+        records: List[Optional[RunRecord]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            key = spec_key(spec, version)
+            cached = self._cache_load(key)
+            if cached is not None:
+                records[index] = cached
+                self.hits += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            self.misses += len(pending)
+            fresh = self._execute_many([specs[i] for i in pending])
+            for index, record in zip(pending, fresh):
+                records[index] = record
+                self._cache_store(record)
+
+        for record in records:
+            assert record is not None
+            self._log(record)
+        return records  # type: ignore[return-value]
+
+    def _execute_many(self, specs: List[RunSpec]) -> List[RunRecord]:
+        if self.jobs == 1 or len(specs) == 1:
+            return [_execute_spec(spec) for spec in specs]
+        from concurrent.futures import ProcessPoolExecutor
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_spec, specs))
+
+
+def read_run_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL run log into a list of per-run dicts."""
+    lines = Path(path).read_text().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Module-level default (what the harness uses when none is passed)
+# ---------------------------------------------------------------------------
+_DEFAULT: Optional[Executor] = None
+
+
+def default_executor() -> Executor:
+    """The executor experiments use when not given one explicitly.
+
+    Serial and uncached unless replaced via :func:`set_default_executor`
+    (the CLI and ``benchmarks/conftest.py`` install configured ones).
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Executor()
+    return _DEFAULT
+
+
+def set_default_executor(executor: Optional[Executor]) -> Optional[Executor]:
+    """Install ``executor`` as the harness-wide default; returns the old one."""
+    global _DEFAULT
+    previous, _DEFAULT = _DEFAULT, executor
+    return previous

@@ -7,6 +7,14 @@ the full cache/interconnect parameters) so each experiment completes in
 seconds while preserving relative protocol behaviour; pass a different
 ``SystemConfig`` to scale up.
 
+Every simulation-backed experiment expands into a flat list of independent
+:class:`~repro.harness.executor.RunSpec` points and runs them through an
+:class:`~repro.harness.executor.Executor` — pass ``executor=`` (or install
+one with :func:`~repro.harness.executor.set_default_executor`) to
+parallelize sweeps across a worker pool and memoize completed runs on disk.
+Row values are computed from the executor's :class:`RunRecord`s, so serial,
+parallel and cache-recalled invocations produce byte-identical rows.
+
 See EXPERIMENTS.md for the paper-vs-measured record produced by these
 harnesses.
 """
@@ -17,11 +25,11 @@ from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import CXL, UPI, CordConfig, InterconnectConfig, SystemConfig
+from repro.harness.executor import Executor, RunSpec, default_executor
 from repro.harness.report import format_table, geometric_mean, normalize_to
 from repro.overheads.cacti import Table3Row, cord_overhead_table, overhead_ratios
-from repro.overheads.storage import StorageReport, collect_storage
 from repro.protocols.machine import Machine, RunResult
-from repro.workloads.ata import AtaSpec, build_ata_programs
+from repro.workloads.ata import AtaSpec
 from repro.workloads.base import WorkloadSpec, build_workload_programs
 from repro.workloads.micro import MicroSpec, build_micro_programs
 from repro.workloads.table2 import APPLICATIONS, app_names
@@ -93,35 +101,72 @@ def _producer_cores(config: SystemConfig) -> List[int]:
     return [h * config.cores_per_host for h in range(config.hosts)]
 
 
+def _app_spec(
+    name: str,
+    protocol: str,
+    config: SystemConfig,
+    consistency: str = "rc",
+    experiment: str = "",
+) -> RunSpec:
+    return RunSpec(
+        kind="app", protocol=protocol, workload=APPLICATIONS[name],
+        config=config, consistency=consistency, seed=0,
+        experiment=experiment,
+    )
+
+
+def _micro_spec(
+    spec: MicroSpec,
+    protocol: str,
+    config: SystemConfig,
+    cord_config: Optional[CordConfig] = None,
+    experiment: str = "",
+) -> RunSpec:
+    return RunSpec(
+        kind="micro", protocol=protocol, workload=spec, config=config,
+        cord_config=cord_config, seed=0, experiment=experiment,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Fig. 2 — source ordering's acknowledgment overheads
 # ---------------------------------------------------------------------------
 def fig2_source_ordering_overheads(
     interconnects: Sequence[InterconnectConfig] = (CXL, UPI),
     apps: Optional[Sequence[str]] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, Any]]:
     """% execution time spent waiting for WT acks and % traffic from acks,
     per application, under source ordering."""
+    executor = executor or default_executor()
+    points = [
+        (interconnect, name)
+        for interconnect in interconnects
+        for name in apps or app_names()
+    ]
+    specs = [
+        _app_spec(name, "so", default_config(interconnect),
+                  experiment="fig2")
+        for interconnect, name in points
+    ]
     rows: List[Dict[str, Any]] = []
-    for interconnect in interconnects:
+    for (interconnect, name), record in zip(points, executor.map(specs)):
         config = default_config(interconnect)
-        for name in apps or app_names():
-            result = run_app(APPLICATIONS[name], "so", config)
-            producers = _producer_cores(config)
-            stall = sum(
-                result.core_stall_ns(core, "wait_wt_ack")
-                + result.core_stall_ns(core, "wait_drain")
-                for core in producers
-            )
-            time_pct = 100.0 * stall / (result.time_ns * len(producers))
-            ack_bytes = result.stats.value("bytes.inter_host.wt_ack")
-            traffic_pct = 100.0 * ack_bytes / max(result.inter_host_bytes, 1)
-            rows.append({
-                "interconnect": interconnect.name,
-                "app": name,
-                "exec_time_waiting_pct": time_pct,
-                "ack_traffic_pct": traffic_pct,
-            })
+        producers = _producer_cores(config)
+        stall = sum(
+            record.core_stall_ns(core, "wait_wt_ack")
+            + record.core_stall_ns(core, "wait_drain")
+            for core in producers
+        )
+        time_pct = 100.0 * stall / (record.time_ns * len(producers))
+        ack_bytes = record.stat("bytes.inter_host.wt_ack")
+        traffic_pct = 100.0 * ack_bytes / max(record.inter_host_bytes, 1)
+        rows.append({
+            "interconnect": interconnect.name,
+            "app": name,
+            "exec_time_waiting_pct": time_pct,
+            "ack_traffic_pct": traffic_pct,
+        })
     return rows
 
 
@@ -155,29 +200,45 @@ def _end_to_end(
     interconnects: Sequence[InterconnectConfig],
     apps: Optional[Sequence[str]],
     mp_tqh_na: bool,
+    executor: Optional[Executor],
+    experiment: str,
 ) -> List[Dict[str, Any]]:
+    executor = executor or default_executor()
+
+    def skip(name: str, protocol: str) -> bool:
+        # §3.2: TQH hits the ISA2-style error pattern under MP and cannot
+        # be evaluated (reproduced by the model checker on the ISA2
+        # variant).
+        return (mp_tqh_na and protocol == "mp" and name == "TQH"
+                and consistency == "rc")
+
+    points = [
+        (interconnect, name, protocol)
+        for interconnect in interconnects
+        for name in apps or app_names()
+        for protocol in PROTOCOLS
+        if not skip(name, protocol)
+    ]
+    specs = [
+        _app_spec(name, protocol, default_config(interconnect),
+                  consistency, experiment=experiment)
+        for interconnect, name, protocol in points
+    ]
+    measured = {
+        point: record for point, record in zip(points, executor.map(specs))
+    }
+
     rows: List[Dict[str, Any]] = []
     for interconnect in interconnects:
-        config = default_config(interconnect)
         for name in apps or app_names():
             times: Dict[str, Optional[float]] = {}
             traffic: Dict[str, Optional[float]] = {}
             for protocol in PROTOCOLS:
-                if (
-                    mp_tqh_na and protocol == "mp" and name == "TQH"
-                    and consistency == "rc"
-                ):
-                    # §3.2: TQH hits the ISA2-style error pattern under MP
-                    # and cannot be evaluated (reproduced by the model
-                    # checker on the ISA2 variant).
-                    times[protocol] = None
-                    traffic[protocol] = None
-                    continue
-                result = run_app(
-                    APPLICATIONS[name], protocol, config, consistency
+                record = measured.get((interconnect, name, protocol))
+                times[protocol] = record.time_ns if record else None
+                traffic[protocol] = (
+                    record.inter_host_bytes if record else None
                 )
-                times[protocol] = result.time_ns
-                traffic[protocol] = result.inter_host_bytes
             norm_t = normalize_to(times, "cord")
             norm_b = normalize_to(traffic, "cord")
             row: Dict[str, Any] = {
@@ -194,18 +255,22 @@ def _end_to_end(
 def fig7_end_to_end(
     interconnects: Sequence[InterconnectConfig] = (CXL, UPI),
     apps: Optional[Sequence[str]] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, Any]]:
     """End-to-end time and traffic under release consistency, normalized to
     CORD (Fig. 7)."""
-    return _end_to_end("rc", interconnects, apps, mp_tqh_na=True)
+    return _end_to_end("rc", interconnects, apps, mp_tqh_na=True,
+                       executor=executor, experiment="fig7")
 
 
 def fig13_tso(
     interconnects: Sequence[InterconnectConfig] = (CXL, UPI),
     apps: Optional[Sequence[str]] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, Any]]:
     """End-to-end time and traffic under TSO (Fig. 13, §6)."""
-    return _end_to_end("tso", interconnects, apps, mp_tqh_na=False)
+    return _end_to_end("tso", interconnects, apps, mp_tqh_na=False,
+                       executor=executor, experiment="fig13")
 
 
 # ---------------------------------------------------------------------------
@@ -219,10 +284,12 @@ def fig8_sensitivity(
     values: Optional[Sequence[int]] = None,
     interconnects: Sequence[InterconnectConfig] = (CXL, UPI),
     total_bytes: int = 64 * 1024,
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, Any]]:
     """One panel of Fig. 8.  ``parameter`` is ``"store"``, ``"sync"`` or
     ``"fanout"``; other parameters stay at the paper's defaults (64 B
     stores, 4 KB sync, fan-out 1)."""
+    executor = executor or default_executor()
     defaults = {"store": 64, "sync": 4 * 1024, "fanout": 1}
     sweep = {
         "store": values or (8, 64, 256, 1024, 4096),
@@ -230,7 +297,8 @@ def fig8_sensitivity(
         "fanout": values or (1, 3, 7),
     }[parameter]
 
-    rows: List[Dict[str, Any]] = []
+    points = []
+    specs = []
     for interconnect in interconnects:
         for value in sweep:
             params = dict(defaults)
@@ -247,12 +315,23 @@ def fig8_sensitivity(
                 interconnect, hosts=max(2, params["fanout"] + 1),
                 cores_per_host=1,
             )
+            for protocol in _F8_PROTOCOLS:
+                points.append((interconnect, value, protocol))
+                specs.append(_micro_spec(spec, protocol, config,
+                                         experiment="fig8"))
+    measured = {
+        point: record for point, record in zip(points, executor.map(specs))
+    }
+
+    rows: List[Dict[str, Any]] = []
+    for interconnect in interconnects:
+        for value in sweep:
             times: Dict[str, float] = {}
             traffic: Dict[str, float] = {}
             for protocol in _F8_PROTOCOLS:
-                result = run_micro(spec, protocol, config)
-                times[protocol] = result.quiesce_ns
-                traffic[protocol] = result.inter_host_bytes
+                record = measured[(interconnect, value, protocol)]
+                times[protocol] = record.quiesce_ns
+                traffic[protocol] = record.inter_host_bytes
             norm_t = normalize_to(times, "cord")
             norm_b = normalize_to(traffic, "cord")
             row: Dict[str, Any] = {
@@ -274,9 +353,11 @@ def fig9_latency_sweep(
     parameter: str = "store",
     values: Optional[Sequence[int]] = None,
     total_bytes: int = 64 * 1024,
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, Any]]:
     """SO's time and traffic normalized to CORD as inter-PU latency varies,
     for several settings of one application parameter (Fig. 9)."""
+    executor = executor or default_executor()
     defaults = {"store": 64, "sync": 4 * 1024, "fanout": 1}
     sweep = {
         "store": values or (8, 64, 4096),
@@ -284,7 +365,8 @@ def fig9_latency_sweep(
         "fanout": values or (1, 3, 7),
     }[parameter]
 
-    rows: List[Dict[str, Any]] = []
+    points = []
+    specs = []
     for value in sweep:
         params = dict(defaults)
         params[parameter] = value
@@ -304,8 +386,21 @@ def fig9_latency_sweep(
                 interconnect, hosts=max(2, params["fanout"] + 1),
                 cores_per_host=1,
             )
-            so = run_micro(spec, "so", config)
-            cord = run_micro(spec, "cord", config)
+            for protocol in ("so", "cord"):
+                points.append((value, latency, protocol))
+                specs.append(_micro_spec(spec, protocol, config,
+                                         experiment="fig9"))
+    measured = {
+        point: record for point, record in zip(points, executor.map(specs))
+    }
+
+    rows: List[Dict[str, Any]] = []
+    for value in sweep:
+        for latency in latencies_ns:
+            so = measured.get((value, latency, "so"))
+            cord = measured.get((value, latency, "cord"))
+            if so is None or cord is None:
+                continue
             rows.append({
                 parameter: value,
                 "latency_ns": latency,
@@ -322,6 +417,7 @@ def fig10_bitwidth(
     counter_bits: Sequence[int] = (8, 16, 32),
     epoch_bits: Sequence[int] = (4, 8, 16),
     interconnects: Sequence[InterconnectConfig] = (CXL, UPI),
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, Any]]:
     """CORD under varying epoch/store-counter widths vs the SEQ-8/SEQ-40
     monolithic sequence-number baselines (Fig. 10).
@@ -329,6 +425,7 @@ def fig10_bitwidth(
     Times are normalized to SEQ-40 (the no-overflow baseline); traffic to
     SEQ-8 (the no-inflation baseline).
     """
+    executor = executor or default_executor()
     # Fine stores, many per release: overflows 8-bit counters; enough
     # releases to cycle small epoch spaces.
     spec = MicroSpec(
@@ -337,11 +434,36 @@ def fig10_bitwidth(
         fanout=1,
         total_bytes=256 * 1024,
     )
-    rows: List[Dict[str, Any]] = []
+    points = []
+    specs = []
     for interconnect in interconnects:
         config = default_config(interconnect, hosts=2, cores_per_host=1)
-        seq8 = run_micro(spec, "seq8", config)
-        seq40 = run_micro(spec, "seq40", config)
+        for baseline in ("seq8", "seq40"):
+            points.append((interconnect.name, baseline, None))
+            specs.append(_micro_spec(spec, baseline, config,
+                                     experiment="fig10"))
+        for bits in counter_bits:
+            points.append((interconnect.name, "counter", bits))
+            specs.append(_micro_spec(
+                spec, "cord", config,
+                cord_config=replace(config.cord, counter_bits=bits),
+                experiment="fig10",
+            ))
+        for bits in epoch_bits:
+            points.append((interconnect.name, "epoch", bits))
+            specs.append(_micro_spec(
+                spec, "cord", config,
+                cord_config=replace(config.cord, epoch_bits=bits),
+                experiment="fig10",
+            ))
+    measured = {
+        point: record for point, record in zip(points, executor.map(specs))
+    }
+
+    rows: List[Dict[str, Any]] = []
+    for interconnect in interconnects:
+        seq8 = measured[(interconnect.name, "seq8", None)]
+        seq40 = measured[(interconnect.name, "seq40", None)]
         base = {
             "interconnect": interconnect.name,
             "seq8_time": seq8.quiesce_ns,
@@ -349,30 +471,19 @@ def fig10_bitwidth(
             "seq8_traffic": seq8.inter_host_bytes,
             "seq40_traffic": seq40.inter_host_bytes,
         }
-        for bits in counter_bits:
-            cord_config = replace(config.cord, counter_bits=bits)
-            result = run_micro(spec, "cord", config, cord_config=cord_config)
-            rows.append(dict(
-                base,
-                sweep="counter",
-                bits=bits,
-                cord_time_vs_seq40=result.quiesce_ns / seq40.quiesce_ns,
-                cord_traffic_vs_seq8=(
-                    result.inter_host_bytes / seq8.inter_host_bytes
-                ),
-            ))
-        for bits in epoch_bits:
-            cord_config = replace(config.cord, epoch_bits=bits)
-            result = run_micro(spec, "cord", config, cord_config=cord_config)
-            rows.append(dict(
-                base,
-                sweep="epoch",
-                bits=bits,
-                cord_time_vs_seq40=result.quiesce_ns / seq40.quiesce_ns,
-                cord_traffic_vs_seq8=(
-                    result.inter_host_bytes / seq8.inter_host_bytes
-                ),
-            ))
+        for sweep_name, bits_list in (("counter", counter_bits),
+                                      ("epoch", epoch_bits)):
+            for bits in bits_list:
+                result = measured[(interconnect.name, sweep_name, bits)]
+                rows.append(dict(
+                    base,
+                    sweep=sweep_name,
+                    bits=bits,
+                    cord_time_vs_seq40=result.quiesce_ns / seq40.quiesce_ns,
+                    cord_traffic_vs_seq8=(
+                        result.inter_host_bytes / seq8.inter_host_bytes
+                    ),
+                ))
     return rows
 
 
@@ -382,66 +493,88 @@ def fig10_bitwidth(
 _STORAGE_APPS = ("SSSP", "PAD", "PR")
 
 
-def _storage_run(
-    workload: str, hosts: int, interconnect: InterconnectConfig
-) -> StorageReport:
+def _storage_spec(
+    workload: str, hosts: int, interconnect: InterconnectConfig,
+    experiment: str,
+) -> RunSpec:
     config = default_config(interconnect, hosts=hosts)
-    machine = Machine(config, protocol="cord")
     if workload == "ATA":
-        programs = build_ata_programs(AtaSpec(rounds=12), config)
-    else:
-        spec = APPLICATIONS[workload]
-        fanout = min(spec.fanout, hosts - 1)
-        spec = replace(spec, fanout=fanout)
-        programs = build_workload_programs(spec, config)
-    result = machine.run(programs)
-    return collect_storage(result)
+        return RunSpec(kind="ata", protocol="cord",
+                       workload=AtaSpec(rounds=12), config=config, seed=0,
+                       experiment=experiment)
+    spec = APPLICATIONS[workload]
+    fanout = min(spec.fanout, hosts - 1)
+    spec = replace(spec, fanout=fanout)
+    return RunSpec(kind="app", protocol="cord", workload=spec, config=config,
+                   seed=0, experiment=experiment)
 
 
 def fig11_storage(
     host_counts: Sequence[int] = (2, 4, 8),
     workloads: Sequence[str] = _STORAGE_APPS + ("ATA",),
     interconnects: Sequence[InterconnectConfig] = (CXL, UPI),
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, Any]]:
     """Peak processor and directory storage vs number of PUs (Fig. 11)."""
+    executor = executor or default_executor()
+    points = [
+        (interconnect, workload, hosts)
+        for interconnect in interconnects
+        for workload in workloads
+        for hosts in host_counts
+    ]
+    specs = [
+        _storage_spec(workload, hosts, interconnect, "fig11")
+        for interconnect, workload, hosts in points
+    ]
     rows: List[Dict[str, Any]] = []
-    for interconnect in interconnects:
-        for workload in workloads:
-            for hosts in host_counts:
-                report = _storage_run(workload, hosts, interconnect)
-                rows.append({
-                    "interconnect": interconnect.name,
-                    "workload": workload,
-                    "hosts": hosts,
-                    "proc_storage_B": report.max_proc_bytes,
-                    "dir_storage_B": report.max_dir_bytes,
-                })
+    for (interconnect, workload, hosts), record in zip(
+        points, executor.map(specs)
+    ):
+        report = record.storage_report()
+        rows.append({
+            "interconnect": interconnect.name,
+            "workload": workload,
+            "hosts": hosts,
+            "proc_storage_B": report.max_proc_bytes,
+            "dir_storage_B": report.max_dir_bytes,
+        })
     return rows
 
 
 def fig12_storage_breakdown(
     host_counts: Sequence[int] = (2, 4, 8),
     interconnects: Sequence[InterconnectConfig] = (CXL, UPI),
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, Any]]:
     """ATA storage broken down by component (Fig. 12)."""
+    executor = executor or default_executor()
+    points = [
+        (interconnect, hosts)
+        for interconnect in interconnects
+        for hosts in host_counts
+    ]
+    specs = [
+        _storage_spec("ATA", hosts, interconnect, "fig12")
+        for interconnect, hosts in points
+    ]
     rows: List[Dict[str, Any]] = []
-    for interconnect in interconnects:
-        for hosts in host_counts:
-            report = _storage_run("ATA", hosts, interconnect)
-            proc = report.proc_breakdown()
-            directory = report.dir_breakdown()
-            rows.append({
-                "interconnect": interconnect.name,
-                "hosts": hosts,
-                "proc_store_counters_B": proc.get("store_counters", 0),
-                "proc_other_tables_B": proc.get("unacked_epochs", 0),
-                "dir_lookup_tables_B": (
-                    directory.get("store_counters", 0)
-                    + directory.get("notification_counters", 0)
-                    + directory.get("largest_committed", 0)
-                ),
-                "dir_network_buffer_B": directory.get("network_buffer", 0),
-            })
+    for (interconnect, hosts), record in zip(points, executor.map(specs)):
+        report = record.storage_report()
+        proc = report.proc_breakdown()
+        directory = report.dir_breakdown()
+        rows.append({
+            "interconnect": interconnect.name,
+            "hosts": hosts,
+            "proc_store_counters_B": proc.get("store_counters", 0),
+            "proc_other_tables_B": proc.get("unacked_epochs", 0),
+            "dir_lookup_tables_B": (
+                directory.get("store_counters", 0)
+                + directory.get("notification_counters", 0)
+                + directory.get("largest_committed", 0)
+            ),
+            "dir_network_buffer_B": directory.get("network_buffer", 0),
+        })
     return rows
 
 
@@ -451,7 +584,10 @@ def fig12_storage_breakdown(
 def table3_area_power(
     config: Optional[SystemConfig] = None,
 ) -> List[Dict[str, Any]]:
-    """Look-up table sizes, area, power and access energy (Table 3)."""
+    """Look-up table sizes, area, power and access energy (Table 3).
+
+    Purely analytic (no simulation), so it does not go through the
+    executor."""
     config = config or SystemConfig()
     rows: List[Dict[str, Any]] = []
     table = cord_overhead_table(config)

@@ -1,0 +1,74 @@
+"""Determinism regression: identical specs produce identical runs.
+
+DESIGN.md §4 guarantees that identical configurations reproduce identical
+executions bit-for-bit.  These tests pin that guarantee at the executor
+level — same spec run twice, and runs dispatched through the parallel
+worker pool — by comparing full stat dictionaries and the final-state hash
+(registers + timings) of each run.
+"""
+
+import pytest
+
+from repro.config import CXL
+from repro.harness import Executor, RunSpec
+from repro.harness.executor import _execute_spec
+from repro.harness.experiments import default_config
+from repro.workloads.micro import MicroSpec
+from repro.workloads.table2 import APPLICATIONS
+
+PROTOCOLS = ("cord", "so", "mp", "wb")
+
+MICRO = MicroSpec(store_granularity=64, sync_granularity=1024,
+                  fanout=1, total_bytes=8 * 1024)
+
+
+def _micro_spec(protocol):
+    return RunSpec(
+        kind="micro", protocol=protocol, workload=MICRO,
+        config=default_config(CXL, hosts=2, cores_per_host=1), seed=0,
+    )
+
+
+def _app_spec(protocol):
+    return RunSpec(
+        kind="app", protocol=protocol,
+        workload=APPLICATIONS["CR"].scaled(iterations=2),
+        config=default_config(CXL), seed=0,
+    )
+
+
+def _fingerprint(record):
+    return (record.final_state_hash, record.time_ns, record.quiesce_ns,
+            record.events, record.stats)
+
+
+class TestRepeatability:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_micro_run_twice_identical(self, protocol):
+        first = _execute_spec(_micro_spec(protocol))
+        second = _execute_spec(_micro_spec(protocol))
+        assert _fingerprint(first) == _fingerprint(second)
+
+    @pytest.mark.parametrize("protocol", ("cord", "so"))
+    def test_app_run_twice_identical(self, protocol):
+        first = _execute_spec(_app_spec(protocol))
+        second = _execute_spec(_app_spec(protocol))
+        assert _fingerprint(first) == _fingerprint(second)
+
+
+class TestPoolDeterminism:
+    """Worker-pool execution must not perturb results."""
+
+    def test_pool_records_match_inline_records(self):
+        specs = [_micro_spec(p) for p in PROTOCOLS]
+        inline = Executor(jobs=1).map(specs)
+        pooled = Executor(jobs=2).map(specs)
+        for a, b in zip(inline, pooled):
+            assert _fingerprint(a) == _fingerprint(b)
+
+    def test_app_pool_records_match_inline(self):
+        specs = [_app_spec(p) for p in ("cord", "mp")]
+        inline = Executor(jobs=1).map(specs)
+        pooled = Executor(jobs=2).map(specs)
+        for a, b in zip(inline, pooled):
+            assert _fingerprint(a) == _fingerprint(b)

@@ -1,0 +1,194 @@
+"""Tests for the parallel sweep executor and its result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import CXL, CordConfig, SystemConfig
+from repro.harness import (
+    Executor,
+    RunSpec,
+    default_executor,
+    fig7_end_to_end,
+    read_run_log,
+    set_default_executor,
+    spec_key,
+)
+from repro.harness.executor import _execute_spec, code_version
+from repro.harness.experiments import default_config, run_micro
+from repro.workloads.micro import MicroSpec
+from repro.workloads.table2 import APPLICATIONS
+
+MICRO = MicroSpec(store_granularity=64, sync_granularity=1024,
+                  fanout=1, total_bytes=4 * 1024)
+
+
+def sim_dict(record):
+    """Record contents minus wall-clock time (which is never deterministic)."""
+    data = record.to_dict()
+    data.pop("wall_time_s")
+    return data
+
+
+def micro_spec(protocol="cord", **overrides):
+    defaults = dict(
+        kind="micro", protocol=protocol, workload=MICRO,
+        config=default_config(CXL, hosts=2, cores_per_host=1),
+        seed=0, experiment="test",
+    )
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+class TestSpecKey:
+    def test_same_spec_same_key(self):
+        assert spec_key(micro_spec()) == spec_key(micro_spec())
+
+    def test_protocol_changes_key(self):
+        assert spec_key(micro_spec("cord")) != spec_key(micro_spec("so"))
+
+    def test_workload_changes_key(self):
+        other = dataclasses.replace(MICRO, total_bytes=8 * 1024)
+        assert (spec_key(micro_spec())
+                != spec_key(micro_spec(workload=other)))
+
+    def test_cord_config_changes_key(self):
+        assert (spec_key(micro_spec())
+                != spec_key(micro_spec(cord_config=CordConfig(epoch_bits=4))))
+
+    def test_code_version_changes_key(self):
+        spec = micro_spec()
+        assert (spec_key(spec, version="aaa")
+                != spec_key(spec, version="bbb"))
+        assert spec_key(spec) == spec_key(spec, version=code_version())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            micro_spec(kind="nope")
+
+    def test_derived_seed_is_stable(self):
+        spec = micro_spec(seed=None)
+        assert spec.effective_seed == micro_spec(seed=None).effective_seed
+        assert (spec.effective_seed
+                != micro_spec(seed=None, protocol="so").effective_seed)
+
+
+class TestRecord:
+    def test_record_matches_direct_run(self):
+        record = _execute_spec(micro_spec())
+        direct = run_micro(MICRO, "cord",
+                           default_config(CXL, hosts=2, cores_per_host=1))
+        assert record.time_ns == direct.time_ns
+        assert record.quiesce_ns == direct.quiesce_ns
+        assert record.inter_host_bytes == direct.inter_host_bytes
+        assert record.stats == direct.stats.as_dict()
+        assert record.events > 0
+        assert record.wall_time_s > 0
+
+    def test_json_round_trip_is_lossless(self):
+        record = _execute_spec(micro_spec())
+        restored = type(record).from_dict(
+            json.loads(json.dumps(record.to_dict())), cached=True
+        )
+        assert restored.cached and not record.cached
+        assert restored.to_dict() == record.to_dict()
+        assert restored.storage_report().max_dir_bytes == \
+            record.storage_report().max_dir_bytes
+
+
+class TestCache:
+    def test_second_map_is_all_hits(self, tmp_path):
+        ex = Executor(cache_dir=tmp_path)
+        specs = [micro_spec("cord"), micro_spec("so")]
+        first = ex.map(specs)
+        assert (ex.hits, ex.misses) == (0, 2)
+        second = ex.map(specs)
+        assert (ex.hits, ex.misses) == (2, 2)
+        assert all(r.cached for r in second)
+        assert [sim_dict(r) for r in first] == [sim_dict(r) for r in second]
+
+    def test_order_preserved_with_mixed_hits(self, tmp_path):
+        ex = Executor(cache_dir=tmp_path)
+        ex.run(micro_spec("so"))
+        records = ex.map([micro_spec("cord"), micro_spec("so")])
+        assert [r.protocol for r in records] == ["cord", "so"]
+        assert [r.cached for r in records] == [False, True]
+
+    def test_corrupt_cache_entry_is_re_run(self, tmp_path):
+        ex = Executor(cache_dir=tmp_path)
+        record = ex.run(micro_spec())
+        path = ex._cache_path(record.spec_key)
+        path.write_text("{not json")
+        again = ex.run(micro_spec())
+        assert not again.cached
+        assert sim_dict(again) == sim_dict(record)
+
+    def test_no_cache_dir_disables_caching(self):
+        ex = Executor()
+        ex.run(micro_spec())
+        ex.run(micro_spec())
+        assert (ex.hits, ex.misses) == (0, 2)
+
+
+class TestRunLog:
+    def test_log_records_metadata_and_cache_flags(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        ex = Executor(cache_dir=tmp_path / "cache", run_log=log)
+        ex.map([micro_spec("cord"), micro_spec("so")])
+        ex.run(micro_spec("cord"))
+        lines = read_run_log(log)
+        assert len(lines) == 3
+        assert [line["cached"] for line in lines] == [False, False, True]
+        first = lines[0]
+        assert first["protocol"] == "cord"
+        assert first["experiment"] == "test"
+        assert first["sim_time_ns"] > 0
+        assert first["wall_time_s"] > 0
+        assert first["events"] > 0
+        assert first["inter_host_msgs"] > 0
+
+
+class TestParallel:
+    def test_pool_matches_inline(self, tmp_path):
+        specs = [micro_spec(p) for p in ("cord", "so", "mp")]
+        inline = Executor().map(specs)
+        pooled = Executor(jobs=2).map(specs)
+        assert [sim_dict(r) for r in pooled] == [sim_dict(r) for r in inline]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=0)
+
+
+@pytest.mark.slow
+class TestFig7Acceptance:
+    """The PR's acceptance criterion, on a reduced app set for speed."""
+
+    def test_parallel_rows_byte_identical_and_warm_cache_is_pure_hits(
+        self, tmp_path
+    ):
+        kwargs = dict(interconnects=(CXL,), apps=("CR", "TQH"))
+        serial = fig7_end_to_end(**kwargs)
+        ex = Executor(jobs=4, cache_dir=tmp_path)
+        parallel = fig7_end_to_end(executor=ex, **kwargs)
+        assert json.dumps(parallel) == json.dumps(serial)
+        cold_misses = ex.misses
+        warm = fig7_end_to_end(executor=ex, **kwargs)
+        assert json.dumps(warm) == json.dumps(serial)
+        assert ex.misses == cold_misses          # zero new simulations
+        assert ex.hits == cold_misses
+
+
+class TestDefaultExecutor:
+    def test_default_is_serial_and_uncached(self):
+        ex = default_executor()
+        assert ex.jobs == 1 and ex.cache_dir is None
+
+    def test_set_default_round_trips(self):
+        mine = Executor(jobs=2)
+        previous = set_default_executor(mine)
+        try:
+            assert default_executor() is mine
+        finally:
+            set_default_executor(previous)

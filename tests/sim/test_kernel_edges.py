@@ -1,0 +1,127 @@
+"""Edge cases of the simulation kernel's wake-up and deadlock semantics.
+
+These pin the level-free contract of :class:`~repro.sim.kernel.Signal`
+(kernel docstring) and the deadlock diagnostics that the timed litmus
+runner relies on to distinguish protocol hangs from slow convergence.
+"""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def drive(sim, processes, max_events=10_000):
+    return sim.run_until_processes_finish(processes, max_events=max_events)
+
+
+class TestTriggerWithNoWaiters:
+    def test_trigger_on_empty_signal_is_a_no_op(self):
+        sim = Simulator()
+        sig = sim.signal("empty")
+        sig.trigger("lost")
+        assert sig.trigger_count == 1
+        assert sig.waiter_count == 0
+        assert sim.run() == 0.0  # nothing was scheduled
+
+    def test_no_level_is_latched_for_future_waiters(self):
+        """A waiter arriving after a trigger must NOT see the old value."""
+        sim = Simulator()
+        sig = sim.signal("edge")
+        sig.trigger("stale")
+        woken = []
+
+        def waiter():
+            woken.append((yield sig))
+
+        procs = [sim.process(waiter(), name="late")]
+        with pytest.raises(SimulationError, match="deadlock"):
+            drive(sim, procs)
+        assert woken == []
+
+
+class TestWaiterAfterTrigger:
+    def test_late_waiter_waits_for_next_trigger(self):
+        sim = Simulator()
+        sig = sim.signal("gate")
+        values = []
+
+        def waiter():
+            values.append((yield sig))
+
+        def driver():
+            sig.trigger("first")   # fires before the waiter ever yields
+            yield 5
+            sig.trigger("second")
+
+        # FIFO same-time ordering: the driver (registered first) triggers
+        # "first" before the waiter reaches its yield.
+        procs = [sim.process(driver(), name="driver"),
+                 sim.process(waiter(), name="waiter")]
+        drive(sim, procs)
+        assert values == ["second"]
+        assert sig.trigger_count == 2
+
+    def test_each_trigger_wakes_only_current_waiters(self):
+        sim = Simulator()
+        sig = sim.signal("round")
+        log = []
+
+        def waiter(tag):
+            log.append((tag, (yield sig)))
+
+        def driver():
+            yield 1
+            sig.trigger("a")
+            yield 1
+            sig.trigger("b")
+
+        first = sim.process(waiter("w1"), name="w1")
+        drv = sim.process(driver(), name="driver")
+        sim.schedule(1.5, lambda: sim.process(waiter("w2"), name="w2"))
+        sim.run()
+        assert log == [("w1", "a"), ("w2", "b")]
+        assert first.finished and drv.finished
+
+
+class TestDeadlockDetection:
+    def test_deadlock_raises_with_stuck_process_names(self):
+        sim = Simulator()
+        sig = sim.signal("never")
+
+        def stuck():
+            yield sig
+
+        def fine():
+            yield 3
+
+        procs = [sim.process(stuck(), name="consumer"),
+                 sim.process(fine(), name="producer")]
+        with pytest.raises(SimulationError) as err:
+            drive(sim, procs)
+        message = str(err.value)
+        assert "deadlock" in message
+        assert "consumer" in message and "producer" not in message
+
+    def test_max_events_exceeded_raises(self):
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield 1
+
+        proc = sim.process(spinner(), name="spinner")
+        with pytest.raises(SimulationError, match="max_events"):
+            drive(sim, [proc], max_events=50)
+
+    def test_resolved_future_prevents_false_deadlock(self):
+        """Futures latch their value, so trigger-before-wait cannot hang."""
+        sim = Simulator()
+        fut = sim.future("result")
+        fut.resolve(42)
+        seen = []
+
+        def waiter():
+            seen.append((yield from fut.wait()))
+
+        drive(sim, [sim.process(waiter(), name="waiter")])
+        assert seen == [42]

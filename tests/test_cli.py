@@ -3,6 +3,13 @@
 import pytest
 
 from repro.__main__ import main
+from repro.harness import read_run_log
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep the CLI's default result cache out of the working tree."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
 
 
 class TestCli:
@@ -30,3 +37,48 @@ class TestCli:
         assert main(["fig9", "fanout"]) == 0
         out = capsys.readouterr().out
         assert "fanout" in out
+
+
+class TestExecutorFlags:
+    def test_bad_jobs_value_fails(self, capsys):
+        assert main(["--jobs", "zero", "fig9"]) == 2
+        assert "--jobs" in capsys.readouterr().out
+        assert main(["--jobs", "0", "fig9"]) == 2
+
+    def test_missing_flag_value_fails(self, capsys):
+        assert main(["fig9", "--cache-dir"]) == 2
+        assert "requires a value" in capsys.readouterr().out
+
+    def test_unknown_flag_fails(self, capsys):
+        assert main(["--frobnicate", "fig9"]) == 2
+        assert "unknown option" in capsys.readouterr().out
+
+    def test_help_documents_executor_flags(self, capsys):
+        main(["--help"])
+        out = capsys.readouterr().out
+        assert "--jobs" in out and "--cache-dir" in out
+
+    def test_cache_round_trip_and_summary_line(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        cold_log = tmp_path / "cold.jsonl"
+        warm_log = tmp_path / "warm.jsonl"
+        flags = ["--cache-dir", str(cache)]
+
+        assert main(["fig9", "fanout", *flags,
+                     "--run-log", str(cold_log)]) == 0
+        cold_out = capsys.readouterr().out
+        cold = read_run_log(cold_log)
+        assert cold and not any(line["cached"] for line in cold)
+        assert f"misses={len(cold)}" in cold_out
+
+        assert main(["fig9", "fanout", *flags,
+                     "--run-log", str(warm_log)]) == 0
+        warm_out = capsys.readouterr().out
+        warm = read_run_log(warm_log)
+        assert len(warm) == len(cold)
+        assert all(line["cached"] for line in warm)  # zero new simulations
+        assert f"hits={len(cold)} misses=0" in warm_out
+
+    def test_no_cache_disables_cache(self, tmp_path, capsys):
+        assert main(["--no-cache", "fig9", "fanout"]) == 0
+        assert "cache=off" in capsys.readouterr().out
