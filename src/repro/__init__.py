@@ -46,6 +46,7 @@ from repro.consistency import (
 )
 from repro.cpu import Program, ProgramBuilder
 from repro.protocols import Machine, RunResult, available_protocols
+from repro.trace import TraceCollector
 
 __version__ = "1.0.0"
 
@@ -65,4 +66,5 @@ __all__ = [
     "check_rc",
     "check_tso",
     "available_protocols",
+    "TraceCollector",
 ]

@@ -23,7 +23,11 @@ Executor options (any experiment):
                       .repro-cache)
     --no-cache        disable the on-disk result cache
     --run-log PATH    append per-run metadata (sim/wall time, events,
-                      cache hit/miss) as JSON lines to PATH
+                      cache hit/miss, trace path) as JSON lines to PATH
+    --trace           record a message/stall trace per run and export it
+                      as Chrome trace-event JSON (open in Perfetto);
+                      traces land in .repro-traces/ unless --trace-out
+    --trace-out DIR   trace output directory (implies --trace)
 """
 
 from __future__ import annotations
@@ -73,7 +77,8 @@ def _run_litmus() -> None:
 def _parse_executor_flags(
     args: List[str],
 ) -> Tuple[Optional[List[str]], Optional[Executor]]:
-    """Strip ``--jobs/--cache-dir/--no-cache/--run-log`` from ``args``.
+    """Strip the executor flags (``--jobs/--cache-dir/--no-cache/
+    --run-log/--trace/--trace-out``) from ``args``.
 
     Returns (remaining args, executor), or (None, None) on a usage error
     (after printing a message)."""
@@ -81,6 +86,7 @@ def _parse_executor_flags(
     jobs = 1
     cache_dir: Optional[str] = str(default_cache_dir())
     run_log: Optional[str] = None
+    trace_dir: Optional[str] = None
     index = 0
 
     def value_of(flag: str) -> Optional[str]:
@@ -116,6 +122,13 @@ def _parse_executor_flags(
             if value is None:
                 return None, None
             run_log = value
+        elif arg == "--trace":
+            trace_dir = trace_dir or ".repro-traces"
+        elif arg == "--trace-out":
+            value = value_of("--trace-out")
+            if value is None:
+                return None, None
+            trace_dir = value
         elif arg.startswith("--") and arg not in ("-h", "--help"):
             print(f"unknown option {arg!r}")
             return None, None
@@ -123,7 +136,7 @@ def _parse_executor_flags(
             remaining.append(arg)
         index += 1
     return remaining, Executor(jobs=jobs, cache_dir=cache_dir,
-                               run_log=run_log)
+                               run_log=run_log, trace_dir=trace_dir)
 
 
 def main(argv=None) -> int:
@@ -187,8 +200,11 @@ def main(argv=None) -> int:
 
     if executor.hits or executor.misses:
         cache = executor.cache_dir if executor.cache_dir else "off"
-        print(f"[executor] jobs={executor.jobs} cache={cache} "
-              f"hits={executor.hits} misses={executor.misses}")
+        line = (f"[executor] jobs={executor.jobs} cache={cache} "
+                f"hits={executor.hits} misses={executor.misses}")
+        if executor.trace_dir is not None:
+            line += f" traces={executor.trace_dir}"
+        print(line)
     return 0
 
 

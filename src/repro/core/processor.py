@@ -73,6 +73,12 @@ class CordProcessorState:
         self.relaxed_issued = 0
         self.releases_issued = 0
         self.stalls: Dict[str, int] = {}
+        #: Optional observer ``(name, value)`` invoked on state
+        #: transitions (epoch advance, store-counter bump, unacked-table
+        #: size, stall-reason occurrence).  Set by the timed CORD port
+        #: when tracing is enabled; the state stays pure — the observer
+        #: only watches, it never feeds back.
+        self.on_transition = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -150,6 +156,9 @@ class CordProcessorState:
 
     def record_stall(self, reason: StallReason) -> None:
         self.stalls[reason.code] = self.stalls.get(reason.code, 0) + 1
+        if self.on_transition is not None:
+            self.on_transition(f"stalls.{reason.code}",
+                               self.stalls[reason.code])
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -162,6 +171,8 @@ class CordProcessorState:
         count = self.store_counters.get(directory, 0)
         self.store_counters.put(directory, count + 1)
         self.relaxed_issued += 1
+        if self.on_transition is not None:
+            self.on_transition(f"store_counter.d{directory}", count + 1)
         return RelaxedMeta(proc=self.proc, epoch=self.epoch.value)
 
     def on_release_store(
@@ -202,6 +213,9 @@ class CordProcessorState:
         for pending_dir in list(self.store_counters.keys()):
             self.store_counters.remove(pending_dir)
         self.releases_issued += 1
+        if self.on_transition is not None:
+            self.on_transition("epoch", self.epoch.value)
+            self.on_transition("unacked_epochs", len(self.unacked))
         return ReleaseIssue(release=release, notifications=notifications)
 
     def on_release_ack(self, directory: int, epoch: int) -> None:
@@ -211,3 +225,5 @@ class CordProcessorState:
                 f"ack for unknown (dir={directory}, epoch={epoch}) at "
                 f"proc {self.proc}"
             )
+        if self.on_transition is not None:
+            self.on_transition("unacked_epochs", len(self.unacked))

@@ -16,7 +16,11 @@ from repro.harness.experiments import (
     run_micro,
     table3_area_power,
 )
-from repro.harness.breakdown import message_breakdown, protocol_comparison
+from repro.harness.breakdown import (
+    message_breakdown,
+    protocol_comparison,
+    stall_attribution_rows,
+)
 from repro.harness.executor import (
     Executor,
     RunRecord,
@@ -53,6 +57,7 @@ __all__ = [
     "export_all",
     "message_breakdown",
     "protocol_comparison",
+    "stall_attribution_rows",
     "reproduce",
     "ReproductionReport",
     "Executor",

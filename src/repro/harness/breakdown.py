@@ -16,7 +16,8 @@ from repro.harness.experiments import default_config, run_app
 from repro.protocols.machine import RunResult
 from repro.workloads.table2 import APPLICATIONS
 
-__all__ = ["message_breakdown", "protocol_comparison", "CONTROL_TYPES"]
+__all__ = ["message_breakdown", "protocol_comparison",
+           "stall_attribution_rows", "CONTROL_TYPES"]
 
 #: Message types that are pure protocol control (no store payload).
 CONTROL_TYPES = frozenset({
@@ -50,6 +51,32 @@ def message_breakdown(
     total = sum(r["bytes"] for r in rows) or 1
     for row in rows:
         row["share_pct"] = 100.0 * row["bytes"] / total
+    return rows
+
+
+def stall_attribution_rows(
+    result: RunResult, time_ns: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """Per-(actor, cause) stall attribution for a *traced* run.
+
+    Each row carries the span count, total stalled time and — when the
+    run's execution time is known — the Fig. 2-style percentage of that
+    time.  Raises :class:`ValueError` for untraced runs (build the
+    machine with ``trace=True`` or pass ``trace=True`` to
+    :func:`~repro.harness.experiments.run_app`).
+    """
+    trace = result.trace
+    if trace is None:
+        raise ValueError(
+            "run was not traced; build the Machine with trace=True"
+        )
+    from repro.trace import stall_attribution
+    rows = stall_attribution(trace)
+    time_ns = time_ns if time_ns is not None else result.time_ns
+    for row in rows:
+        row["time_pct"] = (
+            100.0 * row["total_ns"] / time_ns if time_ns > 0 else 0.0
+        )
     return rows
 
 

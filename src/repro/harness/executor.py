@@ -94,6 +94,11 @@ class RunSpec:
     max_events: Optional[int] = 20_000_000
     #: Experiment label for the run log (e.g. ``"fig7"``).
     experiment: str = ""
+    #: Record a message/stall trace for this run (see :mod:`repro.trace`).
+    #: Tracing is observational only — simulation results are identical —
+    #: but the flag participates in the cache key so traced and untraced
+    #: records are kept apart (their summaries differ).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in _BUILDERS:
@@ -200,6 +205,13 @@ class RunRecord:
     final_state_hash: str
     wall_time_s: float
     cached: bool = False
+    #: Traced runs only: exported Chrome-trace path (None when the run
+    #: was untraced or no trace directory was configured), per-actor
+    #: stall-attribution rows, and the collector's volume counters.
+    trace_path: Optional[str] = None
+    trace_stalls: List[Dict[str, Any]] = field(default_factory=list)
+    trace_events: int = 0
+    trace_dropped: int = 0
 
     # -- RunResult-compatible accessors --------------------------------
     def stat(self, name: str) -> float:
@@ -228,6 +240,25 @@ class RunRecord:
 
     def core_stall_ns(self, core_id: int, cause: str) -> float:
         return self.stat(f"core{core_id}.stall.{cause}")
+
+    def span_stall_ns(self, cause: Optional[str] = None,
+                      core: Optional[int] = None) -> float:
+        """Stall time derived from trace spans (traced runs only).
+
+        The counter-derived :meth:`core_stall_ns` and this span-derived
+        path measure the same stalls through independent plumbing; the
+        trace tests differentially check they agree.
+        """
+        total = 0.0
+        for row in self.trace_stalls:
+            if cause is not None and row["cause"] != cause:
+                continue
+            if core is not None and not row["actor"].startswith(
+                f"core{core}@"
+            ):
+                continue
+            total += row["total_ns"]
+        return total
 
     def storage_report(self):
         from repro.overheads.storage import StorageReport
@@ -267,7 +298,8 @@ def _final_state_hash(result, stats: Dict[str, float]) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _execute_spec(spec: RunSpec) -> RunRecord:
+def _execute_spec(spec: RunSpec,
+                  trace_dir: Optional[str] = None) -> RunRecord:
     """Worker entry point: build the machine, run it, harvest a record."""
     from repro.overheads.storage import collect_storage
     from repro.protocols.machine import Machine
@@ -277,13 +309,33 @@ def _execute_spec(spec: RunSpec) -> RunRecord:
     if spec.cord_config is not None:
         config = replace(config, cord=spec.cord_config)
     machine = Machine(config, protocol=spec.protocol,
-                      consistency=spec.consistency, seed=spec.effective_seed)
+                      consistency=spec.consistency, seed=spec.effective_seed,
+                      trace=spec.trace)
     programs = _BUILDERS[spec.kind](spec.workload, config)
     result = machine.run(programs, max_events=spec.max_events)
     storage = collect_storage(result)
     stats = result.stats.as_dict()
+    key = spec_key(spec)
+
+    trace_path: Optional[str] = None
+    trace_stalls: List[Dict[str, Any]] = []
+    trace_events = trace_dropped = 0
+    if machine.trace is not None:
+        from repro.trace import stall_attribution, write_chrome_trace
+        trace_stalls = stall_attribution(machine.trace)
+        trace_events = len(machine.trace)
+        trace_dropped = machine.trace.dropped
+        if trace_dir is not None:
+            label = "-".join(filter(None, (
+                spec.experiment or spec.kind, spec.protocol, key[:12]
+            )))
+            trace_path = str(write_chrome_trace(
+                machine.trace, Path(trace_dir) / f"{label}.trace.json",
+                label=label,
+            ))
+
     return RunRecord(
-        spec_key=spec_key(spec),
+        spec_key=key,
         experiment=spec.experiment,
         kind=spec.kind,
         protocol=spec.protocol,
@@ -297,6 +349,10 @@ def _execute_spec(spec: RunSpec) -> RunRecord:
         events=machine.sim.processed_events,
         final_state_hash=_final_state_hash(result, stats),
         wall_time_s=time.perf_counter() - started,
+        trace_path=trace_path,
+        trace_stalls=trace_stalls,
+        trace_events=trace_events,
+        trace_dropped=trace_dropped,
     )
 
 
@@ -321,7 +377,14 @@ class Executor:
         default) disables caching entirely.
     run_log:
         Path of a JSONL run log; one line is appended per completed run
-        (sim-time, wall-time, event count, message counts, cache hit/miss).
+        (sim-time, wall-time, event count, message counts, cache hit/miss,
+        trace path).
+    trace_dir:
+        When set, every spec runs with tracing enabled (specs already
+        marked ``trace=True`` keep it) and its Chrome trace JSON is
+        exported into this directory; run-log lines and records carry the
+        path.  ``None`` (default) leaves tracing to each spec's flag, and
+        traced runs then keep only the in-record stall attribution.
     """
 
     def __init__(
@@ -329,12 +392,14 @@ class Executor:
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         run_log: Optional[Union[str, Path]] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.run_log = Path(run_log) if run_log is not None else None
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.hits = 0
         self.misses = 0
 
@@ -385,6 +450,7 @@ class Executor:
             "events": record.events,
             "inter_host_msgs": inter_host_msgs,
             "inter_host_bytes": record.inter_host_bytes,
+            "trace_path": record.trace_path,
         }
         self.run_log.parent.mkdir(parents=True, exist_ok=True)
         with self.run_log.open("a") as handle:
@@ -403,6 +469,11 @@ class Executor:
         run-log lines are always produced in spec order, so a sweep's
         output is independent of worker scheduling.
         """
+        if self.trace_dir is not None:
+            specs = [
+                spec if spec.trace else replace(spec, trace=True)
+                for spec in specs
+            ]
         version = code_version()
         records: List[Optional[RunRecord]] = [None] * len(specs)
         pending: List[int] = []
@@ -428,12 +499,15 @@ class Executor:
         return records  # type: ignore[return-value]
 
     def _execute_many(self, specs: List[RunSpec]) -> List[RunRecord]:
+        trace_dir = str(self.trace_dir) if self.trace_dir else None
         if self.jobs == 1 or len(specs) == 1:
-            return [_execute_spec(spec) for spec in specs]
+            return [_execute_spec(spec, trace_dir) for spec in specs]
         from concurrent.futures import ProcessPoolExecutor
+        from functools import partial
         workers = min(self.jobs, len(specs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_spec, specs))
+            return list(pool.map(partial(_execute_spec, trace_dir=trace_dir),
+                                 specs))
 
 
 def read_run_log(path: Union[str, Path]) -> List[Dict[str, Any]]:

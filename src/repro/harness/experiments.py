@@ -73,9 +73,11 @@ def run_app(
     protocol: str,
     config: Optional[SystemConfig] = None,
     consistency: str = "rc",
+    trace: bool = False,
 ) -> RunResult:
     config = config or default_config()
-    machine = Machine(config, protocol=protocol, consistency=consistency)
+    machine = Machine(config, protocol=protocol, consistency=consistency,
+                      trace=trace)
     return machine.run(build_workload_programs(spec, config))
 
 
@@ -85,6 +87,7 @@ def run_micro(
     config: Optional[SystemConfig] = None,
     consistency: str = "rc",
     cord_config: Optional[CordConfig] = None,
+    trace: bool = False,
 ) -> RunResult:
     # Single-producer micro: one LLC slice per host keeps the directories
     # touched per epoch within Table 3's processor-table provisioning.
@@ -93,7 +96,8 @@ def run_micro(
     )
     if cord_config is not None:
         config = replace(config, cord=cord_config)
-    machine = Machine(config, protocol=protocol, consistency=consistency)
+    machine = Machine(config, protocol=protocol, consistency=consistency,
+                      trace=trace)
     return machine.run(build_micro_programs(spec, config))
 
 

@@ -10,11 +10,18 @@ models contention at each host's switch port (the shared inter-host link is
 the bottleneck resource in these systems; the intra-host mesh is treated as
 latency-only).
 
-Delivery between a fixed (src-host, dst-host) pair is FIFO — messages leave
-the egress port in send order — which matches real load/store interconnects
-and is what the MP (PCIe-like) protocol relies on for its point-to-point
-ordering.  Protocol *correctness* under adversarial reordering is checked
-separately by the untimed model checker (``repro.litmus``).
+Delivery between a fixed (src-node, dst-node) pair is FIFO — messages
+between the same two endpoints arrive in send order — which matches real
+load/store interconnects and is the point-to-point ordering the MP
+(PCIe-like) protocol relies on.  Disjoint node pairs are independent even
+within one host: their mesh paths do not serialize against each other.
+Protocol *correctness* under adversarial reordering is checked separately
+by the untimed model checker (``repro.litmus``).
+
+When a :class:`~repro.trace.TraceCollector` is attached, every send is
+recorded as a flight span (size/class/hops), every delivery as an instant,
+and time spent queued behind the egress port as an ``egress_queue`` stall
+span against the source node.
 """
 
 from __future__ import annotations
@@ -41,15 +48,21 @@ class Network:
         stats: Optional[StatRegistry] = None,
         latency_jitter: float = 0.0,
         rng=None,
+        trace=None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.topology = Topology(config)
         self.stats = stats if stats is not None else StatRegistry()
+        #: Optional :class:`repro.trace.TraceCollector` (None = disabled).
+        self.trace = trace
         self._handlers: Dict[NodeId, Handler] = {}
         # Next time each host's switch egress port is free.
         self._egress_free: Dict[int, float] = {}
-        # FIFO guarantee: last arrival time per (src.host, dst.host) pair.
+        # FIFO guarantee: last arrival time per (src, dst) *node* pair.
+        # Keying on hosts would serialize disjoint same-host mesh paths
+        # against each other (all intra-host traffic shares one (h, h)
+        # key); per node pair is the ordering MP actually relies on.
         self._last_arrival: Dict[tuple, float] = {}
         # Optional per-message latency perturbation (timed litmus fuzzing).
         # Jitter is applied before the per-pair FIFO clamp, so same-path
@@ -94,16 +107,25 @@ class Network:
         else:
             arrival = self.sim.now + latency
 
-        # Enforce per host-pair FIFO delivery.
-        pair = (message.src.host, message.dst.host)
+        # Enforce per node-pair FIFO delivery.
+        pair = (message.src, message.dst)
         arrival = max(arrival, self._last_arrival.get(pair, 0.0))
         self._last_arrival[pair] = arrival
 
         self._account(message, cross)
+        if self.trace:
+            self.trace.stall(str(message.src), "egress_queue",
+                             self.sim.now, depart)
+            self.trace.message_send(
+                message, depart, arrival, cross,
+                self.topology.hop_count(message.src, message.dst),
+            )
         self.sim.schedule_at(arrival, self._deliver, message)
         return arrival
 
     def _deliver(self, message: Message) -> None:
+        if self.trace:
+            self.trace.message_deliver(message, self.sim.now)
         self._handlers[message.dst](message)
 
     # ------------------------------------------------------------------

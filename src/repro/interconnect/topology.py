@@ -49,6 +49,24 @@ class Topology:
         row, col = self.tile_position(tile)
         return col + row
 
+    def hop_count(self, src: NodeId, dst: NodeId) -> int:
+        """Total switch hops from ``src`` to ``dst`` (trace metadata).
+
+        Same host: mesh Manhattan distance (minimum 1, matching
+        :meth:`latency_ns`).  Cross host: both edge walks plus the
+        central switch, plus one more tier when the hosts sit in
+        different pods.
+        """
+        if src.host == dst.host:
+            return max(1, self.mesh_hops(self.tile_of(src), self.tile_of(dst)))
+        hops = self.edge_hops(self.tile_of(src)) + 1 + self.edge_hops(
+            self.tile_of(dst)
+        )
+        cfg = self.config
+        if cfg.pods > 1 and cfg.pod_of_host(src.host) != cfg.pod_of_host(dst.host):
+            hops += 1
+        return hops
+
     # ------------------------------------------------------------------
     # Latency
     # ------------------------------------------------------------------

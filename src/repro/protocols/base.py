@@ -74,12 +74,22 @@ class CorePort(abc.ABC):
         return self.machine.address_map.home_directory(addr)
 
     def stall(self, cause: str, duration_ns: float) -> None:
-        """Account stall time against this core (Fig. 2's wait breakdown)."""
+        """Account stall time against this core (Fig. 2's wait breakdown).
+
+        The flat counters and the trace's attribution spans are fed from
+        this one site, so span-derived breakdowns are guaranteed to agree
+        with counter-derived ones (pinned differentially by the tests).
+        """
         if duration_ns > 0:
             self.machine.stats.counter(f"stall.{cause}").add(duration_ns)
             self.machine.stats.counter(
                 f"core{self.core.core_id}.stall.{cause}"
             ).add(duration_ns)
+            trace = self.machine.trace
+            if trace:
+                now = self.sim.now
+                trace.stall(str(self.node), cause, now - duration_ns, now,
+                            core=self.core.core_id)
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -262,6 +272,10 @@ class DirectoryNode:
     def track_buffered(self, count: int) -> None:
         if count > self.peak_buffered:
             self.peak_buffered = count
+        trace = self.machine.trace
+        if trace:
+            trace.counter(str(self.node_id), "buffered_msgs", count,
+                          self.sim.now)
 
     # ------------------------------------------------------------------
     # Commit point

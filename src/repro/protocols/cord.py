@@ -36,6 +36,15 @@ class CordCorePort(CorePort):
         super().__init__(core)
         self.state = CordProcessorState(core.core_id, self.config.cord)
         self.ack_signal = self.sim.signal(f"cord_ack@core{core.core_id}")
+        trace = self.machine.trace
+        if trace:
+            # Epoch advances, store-counter bumps, unacked-table sizes and
+            # stall-reason hits become counter tracks on this core's lane.
+            actor, sim = str(self.node), self.sim
+            self.state.on_transition = (
+                lambda name, value: trace.counter(actor, name, value,
+                                                  sim.now)
+            )
 
     # ------------------------------------------------------------------
     # Metadata bit widths (traffic model)
@@ -362,6 +371,11 @@ class CordDirectory(DirectoryNode):
                     else:
                         self.llc.write_through_commits += 1
                     self.state.commit_release(meta)
+                    trace = self.machine.trace
+                    if trace:
+                        trace.counter(str(self.node_id),
+                                      f"committed_epoch.p{meta.proc}",
+                                      meta.epoch, self.sim.now)
                     self._send_release_ack(message.src, meta)
                     changed = True
         self.track_buffered(len(self._pending_releases) + len(self._pending_reqs))

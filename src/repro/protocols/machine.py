@@ -83,6 +83,13 @@ class RunResult:
         return self.stats.value(f"core{core_id}.stall.{cause}")
 
     # ------------------------------------------------------------------
+    # Tracing (None unless the machine was built with ``trace=``)
+    # ------------------------------------------------------------------
+    @property
+    def trace(self):
+        return self.machine.trace
+
+    # ------------------------------------------------------------------
     # Storage (Fig. 11 / Fig. 12)
     # ------------------------------------------------------------------
     def proc_storage_bytes(self, core_id: int) -> Dict[str, int]:
@@ -135,6 +142,7 @@ class Machine:
         consistency: str = "rc",
         latency_jitter: float = 0.0,
         seed: int = 0,
+        trace=None,
     ) -> None:
         if consistency not in ("rc", "tso", "sc"):
             raise ValueError(f"unknown consistency model {consistency!r}")
@@ -145,11 +153,21 @@ class Machine:
 
         self.sim = Simulator()
         self.stats = StatRegistry()
+        # ``trace`` is None (disabled, the default), True (attach a fresh
+        # default-capacity collector) or a TraceCollector to reuse.
+        # Tracing is purely observational: it never schedules events, so
+        # traced and untraced runs are bit-identical.
+        if trace is True:
+            from repro.trace import TraceCollector
+            trace = TraceCollector()
+        self.trace = trace if trace is not False else None
+        self.sim.trace = self.trace
         from repro.sim import DeterministicRng
         self.network = Network(
             self.sim, config, self.stats,
             latency_jitter=latency_jitter,
             rng=DeterministicRng(seed).child("network"),
+            trace=self.trace,
         )
         self.address_map = AddressMap(config)
         self.history = ExecutionHistory()

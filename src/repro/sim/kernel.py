@@ -136,6 +136,13 @@ class Process:
             self.sim.schedule(0.0, self._resume, None)
         elif isinstance(yielded, Signal):
             yielded._add_waiter(self)
+        elif isinstance(yielded, bool):
+            # bool is an int subclass: without this check ``yield True``
+            # would silently sleep 1.0 ns (usually a mistyped condition).
+            raise SimulationError(
+                f"process {self.name!r} yielded a bool ({yielded}); "
+                "yield a delay, a Signal, or None"
+            )
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(
@@ -165,6 +172,11 @@ class Simulator:
         self._sequence = 0
         self.processed_events = 0
         self._processes: List[Process] = []
+        #: Optional :class:`repro.trace.TraceCollector`.  The kernel never
+        #: records into it itself; it is the well-known place actors reach
+        #: their run's collector (``self.sim.trace``), and ``None`` — the
+        #: default — is the zero-overhead disabled mode.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -223,12 +235,18 @@ class Simulator:
         while self._queue:
             when = self._queue[0][0]
             if until is not None and when > until:
-                self.now = until
                 break
             if max_events is not None and events >= max_events:
-                break
+                # Interrupted mid-horizon: leave the clock at the last
+                # processed event so a later run() can resume.
+                return self.now
             self.step()
             events += 1
+        # The horizon was reached, whether or not any events remain past
+        # it: the clock always advances to ``until`` (a drained queue
+        # must not leave ``now`` stuck at the last event time).
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     def run_until_processes_finish(

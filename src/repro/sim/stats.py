@@ -92,9 +92,16 @@ class StatRegistry:
         return self._max_trackers[name]
 
     def accumulator(self, name: str, keep_samples: bool = False) -> Accumulator:
-        if name not in self._accumulators:
-            self._accumulators[name] = Accumulator(name, keep_samples=keep_samples)
-        return self._accumulators[name]
+        acc = self._accumulators.get(name)
+        if acc is None:
+            acc = Accumulator(name, keep_samples=keep_samples)
+            self._accumulators[name] = acc
+        elif keep_samples and not acc.keep_samples:
+            # Upgrade in place: a later keep_samples=True request must not
+            # be silently dropped just because the accumulator already
+            # existed (samples accrue from this point on).
+            acc.keep_samples = True
+        return acc
 
     # ------------------------------------------------------------------
     # Queries

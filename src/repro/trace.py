@@ -1,0 +1,414 @@
+"""Message-level tracing and stall attribution (``repro.trace``).
+
+The paper's headline numbers are *attribution* claims: Fig. 2 reports the
+percentage of execution time SO spends waiting for write-through
+acknowledgments, and Fig. 7/13 decompose time and traffic per protocol.
+The flat counters in :class:`~repro.sim.stats.StatRegistry` give the
+totals, but not *which* message or stall produced them.  This module adds
+an opt-in observability layer:
+
+* :class:`TraceEvent` — one typed event: a message send/deliver (with
+  size, control/data class and hop count), a stall span with its cause
+  (ack-wait, table overflow, egress queuing, barrier …), a counter
+  transition (CORD epochs, store counters, directory buffer occupancy)
+  or a free-form instant.
+* :class:`TraceCollector` — a bounded ring buffer of events.  Collectors
+  are only consulted behind ``if trace:`` guards at every instrumentation
+  site, so a disabled run (``trace=None``, the default everywhere) pays a
+  single attribute test per site and allocates nothing.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — export to the
+  Chrome trace-event JSON format, loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+* :func:`validate_chrome_trace` — structural schema check used by the
+  tests and the CI traced-smoke job.
+* :func:`stall_attribution` / :func:`stall_time_ns` /
+  :func:`fig2_wait_pct` — per-cause stall summaries; Fig. 2's "% time
+  waiting for acks" derived from spans instead of counters, so the two
+  paths cross-check each other.
+
+Overhead guarantees (pinned by ``tests/test_trace.py``):
+
+* disabled: no :class:`TraceEvent` is ever constructed, and a traced run
+  produces byte-identical simulation results to an untraced one (tracing
+  only observes; it never schedules or perturbs);
+* enabled: memory is bounded by ``capacity`` events (default 1 M); when
+  the ring wraps, the oldest events are dropped and ``dropped`` counts
+  them, so exports are explicit about truncation.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "TraceEvent",
+    "TraceCollector",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "stall_attribution",
+    "stall_time_ns",
+    "fig2_wait_pct",
+]
+
+#: Event kinds a collector records.
+KINDS = ("msg_send", "msg_recv", "stall", "counter", "instant")
+
+#: Stall causes counted by :func:`fig2_wait_pct` (Fig. 2's definition of
+#: "waiting for write-through acknowledgments" under source ordering).
+FIG2_ACK_CAUSES = ("wait_wt_ack", "wait_drain")
+
+
+@dataclass
+class TraceEvent:
+    """One trace event.
+
+    ``ts_ns`` is the event's start time; ``dur_ns`` is non-zero only for
+    spans (message flight time, stall duration).  ``actor`` names the
+    endpoint the event is attributed to (``str(NodeId)``, e.g.
+    ``"core3@h1"``); ``name`` is the message type, stall cause or counter
+    name; ``args`` carries kind-specific detail (size/hops for messages,
+    core id for stalls, value for counters).
+    """
+
+    kind: str
+    ts_ns: float
+    actor: str
+    name: str
+    dur_ns: float = 0.0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceCollector:
+    """A bounded ring buffer of :class:`TraceEvent`.
+
+    Instrumentation sites hold either ``None`` (tracing disabled — the
+    default) or a collector, and guard every record with ``if trace:``,
+    which is why the collector itself has no "disabled" state: absence
+    *is* the disabled mode, and it costs one pointer test per site.
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, event: TraceEvent) -> None:
+        self.recorded += 1
+        self._events.append(event)
+
+    def message_send(
+        self,
+        message,
+        depart_ns: float,
+        arrival_ns: float,
+        cross: bool,
+        hops: int,
+    ) -> None:
+        """A message leaving the fabric's injection point.
+
+        The span covers departure (after any egress queuing) to arrival;
+        queuing itself is recorded separately as an ``egress_queue``
+        stall span against the source node.
+        """
+        self.record(TraceEvent(
+            kind="msg_send",
+            ts_ns=depart_ns,
+            actor=str(message.src),
+            name=message.msg_type,
+            dur_ns=arrival_ns - depart_ns,
+            args={
+                "uid": message.uid,
+                "dst": str(message.dst),
+                "size_bytes": message.size_bytes,
+                "class": "ctrl" if message.control else "data",
+                "scope": "inter_host" if cross else "intra_host",
+                "hops": hops,
+            },
+        ))
+
+    def message_deliver(self, message, ts_ns: float) -> None:
+        self.record(TraceEvent(
+            kind="msg_recv",
+            ts_ns=ts_ns,
+            actor=str(message.dst),
+            name=message.msg_type,
+            args={"uid": message.uid, "src": str(message.src),
+                  "size_bytes": message.size_bytes},
+        ))
+
+    def stall(
+        self,
+        actor: str,
+        cause: str,
+        start_ns: float,
+        end_ns: float,
+        **args: Any,
+    ) -> None:
+        """A completed stall span attributed to ``cause``.
+
+        Zero-length spans are dropped — an instantly-satisfied wait is
+        not a stall (this mirrors ``CorePort.stall``'s counter guard).
+        """
+        if end_ns <= start_ns:
+            return
+        self.record(TraceEvent(
+            kind="stall", ts_ns=start_ns, actor=actor, name=cause,
+            dur_ns=end_ns - start_ns, args=dict(args),
+        ))
+
+    def counter(self, actor: str, name: str, value: float,
+                ts_ns: float) -> None:
+        """A counter transition (CORD epoch advance, buffer occupancy…)."""
+        self.record(TraceEvent(
+            kind="counter", ts_ns=ts_ns, actor=actor, name=name,
+            args={"value": value},
+        ))
+
+    def instant(self, actor: str, name: str, ts_ns: float,
+                **args: Any) -> None:
+        self.record(TraceEvent(
+            kind="instant", ts_ns=ts_ns, actor=actor, name=name,
+            args=dict(args),
+        ))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wrap-around (oldest first)."""
+        return self.recorded - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        # Instrumentation sites use ``if trace:`` as their enabled check;
+        # an *empty* collector must still be truthy (len() would make it
+        # falsy and silently drop the first event of every run).
+        return True
+
+    def __iter__(self):
+        return iter(self._events)
+
+
+# ---------------------------------------------------------------------------
+# Stall attribution
+# ---------------------------------------------------------------------------
+Events = Union[TraceCollector, Iterable[TraceEvent]]
+
+
+def stall_attribution(events: Events) -> List[Dict[str, Any]]:
+    """Aggregate stall spans into per-(actor, cause) rows.
+
+    Rows are sorted by total stall time, descending — the "where did the
+    time go" summary printed next to every traced run.
+    """
+    totals: Dict[Tuple[str, str], List[float]] = {}
+    for event in events:
+        if event.kind != "stall":
+            continue
+        entry = totals.setdefault((event.actor, event.name), [0, 0.0])
+        entry[0] += 1
+        entry[1] += event.dur_ns
+    rows = [
+        {"actor": actor, "cause": cause, "spans": int(count),
+         "total_ns": total}
+        for (actor, cause), (count, total) in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r["total_ns"], r["actor"], r["cause"]))
+    return rows
+
+
+def stall_time_ns(
+    events: Events,
+    cause: Optional[str] = None,
+    core: Optional[int] = None,
+) -> float:
+    """Total stalled time from spans, optionally filtered by cause/core."""
+    total = 0.0
+    for event in events:
+        if event.kind != "stall":
+            continue
+        if cause is not None and event.name != cause:
+            continue
+        if core is not None and event.args.get("core") != core:
+            continue
+        total += event.dur_ns
+    return total
+
+
+def fig2_wait_pct(
+    events: Events,
+    time_ns: float,
+    producer_cores: Iterable[int],
+) -> float:
+    """Fig. 2's "% execution time waiting for WT acks", from stall spans.
+
+    The counter-based path in
+    :func:`repro.harness.experiments.fig2_source_ordering_overheads` sums
+    the ``wait_wt_ack`` and ``wait_drain`` stall counters over the
+    producer cores; this derives the same quantity from the trace's
+    attribution spans, so the two can be differentially checked.
+    """
+    producers = list(producer_cores)
+    if not producers or time_ns <= 0:
+        return 0.0
+    stalled = sum(
+        stall_time_ns(events, cause=cause, core=core)
+        for core in producers
+        for cause in FIG2_ACK_CAUSES
+    )
+    return 100.0 * stalled / (time_ns * len(producers))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export
+# ---------------------------------------------------------------------------
+def _actor_host(actor: str) -> int:
+    """Host index encoded in ``str(NodeId)`` (``core3@h1`` -> 1)."""
+    _, sep, host = actor.rpartition("@h")
+    if sep and host.isdigit():
+        return int(host)
+    return 0
+
+
+def chrome_trace(events: Events, label: str = "repro") -> Dict[str, Any]:
+    """Render events as a Chrome trace-event JSON object.
+
+    Layout: one *process* per simulated host, one *thread* per actor
+    (core / directory node).  Message flights and stall spans become
+    complete (``"X"``) events, deliveries become instants (``"i"``),
+    counter transitions become counter (``"C"``) tracks.  Timestamps are
+    microseconds (the format's unit); ``displayTimeUnit`` is ``"ns"``.
+    """
+    collector = events if isinstance(events, TraceCollector) else None
+    event_list = list(events)
+
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+
+    def tid_of(actor: str) -> int:
+        if actor not in tids:
+            tids[actor] = len(tids) + 1
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "ts": 0.0,
+                "pid": _actor_host(actor), "tid": tids[actor],
+                "args": {"name": actor},
+            })
+        return tids[actor]
+
+    for event in event_list:
+        base = {
+            "ts": event.ts_ns / 1000.0,
+            "pid": _actor_host(event.actor),
+            "tid": tid_of(event.actor),
+        }
+        if event.kind in ("msg_send", "stall"):
+            prefix = "msg" if event.kind == "msg_send" else "stall"
+            trace_events.append(dict(
+                base, name=f"{prefix}:{event.name}", ph="X",
+                dur=event.dur_ns / 1000.0, cat=event.kind, args=event.args,
+            ))
+        elif event.kind in ("msg_recv", "instant"):
+            trace_events.append(dict(
+                base, name=f"recv:{event.name}" if event.kind == "msg_recv"
+                else event.name,
+                ph="i", s="t", cat=event.kind, args=event.args,
+            ))
+        elif event.kind == "counter":
+            trace_events.append(dict(
+                base, name=f"{event.actor}.{event.name}", ph="C",
+                cat="counter",
+                args={event.name: event.args.get("value", 0)},
+            ))
+
+    other: Dict[str, Any] = {"label": label, "events": len(event_list)}
+    if collector is not None:
+        other["recorded"] = collector.recorded
+        other["dropped"] = collector.dropped
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    events: Events, path: Union[str, Path], label: str = "repro"
+) -> Path:
+    """Export events to ``path`` as Chrome trace JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(events, label=label)))
+    return path
+
+
+_PHASES = {"X", "i", "C", "M"}
+
+
+def validate_chrome_trace(data: Any) -> int:
+    """Structurally validate a Chrome trace object; returns the event count.
+
+    Raises :class:`ValueError` describing every violation found.  This is
+    deliberately dependency-free (no ``jsonschema``) and checks exactly
+    what Perfetto's JSON importer requires of the events we emit.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(data).__name__}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must contain a 'traceEvents' list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: bad phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing/non-string name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs dur >= 0")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: 'i' event needs scope s in t/p/g")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"{where}: 'C' event needs numeric args")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    if problems:
+        raise ValueError(
+            f"invalid Chrome trace ({len(problems)} problems): "
+            + "; ".join(problems[:10])
+        )
+    return len(events)

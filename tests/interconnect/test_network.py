@@ -111,3 +111,88 @@ class TestAccounting:
                           control=True))
         assert network.stats.value("msgs.inter_host.ack") == 2
         assert network.stats.value("bytes.inter_host.ack") == 48
+
+
+class TestFifoScope:
+    """The FIFO clamp is per (src, dst) *node* pair, not per host pair.
+
+    Regression for a bug where ``_last_arrival`` was keyed on
+    ``(src.host, dst.host)``: all intra-host traffic shared the ``(h, h)``
+    key, so disjoint mesh paths within one host serialized against each
+    other (a short 1-hop message could not overtake an unrelated 7-hop
+    one between different endpoints).
+    """
+
+    def _network(self, cores_per_host=8):
+        sim = Simulator()
+        config = SystemConfig().scaled(hosts=2, cores_per_host=cores_per_host)
+        network = Network(sim, config)
+        return sim, network
+
+    def test_independent_same_host_pairs_do_not_serialize(self):
+        sim, network = self._network()
+        far_src, far_dst = NodeId.core(0, 0), NodeId.directory(7, 0)
+        near_src, near_dst = NodeId.core(1, 0), NodeId.directory(2, 0)
+        for node in (far_src, far_dst, near_src, near_dst):
+            network.register(node, lambda m: None)
+
+        slow = network.send(_msg(far_src, far_dst))     # 7 mesh hops
+        fast = network.send(_msg(near_src, near_dst))   # 1 mesh hop
+        assert fast < slow
+        # The near pair pays exactly its own zero-load latency: no clamp
+        # against the unrelated far pair's in-flight message.
+        assert fast == network.topology.latency_ns(near_src, near_dst)
+
+    def test_same_node_pair_still_fifo(self):
+        sim, network = self._network()
+        src, dst = NodeId.core(0, 0), NodeId.directory(7, 0)
+        network.register(dst, lambda m: None)
+        first = network.send(_msg(src, dst))
+        second = network.send(_msg(src, dst))
+        assert second >= first
+
+    def test_disjoint_cross_host_pairs_not_clamped_to_each_other(self):
+        sim, network = self._network()
+        a_src, a_dst = NodeId.core(7, 0), NodeId.directory(15, 1)
+        b_src, b_dst = NodeId.core(1, 0), NodeId.directory(9, 1)
+        for node in (a_dst, b_dst):
+            network.register(node, lambda m: None)
+        # Both share host 0's egress port (which still serializes
+        # departures), but the long-path arrival no longer clamps the
+        # short-path pair's arrival beyond that.
+        far = network.send(_msg(a_src, a_dst, size=8))
+        near = network.send(_msg(b_src, b_dst, size=8))
+        assert near < far
+
+
+class TestTracing:
+    def test_send_deliver_and_egress_queue_recorded(self):
+        from repro.trace import TraceCollector
+
+        sim = Simulator()
+        config = SystemConfig().scaled(hosts=2, cores_per_host=2)
+        trace = TraceCollector()
+        network = Network(sim, config, trace=trace)
+        src, dst = NodeId.core(0, 0), NodeId.directory(2, 1)
+        network.register(dst, lambda m: None)
+        network.send(_msg(src, dst, size=4096))
+        network.send(_msg(src, dst, size=4096))  # queues behind msg 1
+        sim.run()
+
+        kinds = [e.kind for e in trace]
+        assert kinds.count("msg_send") == 2
+        assert kinds.count("msg_recv") == 2
+        sends = [e for e in trace if e.kind == "msg_send"]
+        assert all(e.args["scope"] == "inter_host" for e in sends)
+        assert all(e.args["hops"] >= 1 for e in sends)
+        queued = [e for e in trace
+                  if e.kind == "stall" and e.name == "egress_queue"]
+        assert len(queued) == 1  # only the second send waited
+        serialization = config.interconnect.serialization_ns(4096)
+        assert queued[0].dur_ns == pytest.approx(serialization)
+
+    def test_untraced_network_records_nothing(self, setup):
+        sim, network, _, core, _, remote_dir = setup
+        assert network.trace is None
+        network.send(_msg(core, remote_dir))
+        sim.run()  # would raise if any trace call were attempted

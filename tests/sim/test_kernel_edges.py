@@ -125,3 +125,71 @@ class TestDeadlockDetection:
 
         drive(sim, [sim.process(waiter(), name="waiter")])
         assert seen == [42]
+
+
+class TestRunUntilHorizon:
+    """``run(until=...)`` must always leave the clock at the horizon.
+
+    Regression: when the queue drained *before* the horizon, ``now`` was
+    left at the last event's time, so back-to-back ``run(until=...)``
+    calls (periodic sampling loops) silently fell behind real time.
+    """
+
+    def test_clock_reaches_until_when_queue_drains_first(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_clock_reaches_until_with_future_event_past_horizon(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        assert sim.run(until=10.0) == 10.0
+        assert sim.pending_events == 1  # the t=20 event is untouched
+
+    def test_empty_queue_still_advances_to_until(self):
+        sim = Simulator()
+        assert sim.run(until=5.0) == 5.0
+
+    def test_max_events_exit_does_not_jump_to_horizon(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.run(until=10.0, max_events=2) == 2.0
+        # Resuming finishes the horizon normally.
+        assert sim.run(until=10.0) == 10.0
+
+
+class TestBoolYieldRejected:
+    """Regression: ``isinstance(True, int)`` holds, so ``yield True``
+    used to silently sleep 1.0 ns instead of failing loudly."""
+
+    def test_yield_true_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield True
+
+        procs = [sim.process(proc(), name="boolean")]
+        with pytest.raises(SimulationError, match="bool"):
+            drive(sim, procs)
+
+    def test_yield_false_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield False
+
+        procs = [sim.process(proc(), name="boolean")]
+        with pytest.raises(SimulationError, match="bool"):
+            drive(sim, procs)
+
+    def test_numeric_delays_still_work(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+            yield 2.5
+
+        assert drive(sim, [sim.process(proc())]) == 3.5

@@ -106,3 +106,27 @@ class TestViews:
         groups = stats.grouped()
         assert set(groups) >= {"traffic", "stall"}
         assert groups["traffic"]["ctrl"] == 1
+
+
+class TestAccumulatorFlagUpgrade:
+    """Regression: ``accumulator(name, keep_samples=True)`` used to return
+    a previously-created instance with ``keep_samples=False`` unchanged,
+    silently dropping every subsequent sample."""
+
+    def test_keep_samples_upgrades_existing_accumulator(self):
+        stats = StatRegistry()
+        first = stats.accumulator("lat")          # created without samples
+        first.add(1.0)
+        second = stats.accumulator("lat", keep_samples=True)
+        assert second is first                     # same instance...
+        assert second.keep_samples                 # ...flag upgraded
+        second.add(2.0)
+        assert second.samples == [2.0]             # kept from upgrade on
+        assert second.count == 2                   # aggregates unaffected
+
+    def test_keep_samples_never_downgrades(self):
+        stats = StatRegistry()
+        stats.accumulator("lat", keep_samples=True).add(1.0)
+        again = stats.accumulator("lat")           # plain re-lookup
+        again.add(2.0)
+        assert again.samples == [1.0, 2.0]

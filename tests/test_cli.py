@@ -82,3 +82,34 @@ class TestExecutorFlags:
     def test_no_cache_disables_cache(self, tmp_path, capsys):
         assert main(["--no-cache", "fig9", "fanout"]) == 0
         assert "cache=off" in capsys.readouterr().out
+
+
+class TestTraceFlags:
+    def test_trace_out_exports_validating_traces(self, tmp_path, capsys):
+        import json
+        from repro.trace import validate_chrome_trace
+
+        traces = tmp_path / "traces"
+        log = tmp_path / "runs.jsonl"
+        assert main(["fig9", "fanout", "--no-cache",
+                     "--trace-out", str(traces),
+                     "--run-log", str(log)]) == 0
+        assert f"traces={traces}" in capsys.readouterr().out
+
+        lines = read_run_log(log)
+        assert lines and all(line["trace_path"] for line in lines)
+        files = sorted(traces.glob("*.trace.json"))
+        assert files
+        for path in files[:3]:
+            validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_trace_flag_uses_default_directory(self, tmp_path, monkeypatch,
+                                               capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig9", "fanout", "--no-cache", "--trace"]) == 0
+        assert "traces=.repro-traces" in capsys.readouterr().out
+        assert list((tmp_path / ".repro-traces").glob("*.trace.json"))
+
+    def test_missing_trace_out_value_fails(self, capsys):
+        assert main(["fig9", "--trace-out"]) == 2
+        assert "requires a value" in capsys.readouterr().out

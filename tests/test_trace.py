@@ -1,0 +1,231 @@
+"""Tests for the ``repro.trace`` observability layer.
+
+Pins the module's contract: bounded memory, zero allocation when
+disabled, schema-valid Chrome trace export, and — the load-bearing one —
+that Fig. 2 stall percentages derived from attribution spans match the
+counter-derived values exactly (both are fed from the same ``stall()``
+call sites, so any divergence means an instrumentation bug).
+"""
+
+import json
+
+import pytest
+
+from repro import Machine, ProgramBuilder, SystemConfig
+from repro.harness import stall_attribution_rows
+from repro.harness.executor import Executor, RunSpec
+from repro.trace import (
+    FIG2_ACK_CAUSES,
+    TraceCollector,
+    TraceEvent,
+    chrome_trace,
+    fig2_wait_pct,
+    stall_attribution,
+    stall_time_ns,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.workloads.micro import MicroSpec
+
+
+def _producer_consumer(protocol, trace=None):
+    """A tiny two-host producer/consumer run; returns (machine, result)."""
+    config = SystemConfig().scaled(hosts=2, cores_per_host=1)
+    machine = Machine(config, protocol=protocol, trace=trace)
+    flag = machine.address_map.address_in_host(1, 0x4000)
+    data = machine.address_map.address_in_host(1, 0x8000)
+    producer = (ProgramBuilder("producer")
+                .store(data, value=42, size=64)
+                .store(data + 64, value=43, size=64)
+                .release_store(flag, value=1)
+                .build())
+    consumer = (ProgramBuilder("consumer")
+                .load_until(flag, 1)
+                .load(data, register="r0")
+                .build())
+    result = machine.run({0: producer, 1: consumer})
+    return machine, result
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_memory(self):
+        collector = TraceCollector(capacity=4)
+        for i in range(10):
+            collector.instant("core0@h0", f"ev{i}", float(i))
+        assert len(collector) == 4
+        assert collector.recorded == 10
+        assert collector.dropped == 6
+        # The *oldest* events are the ones dropped.
+        assert [e.name for e in collector] == ["ev6", "ev7", "ev8", "ev9"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCollector(capacity=0)
+
+    def test_empty_collector_is_truthy(self):
+        # Instrumentation sites use ``if trace:`` as the enabled check;
+        # an empty collector must not read as disabled.
+        assert TraceCollector()
+
+    def test_zero_length_stall_spans_dropped(self):
+        collector = TraceCollector()
+        collector.stall("core0@h0", "wait", 5.0, 5.0)
+        assert len(collector) == 0
+
+
+class TestDisabledMode:
+    def test_untraced_run_allocates_no_events(self, monkeypatch):
+        """With tracing disabled no TraceEvent is ever constructed."""
+        def boom(*args, **kwargs):
+            raise AssertionError("TraceEvent built in a disabled run")
+
+        monkeypatch.setattr("repro.trace.TraceEvent", boom)
+        machine, result = _producer_consumer("so")  # trace=None
+        assert machine.trace is None
+        assert result.time_ns > 0
+
+    def test_traced_run_is_byte_identical_to_untraced(self):
+        """Tracing observes; it never perturbs the simulation."""
+        _, untraced = _producer_consumer("cord")
+        machine, traced = _producer_consumer("cord", trace=True)
+        assert len(machine.trace) > 0
+        assert traced.time_ns == untraced.time_ns
+        assert traced.quiesce_ns == untraced.quiesce_ns
+        assert traced.stats.as_dict() == untraced.stats.as_dict()
+
+
+class TestChromeExport:
+    def test_json_round_trip_validates(self, tmp_path):
+        machine, _ = _producer_consumer("cord", trace=True)
+        path = write_chrome_trace(machine.trace, tmp_path / "run.trace.json")
+        data = json.loads(path.read_text())
+        count = validate_chrome_trace(data)
+        assert count >= len(machine.trace)  # + thread_name metadata
+        assert data["otherData"]["dropped"] == 0
+        names = {e["name"] for e in data["traceEvents"]}
+        assert any(n.startswith("msg:wt_rel") for n in names)
+        assert any(n.endswith(".epoch") for n in names)
+
+    def test_event_kinds_map_to_phases(self):
+        machine, _ = _producer_consumer("so", trace=True)
+        data = chrome_trace(machine.trace)
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert {"X", "i", "M"} <= phases
+        for event in data["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_validator_rejects_malformed_traces(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Z", "ts": 0,
+                                  "pid": 0, "tid": 1}]}
+            )
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0,
+                                  "pid": 0, "tid": 1}]}
+            )
+
+
+class TestStallAttribution:
+    def test_fig2_span_derived_matches_counter_derived(self):
+        """The acceptance-criterion differential check, at unit scale."""
+        machine, result = _producer_consumer("so", trace=True)
+        producers = [0]
+        counter_stall = sum(
+            result.core_stall_ns(core, cause)
+            for core in producers for cause in FIG2_ACK_CAUSES
+        )
+        assert counter_stall > 0
+        counter_pct = 100.0 * counter_stall / (
+            result.time_ns * len(producers)
+        )
+        span_pct = fig2_wait_pct(machine.trace, result.time_ns, producers)
+        assert span_pct == pytest.approx(counter_pct, abs=1e-9)
+
+    def test_every_stall_counter_has_matching_spans(self):
+        machine, result = _producer_consumer("cord", trace=True)
+        for name, value in result.stats.as_dict().items():
+            if not name.startswith("stall."):
+                continue
+            cause = name[len("stall."):]
+            assert stall_time_ns(machine.trace, cause=cause) == (
+                pytest.approx(value, abs=1e-9)
+            ), f"span/counter mismatch for {cause}"
+
+    def test_attribution_rows_sorted_and_percented(self):
+        _, result = _producer_consumer("so", trace=True)
+        rows = stall_attribution_rows(result)
+        assert rows
+        totals = [row["total_ns"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+        assert all(0 <= row["time_pct"] for row in rows)
+
+    def test_attribution_requires_a_traced_run(self):
+        _, result = _producer_consumer("so")
+        with pytest.raises(ValueError, match="not traced"):
+            stall_attribution_rows(result)
+
+    def test_aggregation_from_plain_event_lists(self):
+        events = [
+            TraceEvent("stall", 0.0, "core0@h0", "wait", dur_ns=5.0,
+                       args={"core": 0}),
+            TraceEvent("stall", 10.0, "core0@h0", "wait", dur_ns=3.0,
+                       args={"core": 0}),
+            TraceEvent("stall", 10.0, "core1@h0", "other", dur_ns=7.0,
+                       args={"core": 1}),
+        ]
+        rows = stall_attribution(events)
+        assert rows[0] == {"actor": "core0@h0", "cause": "wait",
+                           "spans": 2, "total_ns": 8.0}
+        assert stall_time_ns(events, cause="wait") == 8.0
+        assert stall_time_ns(events, core=1) == 7.0
+
+
+class TestExecutorIntegration:
+    SPEC = dict(
+        kind="micro", protocol="so",
+        workload=MicroSpec(store_granularity=64, sync_granularity=512,
+                           fanout=1, total_bytes=2048),
+        config=SystemConfig().scaled(hosts=2, cores_per_host=1),
+        seed=0, experiment="trace-test",
+    )
+
+    def test_traced_spec_exports_a_valid_trace(self, tmp_path):
+        executor = Executor(trace_dir=tmp_path / "traces",
+                            run_log=tmp_path / "runs.jsonl")
+        record = executor.run(RunSpec(**self.SPEC))
+        assert record.trace_path is not None
+        data = json.loads(open(record.trace_path).read())
+        validate_chrome_trace(data)
+        assert record.trace_events > 0
+        assert record.trace_stalls
+        # Span-derived and counter-derived stalls agree on the record too.
+        for cause in FIG2_ACK_CAUSES:
+            assert record.span_stall_ns(cause=cause, core=0) == (
+                pytest.approx(record.core_stall_ns(0, cause), abs=1e-9)
+            )
+        # The run log carries the trace path.
+        from repro.harness import read_run_log
+        lines = read_run_log(tmp_path / "runs.jsonl")
+        assert lines[0]["trace_path"] == record.trace_path
+
+    def test_trace_does_not_change_simulation_results(self):
+        plain = Executor().run(RunSpec(**self.SPEC))
+        traced = Executor().run(RunSpec(**dict(self.SPEC, trace=True)))
+        assert traced.final_state_hash == plain.final_state_hash
+        assert traced.stats == plain.stats
+        assert traced.time_ns == plain.time_ns
+
+    def test_trace_record_round_trips_through_cache(self, tmp_path):
+        executor = Executor(cache_dir=tmp_path / "cache",
+                            trace_dir=tmp_path / "traces")
+        spec = RunSpec(**self.SPEC)
+        cold = executor.run(spec)
+        warm = executor.run(spec)
+        assert warm.cached and not cold.cached
+        assert warm.trace_stalls == cold.trace_stalls
+        assert warm.trace_path == cold.trace_path
