@@ -45,6 +45,7 @@ from repro.consistency import (
     check_tso,
 )
 from repro.cpu import Program, ProgramBuilder
+from repro.faults import FaultPlan, fault_presets, parse_faults
 from repro.protocols import Machine, RunResult, available_protocols
 from repro.trace import TraceCollector
 
@@ -67,4 +68,7 @@ __all__ = [
     "check_tso",
     "available_protocols",
     "TraceCollector",
+    "FaultPlan",
+    "fault_presets",
+    "parse_faults",
 ]

@@ -14,6 +14,7 @@ Usage::
     python -m repro litmus          # full model-checking sweep (§4.5)
     python -m repro breakdown CR    # per-message-type traffic for one app
     python -m repro energy CR       # §5.4 energy comparison for one app
+    python -m repro resilience      # time/traffic under injected faults
     python -m repro all             # everything (slow)
 
 Executor options (any experiment):
@@ -28,6 +29,11 @@ Executor options (any experiment):
                       as Chrome trace-event JSON (open in Perfetto);
                       traces land in .repro-traces/ unless --trace-out
     --trace-out DIR   trace output directory (implies --trace)
+    --faults EXPR     inject faults into every run: '+'-joined presets
+                      from drop, dup, flap, degrade, stall (see
+                      repro.faults).  With 'litmus' this switches to the
+                      fault-enabled timed sweep asserting safety and
+                      deadlock-freedom under the plan.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ from repro.harness import (
     fig12_storage_breakdown,
     fig13_tso,
     print_rows,
+    resilience_sweep,
     set_default_executor,
     table3_area_power,
 )
@@ -66,12 +73,35 @@ def _energy(app_name: str) -> None:
     print_rows(energy_comparison(name), f"Energy: {name} (§5.4 constants)")
 
 
-def _run_litmus() -> None:
+def _run_litmus(executor: Optional[Executor] = None) -> None:
+    if executor is not None and executor.faults is not None:
+        if _run_fault_litmus(executor.faults):
+            raise SystemExit(1)
+        return
     from repro.litmus import full_suite, run_suite
     report = run_suite(full_suite())
     status = "ALL PASSED" if report.passed else f"FAILED: {report.failed}"
     print(f"litmus sweep: {report.total} checker runs, "
           f"{report.states_total} states explored — {status}")
+
+
+def _run_fault_litmus(faults) -> int:
+    from repro.litmus import fault_sweep
+    failed = False
+    for protocol in ("cord", "so", "mp"):
+        report = fault_sweep(protocol=protocol, faults=faults)
+        status = "PASSED" if report.passed else "FAILED"
+        print(f"fault litmus sweep [{protocol}]: {len(report.tests)} tests "
+              f"x {report.runs // max(len(report.tests), 1)} runs, "
+              f"{report.faults_injected:.0f} faults injected — {status}")
+        for name, outcome in report.forbidden_hits:
+            print(f"  forbidden outcome in {name}: {outcome}")
+        for name, violation in report.violations:
+            print(f"  RC violation in {name}: {violation}")
+        for diagnostic in report.deadlocks:
+            print(f"  {diagnostic}")
+        failed = failed or not report.passed
+    return 1 if failed else 0
 
 
 def _parse_executor_flags(
@@ -88,6 +118,8 @@ def _parse_executor_flags(
     run_log: Optional[str] = None
     trace_dir: Optional[str] = None
     index = 0
+
+    faults: Optional[str] = None
 
     def value_of(flag: str) -> Optional[str]:
         nonlocal index
@@ -129,14 +161,24 @@ def _parse_executor_flags(
             if value is None:
                 return None, None
             trace_dir = value
+        elif arg == "--faults":
+            value = value_of("--faults")
+            if value is None:
+                return None, None
+            faults = value
         elif arg.startswith("--") and arg not in ("-h", "--help"):
             print(f"unknown option {arg!r}")
             return None, None
         else:
             remaining.append(arg)
         index += 1
-    return remaining, Executor(jobs=jobs, cache_dir=cache_dir,
-                               run_log=run_log, trace_dir=trace_dir)
+    try:
+        return remaining, Executor(jobs=jobs, cache_dir=cache_dir,
+                                   run_log=run_log, trace_dir=trace_dir,
+                                   faults=faults)
+    except ValueError as err:   # unknown --faults preset
+        print(err)
+        return None, None
 
 
 def main(argv=None) -> int:
@@ -177,7 +219,10 @@ def main(argv=None) -> int:
                                     "Fig. 13: end-to-end (TSO)"),
         "table3": lambda: print_rows(table3_area_power(),
                                      "Table 3: area/power"),
-        "litmus": _run_litmus,
+        "litmus": lambda: _run_litmus(ex),
+        "resilience": lambda: print_rows(
+            resilience_sweep(executor=ex),
+            "Resilience: time/traffic under injected faults"),
         "breakdown": lambda: _breakdown(panel),
         "energy": lambda: _energy(panel),
     }

@@ -1,0 +1,404 @@
+"""Deterministic, seeded fault injection for the timed fabric.
+
+CORD's guarantees are argued over a reliable, per-pair-FIFO interconnect,
+but the CXL/UPI links it targets really run link-level retry, bandwidth
+degradation and link flaps.  This module models that *transport adversity*
+for the timed simulator:
+
+* :class:`FaultPlan` — a frozen, cache-key-compatible description of the
+  scenarios to inject: transient loss absorbed as retry-retransmit latency
+  (:class:`DropSpec`), duplicate delivery (:class:`DuplicateSpec`),
+  periodic bandwidth-degradation windows (:class:`DegradeSpec`), link
+  flaps (:class:`FlapSpec`) and per-node stall windows (:class:`StallSpec`).
+* :class:`FaultInjector` — the per-machine runtime consulted by
+  :meth:`repro.interconnect.network.Network.send` for every message.  All
+  randomness comes from one :class:`~repro.sim.rng.DeterministicRng`
+  stream derived from the machine seed and the plan seed, so the same
+  (seed, plan) pair always injects the same faults; every injection is
+  counted under ``faults.*`` in the :class:`~repro.sim.stats.StatRegistry`
+  and recorded as a trace instant when tracing is on.
+* :class:`DedupFilter` — endpoint-side duplicate suppression built on
+  :mod:`repro.core.seqnum`: the network assigns each message a wrapped
+  per-(src, dst) wire sequence number, and receivers drop redeliveries.
+
+Division of labour with the model checker: the untimed
+:class:`~repro.litmus.model_checker.ModelChecker` owns *adversarial
+reordering* (it explores every delivery interleaving the ordering rules
+allow); this layer owns *transport adversity on the timed fabric* — delay,
+duplication and degradation that never violate the per-pair FIFO contract.
+A lost message is therefore modelled as its link-level retry cost (the
+fabric is lossless above the link layer, as CXL/UPI are), so safety and
+deadlock-freedom must survive any plan; the fault-enabled litmus sweeps
+(:func:`repro.litmus.runner.fault_sweep`) assert exactly that.
+
+With no plan attached (``faults=None`` everywhere, the default) every
+integration site is a single ``if faults is not None:`` test and results
+are byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.seqnum import unwrap, wrap
+
+__all__ = [
+    "DropSpec",
+    "DuplicateSpec",
+    "DegradeSpec",
+    "FlapSpec",
+    "StallSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "DedupFilter",
+    "fault_presets",
+    "parse_faults",
+]
+
+
+# ---------------------------------------------------------------------------
+# Scenario specs (frozen; only canonical-JSON field types, so a FaultPlan
+# can sit inside a RunSpec and participate in the executor's cache key)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DropSpec:
+    """Transient loss on the inter-host link, absorbed by link-level retry.
+
+    Each cross-host message independently loses its first transmission with
+    probability ``rate``; every loss costs ``retransmit_ns`` of added
+    delivery latency and re-consumes the message's bytes on the link
+    (counted as ``faults.retransmit_bytes``).  Losses chain geometrically
+    up to ``max_retries`` — the fabric is lossless above the link layer,
+    exactly like CXL/UPI retry, so no protocol message ever disappears.
+    """
+
+    rate: float = 0.0
+    retransmit_ns: float = 250.0
+    max_retries: int = 4
+
+
+@dataclass(frozen=True)
+class DuplicateSpec:
+    """Duplicate delivery: a message arrives again ``delay_ns`` later.
+
+    The duplicate consumes link bandwidth like the original and respects
+    per-pair FIFO (it is delivered after the original).  Endpoints are
+    expected to suppress it via :class:`DedupFilter`.
+    """
+
+    rate: float = 0.0
+    delay_ns: float = 60.0
+
+
+@dataclass(frozen=True)
+class DegradeSpec:
+    """Periodic bandwidth-degradation windows on the inter-host link.
+
+    While ``(depart - offset_ns) mod period_ns < window_ns``, serialization
+    time is multiplied by ``factor`` (e.g. a x4 factor models the link
+    retraining at quarter width).  Deterministic — no randomness.
+    """
+
+    period_ns: float = 0.0
+    window_ns: float = 0.0
+    factor: float = 1.0
+    offset_ns: float = 0.0
+
+
+@dataclass(frozen=True)
+class FlapSpec:
+    """Periodic link flaps: the egress link is down for ``down_ns`` at the
+    start of every ``period_ns`` window (shifted by ``offset_ns``).
+
+    ``host`` restricts the flap to one source host (``-1`` = every host).
+    A message that wants to depart inside a down window waits for the link
+    to come back up; nothing is lost.
+    """
+
+    period_ns: float = 0.0
+    down_ns: float = 0.0
+    offset_ns: float = 0.0
+    host: int = -1
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """A one-shot per-node stall window: deliveries *to* matching nodes
+    during ``[start_ns, start_ns + duration_ns)`` are held until the window
+    ends (an endpoint hiccup — e.g. a directory busy with unrelated work).
+
+    ``kind``/``index``/``host`` select the node (``""``/``-1`` = wildcard).
+    """
+
+    start_ns: float
+    duration_ns: float
+    kind: str = ""
+    index: int = -1
+    host: int = -1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic fault scenario for one run.
+
+    Frozen and built only from canonical-JSON-compatible types, so it can
+    live on a :class:`~repro.harness.executor.RunSpec` (where it is part of
+    the cache key and of the derived seed — faults are *physical*, unlike
+    tracing).  ``seed`` decorrelates the injector's random stream from the
+    machine seed; ``dedup_bits`` sizes the wire sequence numbers used for
+    duplicate suppression.
+    """
+
+    drop: Optional[DropSpec] = None
+    duplicate: Optional[DuplicateSpec] = None
+    degrade: Optional[DegradeSpec] = None
+    flaps: Tuple[FlapSpec, ...] = ()
+    stalls: Tuple[StallSpec, ...] = ()
+    seed: int = 0
+    dedup_bits: int = 16
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            (self.drop is not None and self.drop.rate > 0)
+            or (self.duplicate is not None and self.duplicate.rate > 0)
+            or (self.degrade is not None and self.degrade.period_ns > 0
+                and self.degrade.factor != 1.0)
+            or any(f.period_ns > 0 and f.down_ns > 0 for f in self.flaps)
+            or any(s.duration_ns > 0 for s in self.stalls)
+        )
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Combine two plans: ``other``'s scalar scenarios win where set;
+        flap/stall windows are concatenated."""
+        return FaultPlan(
+            drop=other.drop if other.drop is not None else self.drop,
+            duplicate=(other.duplicate if other.duplicate is not None
+                       else self.duplicate),
+            degrade=(other.degrade if other.degrade is not None
+                     else self.degrade),
+            flaps=self.flaps + other.flaps,
+            stalls=self.stalls + other.stalls,
+            seed=other.seed or self.seed,
+            dedup_bits=other.dedup_bits,
+        )
+
+
+def fault_presets() -> Dict[str, FaultPlan]:
+    """Named building-block plans for the CLI's ``--faults`` flag."""
+    return {
+        "drop": FaultPlan(drop=DropSpec(rate=0.05)),
+        "dup": FaultPlan(duplicate=DuplicateSpec(rate=0.05)),
+        "flap": FaultPlan(flaps=(
+            FlapSpec(period_ns=20_000.0, down_ns=1_500.0, offset_ns=3_000.0),
+        )),
+        "degrade": FaultPlan(degrade=DegradeSpec(
+            period_ns=10_000.0, window_ns=2_500.0, factor=4.0,
+        )),
+        "stall": FaultPlan(stalls=(
+            StallSpec(start_ns=2_000.0, duration_ns=1_000.0, kind="dir"),
+        )),
+    }
+
+
+def parse_faults(text: str) -> FaultPlan:
+    """Parse a ``+``-separated preset expression (``"drop+dup+flap"``)."""
+    presets = fault_presets()
+    plan = FaultPlan()
+    for name in filter(None, (part.strip() for part in text.split("+"))):
+        if name not in presets:
+            raise ValueError(
+                f"unknown fault preset {name!r}; choose from "
+                f"{sorted(presets)} joined with '+'"
+            )
+        plan = plan.merge(presets[name])
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Endpoint-side duplicate suppression
+# ---------------------------------------------------------------------------
+class DedupFilter:
+    """Per-endpoint duplicate filter over wrapped wire sequence numbers.
+
+    The network assigns each (src, dst) pair a monotonically increasing
+    sequence number, transmitted wrapped to ``bits`` (the same
+    :mod:`repro.core.seqnum` arithmetic the protocol metadata uses).
+    Per-pair FIFO delivery means in-order first arrivals; a redelivery
+    repeats an already-accepted value and is rejected.
+    """
+
+    def __init__(self, bits: int) -> None:
+        self.bits = bits
+        self._last: Dict[Any, int] = {}
+
+    def accept(self, src_key: Any, wire_seq: int) -> bool:
+        last = self._last.get(src_key, 0)
+        value = unwrap(wire_seq, last, self.bits)
+        if value <= last:
+            return False
+        self._last[src_key] = value
+        return True
+
+
+# ---------------------------------------------------------------------------
+# The injector
+# ---------------------------------------------------------------------------
+class FaultInjector:
+    """Runtime fault state for one machine.
+
+    Holds the plan, a deterministic RNG stream, per-pair wire sequence
+    counters and per-endpoint :class:`DedupFilter`s.  The network consults
+    it per send; ``Core.handle`` / ``DirectoryNode.handle`` consult
+    :meth:`accept` per delivery.
+    """
+
+    def __init__(self, plan: FaultPlan, sim, stats, trace=None,
+                 seed: int = 0) -> None:
+        from repro.sim.rng import DeterministicRng
+        self.plan = plan
+        self.sim = sim
+        self.stats = stats
+        self.trace = trace
+        self._rng = DeterministicRng(seed).child(f"faults.{plan.seed}")
+        self._seq: Dict[Tuple[Any, Any], int] = {}
+        self._filters: Dict[Any, DedupFilter] = {}
+
+    # -- shared plumbing ----------------------------------------------
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        self.stats.counter(f"faults.{name}").add(amount)
+
+    def _record(self, message, name: str, **args: Any) -> None:
+        self._count("injected")
+        if self.trace:
+            self.trace.instant(str(message.src), f"fault.{name}",
+                               self.sim.now, uid=message.uid,
+                               dst=str(message.dst), **args)
+
+    # -- link-side hooks (called by Network.send) ---------------------
+    def link_ready_ns(self, message, depart: float) -> float:
+        """Flap windows: delay departure until the egress link is up."""
+        delayed = depart
+        for flap in self.plan.flaps:
+            if flap.period_ns <= 0 or flap.down_ns <= 0:
+                continue
+            if flap.host >= 0 and message.src.host != flap.host:
+                continue
+            phase = (delayed - flap.offset_ns) % flap.period_ns
+            if 0 <= phase < flap.down_ns:
+                delayed += flap.down_ns - phase
+        if delayed > depart:
+            self._count("flap")
+            self._count("flap_delay_ns", delayed - depart)
+            self._record(message, "flap", delay_ns=delayed - depart)
+        return delayed
+
+    def serialization_factor(self, message, depart: float) -> float:
+        """Bandwidth-degradation windows: slow serialization while inside."""
+        spec = self.plan.degrade
+        if spec is None or spec.period_ns <= 0 or spec.factor == 1.0:
+            return 1.0
+        phase = (depart - spec.offset_ns) % spec.period_ns
+        if 0 <= phase < spec.window_ns:
+            self._count("degrade")
+            self._record(message, "degrade", factor=spec.factor)
+            return spec.factor
+        return 1.0
+
+    def retry_delay_ns(self, message, cross: bool) -> float:
+        """Transient loss: geometric retransmit latency (cross-host only)."""
+        spec = self.plan.drop
+        if not cross or spec is None or spec.rate <= 0:
+            return 0.0
+        delay = 0.0
+        for _ in range(max(spec.max_retries, 1)):
+            if self._rng.random() >= spec.rate:
+                break
+            delay += spec.retransmit_ns
+            self._count("drop")
+            self._count("retransmit_bytes", message.size_bytes)
+        if delay > 0:
+            self._count("drop_delay_ns", delay)
+            self._record(message, "drop", delay_ns=delay)
+        return delay
+
+    def release_ns(self, message, arrival: float) -> float:
+        """Per-node stall windows: hold deliveries to a stalled endpoint."""
+        held = arrival
+        for stall in self.plan.stalls:
+            if stall.duration_ns <= 0:
+                continue
+            dst = message.dst
+            if stall.kind and dst.kind != stall.kind:
+                continue
+            if stall.index >= 0 and dst.index != stall.index:
+                continue
+            if stall.host >= 0 and dst.host != stall.host:
+                continue
+            end = stall.start_ns + stall.duration_ns
+            if stall.start_ns <= held < end:
+                held = end
+        if held > arrival:
+            self._count("node_stall")
+            self._count("node_stall_delay_ns", held - arrival)
+            self._record(message, "node_stall", delay_ns=held - arrival)
+        return held
+
+    def duplicate_delay_ns(self, message) -> Optional[float]:
+        """Decide whether to also deliver a duplicate; returns its extra
+        delay past the original arrival, or None."""
+        spec = self.plan.duplicate
+        if spec is None or spec.rate <= 0:
+            return None
+        if self._rng.random() >= spec.rate:
+            return None
+        self._count("duplicate")
+        self._record(message, "duplicate", delay_ns=spec.delay_ns)
+        return max(spec.delay_ns, 0.0)
+
+    def assign_seq(self, message) -> None:
+        """Stamp the message with its per-(src, dst) wire sequence number."""
+        pair = (message.src, message.dst)
+        value = self._seq.get(pair, 0) + 1
+        self._seq[pair] = value
+        message.seq = wrap(value, self.plan.dedup_bits)
+
+    # -- endpoint-side hook (called by Core/DirectoryNode handle) -----
+    def accept(self, message) -> bool:
+        """Endpoint dedup: True for first deliveries, False for redelivered
+        duplicates (counted as ``faults.dup_suppressed``)."""
+        if message.seq is None:
+            return True
+        filt = self._filters.get(message.dst)
+        if filt is None:
+            filt = self._filters[message.dst] = DedupFilter(
+                self.plan.dedup_bits
+            )
+        if filt.accept(message.src, message.seq):
+            return True
+        self._count("dup_suppressed")
+        if self.trace:
+            self.trace.instant(str(message.dst), "fault.dup_suppressed",
+                               self.sim.now, uid=message.uid,
+                               src=str(message.src))
+        return False
+
+    # -- diagnostics ---------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Injector state for watchdog diagnostics."""
+        counts = {
+            name: value for name, value in self.stats.as_dict().items()
+            if name.startswith("faults.")
+        }
+        return {"plan": _plan_summary(self.plan), "counts": counts}
+
+
+def _plan_summary(plan: FaultPlan) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for f in fields(plan):
+        value = getattr(plan, f.name)
+        if value in (None, (), 0, 16) and f.name not in ("seed",):
+            continue
+        out[f.name] = str(value)
+    return out

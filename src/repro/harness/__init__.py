@@ -12,6 +12,7 @@ from repro.harness.experiments import (
     fig12_storage_breakdown,
     fig13_tso,
     print_rows,
+    resilience_sweep,
     run_app,
     run_micro,
     table3_area_power,
@@ -49,6 +50,7 @@ __all__ = [
     "fig12_storage_breakdown",
     "fig13_tso",
     "table3_area_power",
+    "resilience_sweep",
     "print_rows",
     "format_table",
     "normalize_to",

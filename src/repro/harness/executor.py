@@ -38,8 +38,10 @@ pins this.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import time
@@ -48,6 +50,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.config import CordConfig, SystemConfig
+from repro.faults import FaultPlan, parse_faults
 from repro.workloads.ata import AtaSpec, build_ata_programs
 from repro.workloads.base import WorkloadSpec, build_workload_programs
 from repro.workloads.micro import MicroSpec, build_micro_programs
@@ -99,6 +102,10 @@ class RunSpec:
     #: but the flag participates in the cache key so traced and untraced
     #: records are kept apart (their summaries differ).
     trace: bool = False
+    #: Fault-injection plan (see :mod:`repro.faults`).  Unlike ``trace``
+    #: this is a *physical* field: it changes timing and traffic, so it
+    #: participates in both the cache key and the derived seed.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _BUILDERS:
@@ -119,10 +126,28 @@ class RunSpec:
 
     @property
     def effective_seed(self) -> int:
+        """Stable per-spec seed derived from *physical* fields only.
+
+        Observational fields (``trace``, ``experiment``, ``max_events``)
+        are excluded: an ``Executor(trace_dir=...)`` rewrite to
+        ``trace=True`` or a run-log relabel must simulate the *same* run
+        (the "tracing is observational only" contract, pinned by test).
+        """
         if self.seed is not None:
             return self.seed
-        digest = hashlib.sha256(_canonical_json(self).encode()).digest()
+        physical = _canonical(self)
+        for name in _OBSERVATIONAL_FIELDS:
+            physical.pop(name, None)
+        payload = json.dumps(physical, sort_keys=True,
+                             separators=(",", ":"))
+        digest = hashlib.sha256(payload.encode()).digest()
         return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+#: RunSpec fields that describe how a run is *observed*, not what is
+#: simulated; they stay in the cache key (records differ) but must not
+#: leak into the derived seed.
+_OBSERVATIONAL_FIELDS = ("max_events", "experiment", "trace")
 
 
 def _canonical(obj: Any) -> Any:
@@ -310,7 +335,7 @@ def _execute_spec(spec: RunSpec,
         config = replace(config, cord=spec.cord_config)
     machine = Machine(config, protocol=spec.protocol,
                       consistency=spec.consistency, seed=spec.effective_seed,
-                      trace=spec.trace)
+                      trace=spec.trace, faults=spec.faults)
     programs = _BUILDERS[spec.kind](spec.workload, config)
     result = machine.run(programs, max_events=spec.max_events)
     storage = collect_storage(result)
@@ -364,6 +389,11 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
 
 
+#: Monotonic per-process suffix for cache temp files, so concurrent writers
+#: of the same key (threads in one process) never collide either.
+_TMP_COUNTER = itertools.count()
+
+
 class Executor:
     """Runs :class:`RunSpec` sweeps, in parallel and/or from cache.
 
@@ -385,6 +415,11 @@ class Executor:
         exported into this directory; run-log lines and records carry the
         path.  ``None`` (default) leaves tracing to each spec's flag, and
         traced runs then keep only the in-record stall attribution.
+    faults:
+        Default fault-injection plan (a :class:`repro.faults.FaultPlan`
+        or a preset expression like ``"drop+dup+flap"``) applied to every
+        spec that does not carry its own.  Unlike ``trace_dir`` this is
+        *physical*: faulted specs get distinct cache keys and seeds.
     """
 
     def __init__(
@@ -393,6 +428,7 @@ class Executor:
         cache_dir: Optional[Union[str, Path]] = None,
         run_log: Optional[Union[str, Path]] = None,
         trace_dir: Optional[Union[str, Path]] = None,
+        faults: Optional[Union[str, FaultPlan]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -400,6 +436,9 @@ class Executor:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.run_log = Path(run_log) if run_log is not None else None
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if isinstance(faults, str):
+            faults = parse_faults(faults)
+        self.faults = faults
         self.hits = 0
         self.misses = 0
 
@@ -424,9 +463,20 @@ class Executor:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(record.to_dict()))
-        tmp.replace(path)
+        # Per-writer unique temp name: processes sharing a cache dir (e.g.
+        # parallel benchmark invocations with REPRO_CACHE_DIR set) must not
+        # interleave writes or steal each other's rename source.  If the
+        # write/rename still fails, a concurrent winner holds an equivalent
+        # record (keys are content-addressed), so losing is harmless.
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(record.to_dict()))
+            tmp.replace(path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                tmp.unlink()
 
     # -- run log -------------------------------------------------------
     def _log(self, record: RunRecord) -> None:
@@ -451,6 +501,7 @@ class Executor:
             "inter_host_msgs": inter_host_msgs,
             "inter_host_bytes": record.inter_host_bytes,
             "trace_path": record.trace_path,
+            "faults_injected": record.stat("faults.injected"),
         }
         self.run_log.parent.mkdir(parents=True, exist_ok=True)
         with self.run_log.open("a") as handle:
@@ -472,6 +523,12 @@ class Executor:
         if self.trace_dir is not None:
             specs = [
                 spec if spec.trace else replace(spec, trace=True)
+                for spec in specs
+            ]
+        if self.faults is not None:
+            specs = [
+                spec if spec.faults is not None
+                else replace(spec, faults=self.faults)
                 for spec in specs
             ]
         version = code_version()

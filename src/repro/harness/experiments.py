@@ -25,6 +25,7 @@ from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import CXL, UPI, CordConfig, InterconnectConfig, SystemConfig
+from repro.faults import DegradeSpec, DropSpec, FaultPlan
 from repro.harness.executor import Executor, RunSpec, default_executor
 from repro.harness.report import format_table, geometric_mean, normalize_to
 from repro.overheads.cacti import Table3Row, cord_overhead_table, overhead_ratios
@@ -48,6 +49,7 @@ __all__ = [
     "fig12_storage_breakdown",
     "fig13_tso",
     "table3_area_power",
+    "resilience_sweep",
 ]
 
 #: Protocols shown in Fig. 7 / Fig. 13, in the paper's order.
@@ -579,6 +581,85 @@ def fig12_storage_breakdown(
             ),
             "dir_network_buffer_B": directory.get("network_buffer", 0),
         })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Resilience — protocol behaviour under injected transport adversity
+# ---------------------------------------------------------------------------
+_RESILIENCE_PROTOCOLS = ("so", "cord", "mp")
+
+
+def resilience_sweep(
+    loss_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
+    degrade_factors: Sequence[float] = (1.0, 2.0, 4.0),
+    protocols: Sequence[str] = _RESILIENCE_PROTOCOLS,
+    executor: Optional[Executor] = None,
+) -> List[Dict[str, Any]]:
+    """Execution time and traffic vs link loss rate and bandwidth
+    degradation depth (see :mod:`repro.faults`), per protocol.
+
+    Each protocol is normalized to its own fault-free run, so the rows
+    answer "how gracefully does each ordering scheme absorb transport
+    adversity" rather than re-ranking the protocols.  SO pays on every
+    store (each WT ack round-trip eats the retransmit latency), CORD on
+    release edges, MP only on delivery — the sweep quantifies that.
+    """
+    executor = executor or default_executor()
+    spec = MicroSpec(
+        store_granularity=64,
+        sync_granularity=1024,
+        fanout=1,
+        total_bytes=16 * 1024,
+    )
+    config = default_config(hosts=2, cores_per_host=1)
+
+    points = []
+    specs = []
+    # Baselines carry an explicit *disabled* plan (not None) so an
+    # Executor-level default fault plan cannot rewrite them.
+    for protocol in protocols:
+        for rate in loss_rates:
+            plan = (FaultPlan(drop=DropSpec(rate=rate)) if rate > 0
+                    else FaultPlan())
+            points.append((protocol, "loss", rate))
+            specs.append(RunSpec(
+                kind="micro", protocol=protocol, workload=spec,
+                config=config, seed=0, experiment="resilience",
+                faults=plan,
+            ))
+        for factor in degrade_factors:
+            plan = (FaultPlan(degrade=DegradeSpec(
+                period_ns=10_000.0, window_ns=2_500.0, factor=factor,
+            )) if factor != 1.0 else FaultPlan())
+            points.append((protocol, "degrade", factor))
+            specs.append(RunSpec(
+                kind="micro", protocol=protocol, workload=spec,
+                config=config, seed=0, experiment="resilience",
+                faults=plan,
+            ))
+    measured = {
+        point: record for point, record in zip(points, executor.map(specs))
+    }
+
+    rows: List[Dict[str, Any]] = []
+    for protocol in protocols:
+        base_time = measured[(protocol, "loss", loss_rates[0])].quiesce_ns
+        base_bytes = measured[
+            (protocol, "loss", loss_rates[0])
+        ].inter_host_bytes
+        for axis, values in (("loss", loss_rates),
+                             ("degrade", degrade_factors)):
+            for value in values:
+                record = measured[(protocol, axis, value)]
+                rows.append({
+                    "protocol": protocol,
+                    "axis": axis,
+                    "value": value,
+                    "time_norm": record.quiesce_ns / base_time,
+                    "traffic_norm": record.inter_host_bytes / base_bytes,
+                    "faults_injected": record.stat("faults.injected"),
+                })
     return rows
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 __all__ = ["NodeId", "Message"]
 
@@ -53,6 +53,10 @@ class Message:
     control: bool = True
     payload: Dict[str, Any] = field(default_factory=dict)
     uid: int = field(default_factory=lambda: next(_message_counter))
+    #: Wrapped per-(src, dst) wire sequence number, assigned by the network
+    #: only when fault injection is active (``None`` otherwise).  Endpoints
+    #: use it to suppress duplicate deliveries (see :mod:`repro.faults`).
+    seq: Optional[int] = None
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -49,6 +49,7 @@ class Network:
         latency_jitter: float = 0.0,
         rng=None,
         trace=None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -56,6 +57,9 @@ class Network:
         self.stats = stats if stats is not None else StatRegistry()
         #: Optional :class:`repro.trace.TraceCollector` (None = disabled).
         self.trace = trace
+        #: Optional :class:`repro.faults.FaultInjector` (None = disabled —
+        #: the default; every consultation below is a single branch).
+        self.faults = faults
         self._handlers: Dict[NodeId, Handler] = {}
         # Next time each host's switch egress port is free.
         self._egress_free: Dict[int, float] = {}
@@ -88,6 +92,7 @@ class Network:
         if message.dst not in self._handlers:
             raise KeyError(f"no handler registered for {message.dst}")
 
+        faults = self.faults
         cross = self.topology.crosses_hosts(message.src, message.dst)
         latency = self.topology.latency_ns(message.src, message.dst)
         if self.latency_jitter > 0:
@@ -101,11 +106,21 @@ class Network:
             )
             port_free = self._egress_free.get(message.src.host, 0.0)
             depart = max(self.sim.now, port_free)
+            if faults is not None:
+                depart = faults.link_ready_ns(message, depart)
+                serialization *= faults.serialization_factor(message, depart)
             finish = depart + serialization
             self._egress_free[message.src.host] = finish
             arrival = finish + latency
         else:
             arrival = self.sim.now + latency
+
+        if faults is not None:
+            # Transient loss (retry latency) and per-node stall windows
+            # apply before the FIFO clamp, so same-pair ordering holds.
+            arrival += faults.retry_delay_ns(message, cross)
+            arrival = faults.release_ns(message, arrival)
+            faults.assign_seq(message)
 
         # Enforce per node-pair FIFO delivery.
         pair = (message.src, message.dst)
@@ -114,13 +129,31 @@ class Network:
 
         self._account(message, cross)
         if self.trace:
-            self.trace.stall(str(message.src), "egress_queue",
-                             self.sim.now, depart)
+            if depart > self.sim.now:
+                # Suppress the zero-length span every uncontended (and
+                # every intra-host) send would otherwise emit.
+                self.trace.stall(str(message.src), "egress_queue",
+                                 self.sim.now, depart)
             self.trace.message_send(
                 message, depart, arrival, cross,
                 self.topology.hop_count(message.src, message.dst),
             )
         self.sim.schedule_at(arrival, self._deliver, message)
+
+        if faults is not None:
+            dup_delay = faults.duplicate_delay_ns(message)
+            if dup_delay is not None:
+                # The duplicate re-consumes bandwidth and arrives after the
+                # original (FIFO-preserving); endpoints dedup it by seq.
+                dup_arrival = arrival + dup_delay
+                self._last_arrival[pair] = dup_arrival
+                self._account(message, cross)
+                if self.trace:
+                    self.trace.message_send(
+                        message, arrival, dup_arrival, cross,
+                        self.topology.hop_count(message.src, message.dst),
+                    )
+                self.sim.schedule_at(dup_arrival, self._deliver, message)
         return arrival
 
     def _deliver(self, message: Message) -> None:

@@ -23,7 +23,15 @@ from repro.litmus.model_checker import (
     ModelCheckError,
 )
 from repro.litmus.random_walk import RandomWalkResult, random_walk
-from repro.litmus.runner import TimedLitmusResult, run_timed
+from repro.litmus.runner import (
+    FaultSweepReport,
+    FuzzReport,
+    TimedLitmusResult,
+    fault_suite,
+    fault_sweep,
+    fuzz_timed,
+    run_timed,
+)
 from repro.litmus.suite import (
     CaseSpec,
     SuiteReport,
@@ -42,6 +50,11 @@ __all__ = [
     "FinalState",
     "ModelCheckError",
     "run_timed",
+    "fuzz_timed",
+    "FuzzReport",
+    "fault_sweep",
+    "fault_suite",
+    "FaultSweepReport",
     "TimedLitmusResult",
     "random_walk",
     "RandomWalkResult",

@@ -143,6 +143,7 @@ class Machine:
         latency_jitter: float = 0.0,
         seed: int = 0,
         trace=None,
+        faults=None,
     ) -> None:
         if consistency not in ("rc", "tso", "sc"):
             raise ValueError(f"unknown consistency model {consistency!r}")
@@ -162,12 +163,27 @@ class Machine:
             trace = TraceCollector()
         self.trace = trace if trace is not False else None
         self.sim.trace = self.trace
+        # ``faults`` is None (disabled, the default), a FaultPlan, or a
+        # preset expression like "drop+dup+flap" (see repro.faults).
+        # Unlike tracing, faults are *physical*: they change timing and
+        # traffic, so they participate in seeds and cache keys.
+        if isinstance(faults, str):
+            from repro.faults import parse_faults
+            faults = parse_faults(faults)
+        if faults is not None and faults.enabled:
+            from repro.faults import FaultInjector
+            self.faults = FaultInjector(faults, self.sim, self.stats,
+                                        trace=self.trace, seed=seed)
+        else:
+            self.faults = None
+        self.sim.diagnostic_hooks.append(self._diagnostic_snapshot)
         from repro.sim import DeterministicRng
         self.network = Network(
             self.sim, config, self.stats,
             latency_jitter=latency_jitter,
             rng=DeterministicRng(seed).child("network"),
             trace=self.trace,
+            faults=self.faults,
         )
         self.address_map = AddressMap(config)
         self.history = ExecutionHistory()
@@ -177,6 +193,43 @@ class Machine:
             node_id = NodeId.directory(index, config.host_of_directory(index))
             self.directories.append(self._dir_cls(self, node_id))
         self.cores: Dict[int, Core] = {}
+
+    # ------------------------------------------------------------------
+    # Watchdog diagnostics
+    # ------------------------------------------------------------------
+    def _diagnostic_snapshot(self) -> Dict[str, object]:
+        """Protocol-state summary for :class:`repro.sim.DeadlockDiagnostic`:
+        per-core outstanding acks / unacked-epoch tables and per-directory
+        pending buffers, so a stuck run names what it is waiting on."""
+        out: Dict[str, object] = {}
+        for core_id, core in sorted(self.cores.items()):
+            port = core.port
+            info: Dict[str, object] = {}
+            if core.finish_time_ns is not None:
+                continue  # finished cores are not interesting
+            acks = getattr(port, "outstanding_acks", None)
+            if acks:
+                info["outstanding_acks"] = acks
+            state = getattr(port, "state", None)
+            if state is not None and hasattr(state, "unacked"):
+                epochs = sorted(key for key, _ in state.unacked)
+                if epochs:
+                    info["unacked_epochs"] = epochs
+            if port is not None and port.wc.enabled and port.wc.occupancy:
+                info["wc_open_lines"] = port.wc.occupancy
+            if info:
+                out[f"core{core_id}"] = info
+        for node in self.directories:
+            pending = {}
+            for attr in ("_pending_releases", "_pending_reqs"):
+                queue = getattr(node, attr, None)
+                if queue:
+                    pending[attr.lstrip("_")] = len(queue)
+            if pending:
+                out[str(node.node_id)] = pending
+        if self.faults is not None:
+            out["faults"] = self.faults.snapshot()
+        return out
 
     # ------------------------------------------------------------------
     # Wiring helpers used by protocol actors

@@ -81,8 +81,16 @@ class WriteCombiningBuffer:
         first_line = self._line(op.addr)
         last_line = self._line(op.addr + max(op.size, 1) - 1)
         if first_line != last_line or op.size >= self.line_bytes:
-            # Already line-sized or larger: combining buys nothing.
-            flushed = self.flush_line(first_line)
+            # Already line-sized or larger: combining buys nothing.  Flush
+            # *every* line the store overlaps first — an older buffered
+            # entry on any of them emitted after this store would overwrite
+            # the overlap with stale bytes at the directory (per-pair FIFO
+            # would faithfully preserve the wrong order).
+            flushed: List[CombinedWrite] = []
+            line = first_line
+            while line <= last_line:
+                flushed += self.flush_line(line)
+                line += self.line_bytes
             out = flushed + [
                 CombinedWrite(op.addr, op.size, op.value, program_index, 1,
                               values=self._values_of(op))

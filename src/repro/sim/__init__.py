@@ -1,6 +1,14 @@
 """Discrete-event simulation substrate (kernel, statistics, RNG)."""
 
-from repro.sim.kernel import Future, Process, Signal, SimulationError, Simulator
+from repro.sim.kernel import (
+    DeadlockDiagnostic,
+    DeadlockError,
+    Future,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+)
 from repro.sim.rng import DeterministicRng
 from repro.sim.stats import Accumulator, Counter, MaxTracker, StatRegistry
 
@@ -10,6 +18,8 @@ __all__ = [
     "Future",
     "Process",
     "SimulationError",
+    "DeadlockError",
+    "DeadlockDiagnostic",
     "DeterministicRng",
     "StatRegistry",
     "Counter",

@@ -18,13 +18,82 @@ always produce identical executions.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
-__all__ = ["Simulator", "Signal", "Future", "Process", "SimulationError"]
+__all__ = [
+    "Simulator",
+    "Signal",
+    "Future",
+    "Process",
+    "SimulationError",
+    "DeadlockError",
+    "DeadlockDiagnostic",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an invalid state (e.g. deadlock)."""
+
+
+@dataclass
+class DeadlockDiagnostic:
+    """Structured description of a stuck simulation.
+
+    ``reason`` is ``"deadlock"`` (event queue drained with unfinished
+    processes) or ``"livelock"`` (event budget exhausted).  ``stuck`` lists
+    every watched-but-unfinished process with its last-progress time;
+    ``pending`` samples the earliest queued events (empty on deadlock);
+    ``state`` carries whatever the simulator's ``diagnostic_hooks``
+    contributed (e.g. the machine's unacked-table snapshots).
+    """
+
+    reason: str
+    time_ns: float
+    processed_events: int
+    max_events: Optional[int] = None
+    stuck: List[Dict[str, Any]] = field(default_factory=list)
+    pending: List[Dict[str, Any]] = field(default_factory=list)
+    state: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        if self.reason == "livelock":
+            head = (f"livelock: exceeded max_events={self.max_events} at "
+                    f"t={self.time_ns:.1f}ns with unfinished processes")
+        else:
+            head = (f"deadlock: event queue empty at t={self.time_ns:.1f}ns "
+                    f"with unfinished processes")
+        lines = [head]
+        for proc in self.stuck:
+            lines.append(
+                f"  stuck {proc['process']!r}: last progress at "
+                f"{proc['last_progress_ns']:.1f}ns"
+            )
+        if self.pending:
+            lines.append(f"  next {len(self.pending)} pending events:")
+            for event in self.pending:
+                lines.append(
+                    f"    t={event['at_ns']:.1f}ns {event['callback']}"
+                    f"({event['args']})"
+                )
+        for name, value in sorted(self.state.items()):
+            lines.append(f"  {name}: {value}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class DeadlockError(SimulationError):
+    """A deadlock/livelock with an attached :class:`DeadlockDiagnostic`.
+
+    Subclasses :class:`SimulationError`, so existing handlers keep working;
+    ``str(err)`` renders the full diagnostic instead of a bare string.
+    """
+
+    def __init__(self, diagnostic: DeadlockDiagnostic) -> None:
+        super().__init__(diagnostic.render())
+        self.diagnostic = diagnostic
 
 
 class Signal:
@@ -113,6 +182,9 @@ class Process:
         self.name = name
         self.finished = False
         self.result: Any = None
+        #: Simulation time of this process's most recent resumption — the
+        #: watchdog's "when did it last do anything" attribution.
+        self.last_progress_ns: float = 0.0
         self._finish_callbacks: List[Callable[["Process"], None]] = []
 
     def on_finish(self, callback: Callable[["Process"], None]) -> None:
@@ -124,6 +196,7 @@ class Process:
     def _resume(self, value: Any = None) -> None:
         if self.finished:
             return
+        self.last_progress_ns = self.sim.now
         try:
             yielded = self.generator.send(value)
         except StopIteration as stop:
@@ -177,6 +250,11 @@ class Simulator:
         #: their run's collector (``self.sim.trace``), and ``None`` — the
         #: default — is the zero-overhead disabled mode.
         self.trace = None
+        #: Zero-argument callables returning ``{name: summary}`` dicts,
+        #: merged into :class:`DeadlockDiagnostic.state` when the watchdog
+        #: fires.  The machine registers one that snapshots protocol state
+        #: (outstanding acks, unacked epoch tables, directory buffers).
+        self.diagnostic_hooks: List[Callable[[], Dict[str, Any]]] = []
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -256,24 +334,58 @@ class Simulator:
     ) -> float:
         """Run until every process in ``processes`` has finished.
 
-        Raises :class:`SimulationError` on deadlock (queue empty with
-        unfinished processes) — this is how the timed litmus runner detects
-        protocol deadlocks.
+        Raises :class:`DeadlockError` (a :class:`SimulationError`) carrying
+        a :class:`DeadlockDiagnostic` on deadlock (queue empty with
+        unfinished processes) or livelock (event budget exhausted) — this
+        is how the timed litmus runner detects protocol deadlocks, and the
+        diagnostic names the stuck processes instead of a bare string.
         """
         watched = list(processes)
         events = 0
         while not all(p.finished for p in watched):
             if max_events is not None and events >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} with unfinished processes"
+                raise DeadlockError(
+                    self.diagnose("livelock", watched, max_events=max_events)
                 )
             if not self.step():
-                stuck = [p.name for p in watched if not p.finished]
-                raise SimulationError(
-                    f"deadlock: event queue empty, unfinished processes: {stuck}"
-                )
+                raise DeadlockError(self.diagnose("deadlock", watched))
             events += 1
         return self.now
+
+    def diagnose(
+        self,
+        reason: str,
+        watched: Iterable[Process],
+        max_events: Optional[int] = None,
+        pending_sample: int = 8,
+    ) -> DeadlockDiagnostic:
+        """Build a :class:`DeadlockDiagnostic` for the current state."""
+        stuck = [
+            {"process": p.name, "last_progress_ns": p.last_progress_ns}
+            for p in watched if not p.finished
+        ]
+        pending = []
+        for when, _seq, callback, args in sorted(self._queue)[:pending_sample]:
+            pending.append({
+                "at_ns": when,
+                "callback": getattr(callback, "__qualname__", repr(callback)),
+                "args": ", ".join(repr(a)[:60] for a in args),
+            })
+        state: Dict[str, Any] = {}
+        for hook in self.diagnostic_hooks:
+            try:
+                state.update(hook())
+            except Exception as exc:  # diagnosis must never mask the error
+                state["diagnostic_hook_error"] = repr(exc)
+        return DeadlockDiagnostic(
+            reason=reason,
+            time_ns=self.now,
+            processed_events=self.processed_events,
+            max_events=max_events,
+            stuck=stuck,
+            pending=pending,
+            state=state,
+        )
 
     @property
     def pending_events(self) -> int:

@@ -1,0 +1,147 @@
+"""Regressions for RunSpec seed derivation and cache-store robustness.
+
+``RunSpec.effective_seed`` must hash *physical* fields only: flipping an
+observational field (``trace``, ``experiment``, ``max_events``) used to
+change the derived seed, which made an ``Executor(trace_dir=...)`` rewrite
+simulate a *different* run than the untraced spec — breaking the "tracing
+is observational only" contract.
+
+``Executor._cache_store`` must tolerate concurrent writers of the same
+content-addressed key (shared ``REPRO_CACHE_DIR``): per-writer unique temp
+names, and a lost race is silently ceded to the winner.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.config import CXL
+from repro.faults import DropSpec, FaultPlan
+from repro.harness import Executor, RunSpec
+from repro.harness.executor import _execute_spec
+from repro.harness.experiments import default_config
+from repro.workloads.micro import MicroSpec
+
+MICRO = MicroSpec(store_granularity=64, sync_granularity=1024,
+                  fanout=1, total_bytes=4 * 1024)
+
+
+def _spec(**kwargs):
+    # seed=None: exercise the derived-seed path.
+    kwargs.setdefault("protocol", "cord")
+    return RunSpec(
+        kind="micro", workload=MICRO,
+        config=default_config(CXL, hosts=2, cores_per_host=1),
+        **kwargs,
+    )
+
+
+class TestEffectiveSeed:
+    def test_trace_flag_does_not_change_seed(self):
+        assert _spec().effective_seed == _spec(trace=True).effective_seed
+
+    def test_experiment_label_does_not_change_seed(self):
+        assert (_spec(experiment="fig7").effective_seed
+                == _spec(experiment="relabeled").effective_seed)
+
+    def test_max_events_does_not_change_seed(self):
+        assert (_spec(max_events=10_000).effective_seed
+                == _spec(max_events=20_000_000).effective_seed)
+
+    def test_physical_fields_do_change_seed(self):
+        base = _spec().effective_seed
+        assert _spec(protocol="so").effective_seed != base
+        assert _spec(consistency="tso").effective_seed != base
+        assert _spec(
+            faults=FaultPlan(drop=DropSpec(rate=0.1))
+        ).effective_seed != base
+
+    def test_explicit_seed_wins(self):
+        assert _spec(seed=7).effective_seed == 7
+        assert _spec(seed=7, trace=True).effective_seed == 7
+
+    def test_traced_run_simulates_the_same_execution(self):
+        """End-to-end: trace=True must reproduce the untraced run exactly
+        (same derived seed, observational-only collection)."""
+        untraced = _execute_spec(_spec())
+        traced = _execute_spec(_spec(trace=True))
+        assert untraced.final_state_hash == traced.final_state_hash
+        assert untraced.stats == traced.stats
+
+
+class TestCacheStoreRace:
+    def _record(self, tmp_path):
+        executor = Executor(cache_dir=tmp_path / "cache")
+        return executor, executor.run(_spec(seed=0))
+
+    def test_store_uses_unique_temp_names(self, tmp_path, monkeypatch):
+        """Two writers of one key must not share a temp-file path."""
+        seen = []
+        original = pathlib.Path.write_text
+
+        def spy(self, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                seen.append(self.name)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "write_text", spy)
+        executor, record = self._record(tmp_path)
+        executor._cache_store(record)
+        executor._cache_store(record)
+        tmp_names = [name for name in seen if name.endswith(".tmp")]
+        assert len(tmp_names) >= 2
+        assert len(set(tmp_names)) == len(tmp_names)
+
+    def test_losing_the_race_is_silent_and_clean(self, tmp_path, monkeypatch):
+        executor, record = self._record(tmp_path)
+        path = executor._cache_path(record.spec_key)
+
+        def lose(self, target):
+            raise OSError("concurrent winner")
+
+        monkeypatch.setattr(pathlib.Path, "replace", lose)
+        executor._cache_store(record)   # must not raise
+        monkeypatch.undo()
+        # No stray temp files survive a lost race.
+        leftovers = [p for p in path.parent.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+        # The winner's entry (written before the patch) is intact.
+        assert json.loads(path.read_text())["spec_key"] == record.spec_key
+
+    def test_concurrent_executors_share_a_cache_dir(self, tmp_path):
+        cache = tmp_path / "cache"
+        a = Executor(cache_dir=cache)
+        b = Executor(cache_dir=cache)
+        first = a.run(_spec(seed=0))
+        second = b.run(_spec(seed=0))
+        assert second.cached
+        assert first.final_state_hash == second.final_state_hash
+
+    def test_faulted_specs_round_trip_through_cache(self, tmp_path):
+        executor = Executor(cache_dir=tmp_path / "cache")
+        spec = _spec(seed=0, faults=FaultPlan(drop=DropSpec(rate=0.1)))
+        fresh = executor.run(spec)
+        recalled = executor.run(spec)
+        assert recalled.cached
+        assert fresh.stats == recalled.stats
+        assert fresh.stat("faults.injected") > 0
+
+
+class TestExecutorFaultDefaults:
+    def test_default_plan_applies_to_bare_specs(self, tmp_path):
+        executor = Executor(faults="drop")
+        record = executor.run(_spec(seed=0))
+        assert record.stat("faults.injected") > 0
+
+    def test_specs_with_their_own_plan_keep_it(self):
+        executor = Executor(faults="drop")
+        disabled = dataclasses.replace(_spec(seed=0), faults=FaultPlan())
+        record = executor.run(disabled)
+        assert record.stat("faults.injected") == 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            Executor(faults="nope")

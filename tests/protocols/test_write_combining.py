@@ -71,6 +71,26 @@ class TestBufferUnit:
         with pytest.raises(ValueError):
             WriteCombiningBuffer(-1)
 
+    def test_straddling_store_flushes_every_overlapped_line(self):
+        """Regression: a pass-through store overlapping several lines must
+        flush the buffered entry on *every* one of them first — an older
+        entry on the second line emitted afterwards would overwrite the
+        overlap with stale bytes at the directory (per-pair FIFO preserves
+        the wrong order faithfully)."""
+        buffer = WriteCombiningBuffer(4)
+        buffer.add(MemOp.store(0x148, value=7, size=8), 0)   # line 0x140
+        out = buffer.add(MemOp.store(0x120, value=9, size=64), 1)
+        # The stale 0x140-line entry must come out *before* the straddler.
+        assert [w.addr for w in out] == [0x148, 0x120]
+        assert buffer.occupancy == 0
+
+    def test_straddling_store_flushes_middle_lines_too(self):
+        buffer = WriteCombiningBuffer(4)
+        buffer.add(MemOp.store(0x140, value=1, size=8), 0)   # middle line
+        buffer.add(MemOp.store(0x180, value=2, size=8), 1)   # last line
+        out = buffer.add(MemOp.store(0x130, value=3, size=128), 2)
+        assert [w.addr for w in out] == [0x140, 0x180, 0x130]
+
     @settings(max_examples=60, deadline=None)
     @given(offsets=st.lists(
         st.integers(min_value=0, max_value=1023), min_size=1, max_size=80,

@@ -1,0 +1,232 @@
+"""Fault-injection layer: determinism, disabled-mode purity, dedup, sweeps.
+
+The contract under test (ISSUE 3 / DESIGN.md fault model):
+
+* same (machine seed, plan) -> byte-identical injections and results;
+* ``faults=None`` and a disabled plan are byte-identical to each other
+  (single-branch integration — the layer is invisible when off);
+* duplicates are always suppressed at endpoints via wire sequence numbers,
+  so every protocol stays safe under duplicate delivery;
+* the fault-enabled litmus sweep passes (safety + deadlock freedom) under
+  the drop/dup/flap presets.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import CXL
+from repro.faults import (
+    DedupFilter,
+    DropSpec,
+    DuplicateSpec,
+    FaultPlan,
+    FlapSpec,
+    StallSpec,
+    fault_presets,
+    parse_faults,
+)
+from repro.harness import RunSpec
+from repro.harness.executor import _execute_spec
+from repro.harness.experiments import default_config
+from repro.litmus import fault_suite, fault_sweep, run_timed
+from repro.litmus.suite import classic_tests
+from repro.workloads.micro import MicroSpec
+
+MICRO = MicroSpec(store_granularity=64, sync_granularity=1024,
+                  fanout=1, total_bytes=8 * 1024)
+
+DROP_DUP = FaultPlan(drop=DropSpec(rate=0.1),
+                     duplicate=DuplicateSpec(rate=0.1))
+
+
+def _spec(protocol="cord", faults=None, **kwargs):
+    return RunSpec(
+        kind="micro", protocol=protocol, workload=MICRO,
+        config=default_config(CXL, hosts=2, cores_per_host=1), seed=0,
+        faults=faults, **kwargs,
+    )
+
+
+def _fingerprint(record):
+    return (record.final_state_hash, record.time_ns, record.quiesce_ns,
+            record.events, record.stats)
+
+
+# ---------------------------------------------------------------------------
+# Plans and presets
+# ---------------------------------------------------------------------------
+class TestPlans:
+    def test_default_plan_is_disabled(self):
+        assert not FaultPlan().enabled
+
+    def test_each_preset_is_enabled(self):
+        for name, plan in fault_presets().items():
+            assert plan.enabled, name
+
+    def test_parse_merges_presets(self):
+        plan = parse_faults("drop+dup+flap")
+        assert plan.drop is not None and plan.drop.rate > 0
+        assert plan.duplicate is not None and plan.duplicate.rate > 0
+        assert len(plan.flaps) == 1
+        assert plan.enabled
+
+    def test_parse_rejects_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            parse_faults("drop+bogus")
+
+    def test_merge_concatenates_windows(self):
+        a = FaultPlan(flaps=(FlapSpec(period_ns=10.0, down_ns=1.0),))
+        b = FaultPlan(flaps=(FlapSpec(period_ns=20.0, down_ns=2.0),),
+                      stalls=(StallSpec(start_ns=1.0, duration_ns=1.0),))
+        merged = a.merge(b)
+        assert len(merged.flaps) == 2
+        assert len(merged.stalls) == 1
+
+    def test_plan_survives_canonicalization(self):
+        # A FaultPlan must be cache-key compatible (frozen, JSON-able).
+        from repro.harness.executor import _canonical_json
+        text = _canonical_json(_spec(faults=DROP_DUP))
+        assert "DropSpec" in text and "DuplicateSpec" in text
+
+
+# ---------------------------------------------------------------------------
+# Dedup filter
+# ---------------------------------------------------------------------------
+class TestDedupFilter:
+    def test_accepts_fresh_rejects_repeats(self):
+        f = DedupFilter(bits=16)
+        assert f.accept("src", 1)
+        assert f.accept("src", 2)
+        assert not f.accept("src", 2)
+        assert not f.accept("src", 1)
+        assert f.accept("src", 3)
+
+    def test_independent_per_source(self):
+        f = DedupFilter(bits=16)
+        assert f.accept("a", 1)
+        assert f.accept("b", 1)
+        assert not f.accept("a", 1)
+
+    def test_wraps_across_sequence_space(self):
+        f = DedupFilter(bits=4)
+        for seq in range(1, 40):        # wraps the 4-bit space twice
+            assert f.accept("src", seq % 16)
+            assert not f.accept("src", seq % 16)
+
+
+# ---------------------------------------------------------------------------
+# Determinism & disabled-mode purity
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    @pytest.mark.parametrize("protocol", ("cord", "so", "mp"))
+    def test_same_plan_same_run(self, protocol):
+        first = _execute_spec(_spec(protocol, faults=DROP_DUP))
+        second = _execute_spec(_spec(protocol, faults=DROP_DUP))
+        assert first.stat("faults.injected") > 0
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_plan_seed_changes_injections(self):
+        base = _execute_spec(_spec(faults=DROP_DUP))
+        other = _execute_spec(_spec(
+            faults=dataclasses.replace(DROP_DUP, seed=1)
+        ))
+        # Different fault stream; both deterministic, not byte-equal.
+        assert base.stat("faults.injected") > 0
+        assert _fingerprint(base) != _fingerprint(other)
+
+    @pytest.mark.parametrize("protocol", ("cord", "so", "mp", "wb"))
+    def test_disabled_plan_byte_identical_to_none(self, protocol):
+        off = _execute_spec(_spec(protocol, faults=None))
+        disabled = _execute_spec(_spec(protocol, faults=FaultPlan()))
+        assert off.stat("faults.injected") == 0
+        assert off.final_state_hash == disabled.final_state_hash
+        assert off.stats == disabled.stats
+        assert off.time_ns == disabled.time_ns
+
+    def test_faults_change_cache_key(self):
+        from repro.harness.executor import spec_key
+        assert spec_key(_spec()) != spec_key(_spec(faults=DROP_DUP))
+        assert spec_key(_spec(faults=FaultPlan())) != spec_key(
+            _spec(faults=DROP_DUP)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Duplicate delivery is tolerated by every protocol
+# ---------------------------------------------------------------------------
+DUP_HEAVY = FaultPlan(duplicate=DuplicateSpec(rate=0.5))
+
+
+class TestDuplicateTolerance:
+    @pytest.mark.parametrize("protocol", ("cord", "so", "mp"))
+    def test_mp_shape_safe_under_heavy_duplication(self, protocol):
+        test = fault_suite("mp")[0]      # MP.same: safe for all three
+        result = run_timed(test, protocol=protocol, faults=DUP_HEAVY)
+        assert result.passed
+        stats = result.run.stats
+        duplicated = stats.value("faults.duplicate")
+        assert duplicated > 0
+        # Every injected duplicate must be suppressed at its endpoint.
+        assert stats.value("faults.dup_suppressed") == duplicated
+
+    def test_duplicates_consume_bandwidth(self):
+        record = _execute_spec(_spec(faults=DUP_HEAVY))
+        baseline = _execute_spec(_spec())
+        assert record.stat("faults.duplicate") > 0
+        assert record.inter_host_bytes > baseline.inter_host_bytes
+
+
+# ---------------------------------------------------------------------------
+# Fault-enabled litmus sweeps (safety + deadlock freedom under adversity)
+# ---------------------------------------------------------------------------
+class TestFaultSweep:
+    def test_cord_classic_subset_passes_under_drop_dup_flap(self):
+        tests = classic_tests()[:6]
+        report = fault_sweep(tests, protocol="cord",
+                             faults="drop+dup+flap", runs=2)
+        assert report.passed, (report.forbidden_hits, report.violations,
+                               report.deadlocks)
+        assert report.runs == 2 * len(tests)
+        assert report.faults_injected > 0
+
+    def test_mp_curated_suite_passes(self):
+        report = fault_sweep(protocol="mp", faults="drop+dup+flap", runs=2)
+        assert report.passed
+        assert report.tests  # curated subset is non-empty
+
+    def test_stall_preset_delays_but_stays_safe(self):
+        tests = classic_tests()[:2]
+        report = fault_sweep(tests, protocol="so",
+                             faults="stall+degrade", runs=1)
+        assert report.passed
+
+
+# ---------------------------------------------------------------------------
+# Observability: counters and trace instants
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def test_injections_are_counted_and_traced(self):
+        record = _execute_spec(_spec(faults=DROP_DUP, trace=True))
+        assert record.stat("faults.injected") > 0
+        assert record.stat("faults.drop") > 0
+        assert record.stat("faults.retransmit_bytes") > 0
+
+    def test_trace_records_fault_instants(self):
+        from repro.protocols.machine import Machine
+        from repro.workloads.micro import build_micro_programs
+        config = default_config(CXL, hosts=2, cores_per_host=1)
+        machine = Machine(config, protocol="cord", trace=True,
+                          faults=DROP_DUP)
+        machine.run(build_micro_programs(MICRO, config))
+        instants = [e for e in machine.trace
+                    if e.kind == "instant" and e.name.startswith("fault.")]
+        assert instants
+        assert machine.stats.value("faults.injected") >= len(
+            [e for e in instants if e.name != "fault.dup_suppressed"]
+        )
+
+    def test_tracing_does_not_perturb_faulted_runs(self):
+        traced = _execute_spec(_spec(faults=DROP_DUP, trace=True))
+        untraced = _execute_spec(_spec(faults=DROP_DUP))
+        assert traced.final_state_hash == untraced.final_state_hash

@@ -72,6 +72,15 @@ class TestRingBuffer:
         collector.stall("core0@h0", "wait", 5.0, 5.0)
         assert len(collector) == 0
 
+    def test_network_emits_no_zero_length_egress_spans(self):
+        """Regression: every uncontended (and every intra-host) send used
+        to call ``stall(..., now, now)`` for the egress queue; the network
+        must only record spans for real port contention."""
+        machine, _ = _producer_consumer("so", trace=TraceCollector())
+        spans = [e for e in machine.trace
+                 if e.kind == "stall" and e.name == "egress_queue"]
+        assert all(e.dur_ns > 0 for e in spans)
+
 
 class TestDisabledMode:
     def test_untraced_run_allocates_no_events(self, monkeypatch):
