@@ -15,6 +15,7 @@ Usage::
     python -m repro breakdown CR    # per-message-type traffic for one app
     python -m repro energy CR       # §5.4 energy comparison for one app
     python -m repro resilience      # time/traffic under injected faults
+    python -m repro bench           # engine throughput on a fixed basket
     python -m repro all             # everything (slow)
 
 Executor options (any experiment):
@@ -34,6 +35,15 @@ Executor options (any experiment):
                       repro.faults).  With 'litmus' this switches to the
                       fault-enabled timed sweep asserting safety and
                       deadlock-freedom under the plan.
+
+Bench options (``bench`` only; see ``repro.harness.bench``):
+
+    --quick           smoke basket (CI): smaller runs, 1 repeat
+    --repeats N       timing repeats per point (best-of-N; default 3)
+    --threshold F     fractional events/sec drop tolerated before a point
+                      counts as regressed vs BENCH_engine.json (default 0.25)
+    --out PATH        output path (default: BENCH_engine.json)
+    --strict          exit 1 when a point regressed beyond the threshold
 """
 
 from __future__ import annotations
@@ -186,6 +196,12 @@ def main(argv=None) -> int:
     if not args or args[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+
+    if args[0] == "bench":
+        # The bench harness times the raw engine: no executor, no result
+        # cache, and its own flags (--quick/--repeats/--threshold/...).
+        from repro.harness.bench import run_bench_cli
+        return run_bench_cli(args[1:])
 
     args, executor = _parse_executor_flags(args)
     if args is None or executor is None:

@@ -51,6 +51,9 @@ class Core:
     def run(self) -> Generator:
         """The core's simulation process body."""
         assert self.port is not None, "core has no protocol port"
+        # Hot loop: hoist the per-op attribute chains to locals.
+        port = self.port
+        cycle_ns = self.machine.config.cycle_ns
         for index, op in enumerate(self.program.ops):
             if op.kind is OpKind.COMPUTE:
                 if op.duration_ns > 0:
@@ -58,10 +61,10 @@ class Core:
             elif op.kind is OpKind.STORE:
                 # Issue bandwidth: one store per core cycle, uniform across
                 # protocols (protocol-specific costs live in the ports).
-                yield self.machine.config.cycle_ns
-                yield from self.port.store(op, index)
+                yield cycle_ns
+                yield from port.store(op, index)
             elif op.kind is OpKind.LOAD:
-                value = yield from self.port.load(op, index)
+                value = yield from port.load(op, index)
                 self._record_load(index, op, value)
             elif op.kind is OpKind.LOAD_UNTIL:
                 yield from self._poll(index, op)

@@ -51,6 +51,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.config import CordConfig, SystemConfig
 from repro.faults import FaultPlan, parse_faults
+from repro.sim import SimulationError
 from repro.workloads.ata import AtaSpec, build_ata_programs
 from repro.workloads.base import WorkloadSpec, build_workload_programs
 from repro.workloads.micro import MicroSpec, build_micro_programs
@@ -59,6 +60,7 @@ __all__ = [
     "RunSpec",
     "RunRecord",
     "Executor",
+    "SweepError",
     "spec_key",
     "code_version",
     "default_cache_dir",
@@ -381,6 +383,31 @@ def _execute_spec(spec: RunSpec,
     )
 
 
+class SweepError(SimulationError):
+    """A sweep run failed; names the failing spec so failures are diagnosable.
+
+    Raised by :meth:`Executor.map` in place of the worker's bare error.
+    The original exception (typically a
+    :class:`~repro.sim.DeadlockError`) is chained as ``__cause__``;
+    ``spec``/``spec_key`` identify the failing point.  Every run that
+    *did* complete before the failure has already been cached, so a
+    repaired re-sweep only re-simulates from the failure onward.
+    """
+
+    def __init__(self, spec: RunSpec, key: str, error: BaseException) -> None:
+        super().__init__(
+            f"sweep run failed: protocol={spec.protocol!r} "
+            f"workload={spec.workload_label!r} kind={spec.kind!r} "
+            f"key={key[:12]}: {error}"
+        )
+        self.spec = spec
+        self.spec_key = key
+        self.__cause__ = error
+
+    def __reduce__(self):
+        return (type(self), (self.spec, self.spec_key, self.__cause__))
+
+
 # ---------------------------------------------------------------------------
 # The executor
 # ---------------------------------------------------------------------------
@@ -516,9 +543,16 @@ class Executor:
         """Execute ``specs``, returning records in spec order.
 
         Cache hits are recalled without simulating; misses run across the
-        worker pool (``jobs > 1``) or inline.  Results, cache entries and
-        run-log lines are always produced in spec order, so a sweep's
-        output is independent of worker scheduling.
+        worker pool (``jobs > 1``) or inline.  Identical specs (same cache
+        key) are simulated once and the record fanned out to every
+        occurrence — the first occurrence counts as the miss, the rest as
+        hits.  Results, cache entries and run-log lines are always produced
+        in spec order, so a sweep's output is independent of worker
+        scheduling.
+
+        On a failed run, every run that completed is cached first, then a
+        :class:`SweepError` naming the failing spec is raised (the
+        original error is chained as ``__cause__``).
         """
         if self.trace_dir is not None:
             specs = [
@@ -533,22 +567,32 @@ class Executor:
             ]
         version = code_version()
         records: List[Optional[RunRecord]] = [None] * len(specs)
-        pending: List[int] = []
+        # Unique cache key -> every spec index that wants its record, so
+        # duplicate specs in one sweep are simulated exactly once (and
+        # never race each other into the cache).
+        pending: Dict[str, List[int]] = {}
         for index, spec in enumerate(specs):
             key = spec_key(spec, version)
+            if key in pending:
+                pending[key].append(index)
+                self.hits += 1
+                continue
             cached = self._cache_load(key)
             if cached is not None:
                 records[index] = cached
                 self.hits += 1
             else:
-                pending.append(index)
+                pending[key] = [index]
 
         if pending:
             self.misses += len(pending)
-            fresh = self._execute_many([specs[i] for i in pending])
-            for index, record in zip(pending, fresh):
-                records[index] = record
+            fresh = self._execute_many(
+                [specs[indices[0]] for indices in pending.values()]
+            )
+            for indices, record in zip(pending.values(), fresh):
                 self._cache_store(record)
+                for index in indices:
+                    records[index] = record
 
         for record in records:
             assert record is not None
@@ -556,15 +600,45 @@ class Executor:
         return records  # type: ignore[return-value]
 
     def _execute_many(self, specs: List[RunSpec]) -> List[RunRecord]:
+        """Simulate ``specs`` (all cache misses), returning records in order.
+
+        If any run fails, the completed records are cached before the
+        failure is re-raised as a :class:`SweepError`, so a long sweep
+        never loses finished work to one bad point.
+        """
         trace_dir = str(self.trace_dir) if self.trace_dir else None
         if self.jobs == 1 or len(specs) == 1:
-            return [_execute_spec(spec, trace_dir) for spec in specs]
+            records: List[RunRecord] = []
+            for spec in specs:
+                try:
+                    records.append(_execute_spec(spec, trace_dir))
+                except Exception as error:
+                    for record in records:
+                        self._cache_store(record)
+                    raise SweepError(spec, spec_key(spec), error) from error
+            return records
         from concurrent.futures import ProcessPoolExecutor
-        from functools import partial
         workers = min(self.jobs, len(specs))
+        results: List[Optional[RunRecord]] = [None] * len(specs)
+        failure: Optional[SweepError] = None
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(partial(_execute_spec, trace_dir=trace_dir),
-                                 specs))
+            # Per-spec futures (not pool.map): one failing run must not
+            # discard every other run's completed record.
+            futures = [
+                pool.submit(_execute_spec, spec, trace_dir) for spec in specs
+            ]
+            for index, (spec, future) in enumerate(zip(specs, futures)):
+                try:
+                    results[index] = future.result()
+                except Exception as error:
+                    if failure is None:
+                        failure = SweepError(spec, spec_key(spec), error)
+        if failure is not None:
+            for record in results:
+                if record is not None:
+                    self._cache_store(record)
+            raise failure from failure.__cause__
+        return results  # type: ignore[return-value]
 
 
 def read_run_log(path: Union[str, Path]) -> List[Dict[str, Any]]:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 __all__ = ["NodeId", "Message"]
@@ -36,7 +36,6 @@ class NodeId:
         return f"{self.kind}{self.index}@h{self.host}"
 
 
-@dataclass
 class Message:
     """A protocol message travelling over the interconnect.
 
@@ -44,19 +43,48 @@ class Message:
     overflow bytes).  ``control`` marks acknowledgment/notification-style
     messages that carry no store data — the traffic breakdowns in Fig. 2 and
     Fig. 7 separate control from data bytes.
+
+    A plain ``__slots__`` class (not a dataclass): simulations construct
+    millions of messages, and slots cut both per-instance memory and
+    attribute-access time on the network hot path.  Kept hand-written
+    because ``@dataclass(slots=True)`` needs Python 3.10 and this repo
+    supports 3.9.
     """
 
-    src: NodeId
-    dst: NodeId
-    msg_type: str
-    size_bytes: int
-    control: bool = True
-    payload: Dict[str, Any] = field(default_factory=dict)
-    uid: int = field(default_factory=lambda: next(_message_counter))
-    #: Wrapped per-(src, dst) wire sequence number, assigned by the network
-    #: only when fault injection is active (``None`` otherwise).  Endpoints
-    #: use it to suppress duplicate deliveries (see :mod:`repro.faults`).
-    seq: Optional[int] = None
+    __slots__ = ("src", "dst", "msg_type", "size_bytes", "control",
+                 "payload", "uid", "seq")
+
+    def __init__(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        msg_type: str,
+        size_bytes: int,
+        control: bool = True,
+        payload: Optional[Dict[str, Any]] = None,
+        uid: Optional[int] = None,
+        seq: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.msg_type = msg_type
+        self.size_bytes = size_bytes
+        self.control = control
+        self.payload = {} if payload is None else payload
+        self.uid = next(_message_counter) if uid is None else uid
+        #: Wrapped per-(src, dst) wire sequence number, assigned by the
+        #: network only when fault injection is active (``None``
+        #: otherwise).  Endpoints use it to suppress duplicate deliveries
+        #: (see :mod:`repro.faults`).
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, "
+            f"msg_type={self.msg_type!r}, size_bytes={self.size_bytes!r}, "
+            f"control={self.control!r}, payload={self.payload!r}, "
+            f"uid={self.uid!r}, seq={self.seq!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -20,8 +20,13 @@ by the untimed model checker (``repro.litmus``).
 
 When a :class:`~repro.trace.TraceCollector` is attached, every send is
 recorded as a flight span (size/class/hops), every delivery as an instant,
-and time spent queued behind the egress port as an ``egress_queue`` stall
-span against the source node.
+and pre-departure waits as stall spans against the source node — split by
+cause: time queued behind a busy egress port is ``egress_queue``; any
+further fault-induced hold (a link flap/down window) is ``fault.link_down``.
+
+Fault-injected duplicates re-traverse the fabric like real retransmissions:
+a duplicate occupies the egress port, pays serialization, and is accounted
+as a second message (endpoints later suppress it by wire sequence number).
 """
 
 from __future__ import annotations
@@ -60,7 +65,15 @@ class Network:
         #: Optional :class:`repro.faults.FaultInjector` (None = disabled —
         #: the default; every consultation below is a single branch).
         self.faults = faults
+        # Bound method: the per-message serialization cost lookup
+        # (``config.interconnect.serialization_ns``) without the two
+        # attribute hops per send.
+        self._serialize = config.interconnect.serialization_ns
         self._handlers: Dict[NodeId, Handler] = {}
+        # (cross, control, msg_type) -> tuple of Counter handles, so the
+        # per-message accounting never re-resolves registry names (four
+        # dict+format lookups per send) on the hot path.
+        self._counter_cache: Dict[tuple, tuple] = {}
         # Next time each host's switch egress port is free.
         self._egress_free: Dict[int, float] = {}
         # FIFO guarantee: last arrival time per (src, dst) *node* pair.
@@ -93,19 +106,48 @@ class Network:
             raise KeyError(f"no handler registered for {message.dst}")
 
         faults = self.faults
-        cross = self.topology.crosses_hosts(message.src, message.dst)
-        latency = self.topology.latency_ns(message.src, message.dst)
+        latency, hops, cross = self.topology.route(message.src, message.dst)
         if self.latency_jitter > 0:
             factor = 1.0 + self.latency_jitter * (2.0 * self._rng.random() - 1.0)
             latency *= factor
+
+        if faults is None and self.trace is None:
+            # Fast path: the default (untraced, unfaulted) configuration.
+            # Identical arithmetic to the general path below with every
+            # disabled-feature branch hoisted out; the pinned state-hash
+            # basket (tests/test_state_hash.py) proves byte-equivalence.
+            sim = self.sim
+            now = sim.now
+            if cross:
+                host = message.src.host
+                port_free = self._egress_free.get(host, 0.0)
+                depart = port_free if port_free > now else now
+                finish = depart + self._serialize(message.size_bytes)
+                self._egress_free[host] = finish
+                arrival = finish + latency
+            else:
+                arrival = now + latency
+            pair = (message.src, message.dst)
+            last = self._last_arrival.get(pair, 0.0)
+            if last > arrival:
+                arrival = last
+            self._last_arrival[pair] = arrival
+            self._account(message, cross)
+            sim.schedule_at(arrival, self._deliver, message)
+            return arrival
+
         depart = self.sim.now
+        # Portion of the pre-departure wait that is genuine egress-port
+        # contention; anything past it is fault-induced (link down).
+        queue_until = depart
+        serialization = 0.0
 
         if cross:
             serialization = self.config.interconnect.serialization_ns(
                 message.size_bytes
             )
             port_free = self._egress_free.get(message.src.host, 0.0)
-            depart = max(self.sim.now, port_free)
+            queue_until = depart = max(self.sim.now, port_free)
             if faults is not None:
                 depart = faults.link_ready_ns(message, depart)
                 serialization *= faults.serialization_factor(message, depart)
@@ -129,29 +171,40 @@ class Network:
 
         self._account(message, cross)
         if self.trace:
-            if depart > self.sim.now:
+            if queue_until > self.sim.now:
                 # Suppress the zero-length span every uncontended (and
                 # every intra-host) send would otherwise emit.
                 self.trace.stall(str(message.src), "egress_queue",
-                                 self.sim.now, depart)
-            self.trace.message_send(
-                message, depart, arrival, cross,
-                self.topology.hop_count(message.src, message.dst),
-            )
+                                 self.sim.now, queue_until)
+            if depart > queue_until:
+                # Fault-induced departure delay (link flap/down window) is
+                # not port contention; attribute it separately.
+                self.trace.stall(str(message.src), "fault.link_down",
+                                 queue_until, depart)
+            self.trace.message_send(message, depart, arrival, cross, hops)
         self.sim.schedule_at(arrival, self._deliver, message)
 
         if faults is not None:
             dup_delay = faults.duplicate_delay_ns(message)
             if dup_delay is not None:
-                # The duplicate re-consumes bandwidth and arrives after the
-                # original (FIFO-preserving); endpoints dedup it by seq.
-                dup_arrival = arrival + dup_delay
+                # The duplicate re-consumes bandwidth — it occupies the
+                # egress port and pays serialization like the original —
+                # and arrives after it (FIFO-preserving); endpoints dedup
+                # it by seq.
+                if cross:
+                    dup_depart = self._egress_free.get(message.src.host, 0.0)
+                    dup_finish = dup_depart + serialization
+                    self._egress_free[message.src.host] = dup_finish
+                    dup_arrival = max(dup_finish + latency,
+                                      arrival + dup_delay)
+                else:
+                    dup_depart = arrival
+                    dup_arrival = arrival + dup_delay
                 self._last_arrival[pair] = dup_arrival
                 self._account(message, cross)
                 if self.trace:
                     self.trace.message_send(
-                        message, arrival, dup_arrival, cross,
-                        self.topology.hop_count(message.src, message.dst),
+                        message, dup_depart, dup_arrival, cross, hops
                     )
                 self.sim.schedule_at(dup_arrival, self._deliver, message)
         return arrival
@@ -165,16 +218,28 @@ class Network:
     # Accounting
     # ------------------------------------------------------------------
     def _account(self, message: Message, cross: bool) -> None:
-        scope = "inter_host" if cross else "intra_host"
-        klass = "ctrl" if message.control else "data"
-        self.stats.counter(f"traffic.{scope}.{klass}").add(message.size_bytes)
-        self.stats.counter(f"traffic.{scope}.total").add(message.size_bytes)
-        self.stats.counter(f"msgs.{scope}.{message.msg_type}").add(1)
-        self.stats.counter(f"bytes.{scope}.{message.msg_type}").add(
-            message.size_bytes
-        )
-        if cross and message.control:
-            self.stats.counter("msgs.inter_host.ctrl_count").add(1)
+        key = (cross, message.control, message.msg_type)
+        counters = self._counter_cache.get(key)
+        if counters is None:
+            scope = "inter_host" if cross else "intra_host"
+            klass = "ctrl" if message.control else "data"
+            counters = (
+                self.stats.counter(f"traffic.{scope}.{klass}"),
+                self.stats.counter(f"traffic.{scope}.total"),
+                self.stats.counter(f"msgs.{scope}.{message.msg_type}"),
+                self.stats.counter(f"bytes.{scope}.{message.msg_type}"),
+                self.stats.counter("msgs.inter_host.ctrl_count")
+                if cross and message.control else None,
+            )
+            self._counter_cache[key] = counters
+        size = message.size_bytes
+        klass_bytes, total_bytes, msg_count, type_bytes, ctrl_count = counters
+        klass_bytes.add(size)
+        total_bytes.add(size)
+        msg_count.add(1)
+        type_bytes.add(size)
+        if ctrl_count is not None:
+            ctrl_count.add(1)
 
     # ------------------------------------------------------------------
     # Queries used by harnesses

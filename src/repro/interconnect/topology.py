@@ -8,7 +8,7 @@ core cycles; crossing hosts costs the configured inter-host link latency.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.config import SystemConfig
 from repro.interconnect.message import NodeId
@@ -17,10 +17,36 @@ __all__ = ["Topology"]
 
 
 class Topology:
-    """Computes hop counts and zero-load latencies between endpoints."""
+    """Computes hop counts and zero-load latencies between endpoints.
+
+    Routes are static for a given config, so every per-pair query is
+    memoized: the first lookup of a (src, dst) pair computes latency, hop
+    count and host-crossing together; subsequent lookups are one dict hit.
+    ``Network.send`` sits on the simulator's hottest path and performs all
+    three queries per message, so this cache matters (see DESIGN.md's
+    performance-model note).
+    """
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
+        # (src, dst) -> (latency_ns, hop_count, crosses_hosts); lazy.
+        self._routes: Dict[Tuple[NodeId, NodeId], Tuple[float, int, bool]] = {}
+
+    # ------------------------------------------------------------------
+    # Memoized per-pair route
+    # ------------------------------------------------------------------
+    def route(self, src: NodeId, dst: NodeId) -> Tuple[float, int, bool]:
+        """``(latency_ns, hop_count, crosses_hosts)`` for one pair, cached."""
+        key = (src, dst)
+        entry = self._routes.get(key)
+        if entry is None:
+            entry = (
+                self._latency_ns(src, dst),
+                self._hop_count(src, dst),
+                src.host != dst.host,
+            )
+            self._routes[key] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # Geometry
@@ -57,6 +83,9 @@ class Topology:
         central switch, plus one more tier when the hosts sit in
         different pods.
         """
+        return self.route(src, dst)[1]
+
+    def _hop_count(self, src: NodeId, dst: NodeId) -> int:
         if src.host == dst.host:
             return max(1, self.mesh_hops(self.tile_of(src), self.tile_of(dst)))
         hops = self.edge_hops(self.tile_of(src)) + 1 + self.edge_hops(
@@ -75,6 +104,9 @@ class Topology:
 
     def latency_ns(self, src: NodeId, dst: NodeId) -> float:
         """Zero-load one-way latency from ``src`` to ``dst``."""
+        return self.route(src, dst)[0]
+
+    def _latency_ns(self, src: NodeId, dst: NodeId) -> float:
         cfg = self.config
         hop_ns = cfg.cycles_to_ns(cfg.interconnect.intra_host_hop_cycles)
         if src.host == dst.host:

@@ -35,6 +35,15 @@ class CorePort(abc.ABC):
     def __init__(self, core: "Core") -> None:
         self.core = core
         self.machine = core.machine
+        # Bound once at construction (the machine wires sim/network/config
+        # before building ports): every protocol touches these on each
+        # store/load, and a plain attribute beats a property call on the
+        # hot path.
+        self.sim = core.machine.sim
+        self.network = core.machine.network
+        self.config = core.machine.config
+        self.sizes = core.machine.config.message_sizes
+        self.node: NodeId = core.node_id
         self._load_waiters: Dict[int, Any] = {}
         self._next_req = 0
         # Source-side write-combining buffer (§2.1); inert when the config
@@ -46,29 +55,9 @@ class CorePort(abc.ABC):
         self.wc = WriteCombiningBuffer(
             lines, line_bytes=self.machine.config.llc_slice.line_bytes
         )
-
-    # ------------------------------------------------------------------
-    # Convenience accessors
-    # ------------------------------------------------------------------
-    @property
-    def sim(self):
-        return self.machine.sim
-
-    @property
-    def network(self):
-        return self.machine.network
-
-    @property
-    def config(self):
-        return self.machine.config
-
-    @property
-    def sizes(self):
-        return self.machine.config.message_sizes
-
-    @property
-    def node(self) -> NodeId:
-        return self.core.node_id
+        # cause -> (global counter, per-core counter); stall() runs on the
+        # hot path and must not re-resolve registry names per call.
+        self._stall_counters: Dict[str, Any] = {}
 
     def home(self, addr: int) -> NodeId:
         return self.machine.address_map.home_directory(addr)
@@ -81,10 +70,16 @@ class CorePort(abc.ABC):
         with counter-derived ones (pinned differentially by the tests).
         """
         if duration_ns > 0:
-            self.machine.stats.counter(f"stall.{cause}").add(duration_ns)
-            self.machine.stats.counter(
-                f"core{self.core.core_id}.stall.{cause}"
-            ).add(duration_ns)
+            counters = self._stall_counters.get(cause)
+            if counters is None:
+                counters = self._stall_counters[cause] = (
+                    self.machine.stats.counter(f"stall.{cause}"),
+                    self.machine.stats.counter(
+                        f"core{self.core.core_id}.stall.{cause}"
+                    ),
+                )
+            counters[0].add(duration_ns)
+            counters[1].add(duration_ns)
             trace = self.machine.trace
             if trace:
                 now = self.sim.now
@@ -233,27 +228,22 @@ class DirectoryNode:
     def __init__(self, machine: "Machine", node_id: NodeId) -> None:
         self.machine = machine
         self.node_id = node_id
+        # Bound once, like CorePort's accessors: the dispatch and respond
+        # paths hit these per message.
+        self.sim = machine.sim
+        self.network = machine.network
+        self.sizes = machine.config.message_sizes
         self.values: Dict[int, int] = {}
         self.llc = machine.new_llc_slice()
         self.service_ns = machine.config.cycles_to_ns(
             machine.config.llc_slice.latency_cycles
         )
         machine.network.register(node_id, self.handle)
+        # msg_type -> bound on_<msg_type> handler (memoized getattr).
+        self._handler_cache: Dict[str, Any] = {}
         # Peak count of buffered (stalled/recycled) protocol messages — the
         # "network buffer" component of Fig. 12.
         self.peak_buffered = 0
-
-    @property
-    def sim(self):
-        return self.machine.sim
-
-    @property
-    def network(self):
-        return self.machine.network
-
-    @property
-    def sizes(self):
-        return self.machine.config.message_sizes
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -265,11 +255,15 @@ class DirectoryNode:
         self.sim.schedule(self.service_ns, self._process, message)
 
     def _process(self, message: Message) -> None:
-        handler = getattr(self, f"on_{message.msg_type}", None)
+        handler = self._handler_cache.get(message.msg_type)
         if handler is None:
-            raise RuntimeError(
-                f"{type(self).__name__} has no handler for {message.msg_type}"
-            )
+            handler = getattr(self, f"on_{message.msg_type}", None)
+            if handler is None:
+                raise RuntimeError(
+                    f"{type(self).__name__} has no handler for "
+                    f"{message.msg_type}"
+                )
+            self._handler_cache[message.msg_type] = handler
         handler(message)
 
     def track_buffered(self, count: int) -> None:

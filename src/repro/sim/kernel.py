@@ -95,6 +95,12 @@ class DeadlockError(SimulationError):
         super().__init__(diagnostic.render())
         self.diagnostic = diagnostic
 
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the rendered
+        # string instead of the diagnostic; a worker-pool deadlock must
+        # cross the process boundary intact.
+        return (type(self), (self.diagnostic,))
+
 
 class Signal:
     """A broadcast event that simulation processes can wait on.
@@ -104,6 +110,8 @@ class Signal:
     with no waiters is a no-op, and waiters registered after a trigger wait
     for the *next* trigger.
     """
+
+    __slots__ = ("sim", "name", "_waiters", "trigger_count")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -171,6 +179,9 @@ class Process:
     ``on_finish`` callbacks run.
     """
 
+    __slots__ = ("sim", "generator", "name", "finished", "result",
+                 "last_progress_ns", "_finish_callbacks")
+
     def __init__(
         self,
         sim: "Simulator",
@@ -205,7 +216,17 @@ class Process:
             for callback in self._finish_callbacks:
                 callback(self)
             return
-        if yielded is None:
+        kind = type(yielded)
+        if kind is float or kind is int:
+            # Exact-type fast path for the overwhelmingly common yield (a
+            # delay); ``type(True) is int`` is False, so bools still fall
+            # through to the guard below.
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.sim.schedule(float(yielded), self._resume, None)
+        elif yielded is None:
             self.sim.schedule(0.0, self._resume, None)
         elif isinstance(yielded, Signal):
             yielded._add_waiter(self)
@@ -268,7 +289,17 @@ class Simulator:
 
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute time ``when``."""
-        self.schedule(when - self.now, callback, *args)
+        # Inlined :meth:`schedule` (hot path: every network delivery).
+        # ``now + (when - now)`` is kept rather than pushing ``when``
+        # directly — the round trip is how schedule() has always computed
+        # the timestamp, and changing it would perturb results by an ulp.
+        delay = when - self.now
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self.now + delay, self._sequence, callback, args)
+        )
 
     def process(
         self, generator: Generator[Any, Any, Any], name: str = ""
@@ -341,14 +372,39 @@ class Simulator:
         diagnostic names the stuck processes instead of a bare string.
         """
         watched = list(processes)
+        # Hot loop: a finish-callback counter replaces the per-event
+        # ``all(p.finished ...)`` scan, and :meth:`step` is inlined with
+        # the queue/heappop hoisted to locals — this loop processes every
+        # event of every simulation, so call overhead here is global
+        # overhead.  Semantics are identical to ``while not all(...):
+        # step()`` (same pop order, same bookkeeping, same errors).
+        remaining = [0]
+
+        def _one_finished(_proc: Process) -> None:
+            remaining[0] -= 1
+
+        for proc in watched:
+            if not proc.finished:
+                remaining[0] += 1
+                proc.on_finish(_one_finished)
+        queue = self._queue
+        pop = heapq.heappop
         events = 0
-        while not all(p.finished for p in watched):
+        while remaining[0]:
             if max_events is not None and events >= max_events:
                 raise DeadlockError(
                     self.diagnose("livelock", watched, max_events=max_events)
                 )
-            if not self.step():
+            if not queue:
                 raise DeadlockError(self.diagnose("deadlock", watched))
+            when, _seq, callback, args = pop(queue)
+            if when < self.now:
+                raise SimulationError(
+                    "event queue corrupted: time went backwards"
+                )
+            self.now = when
+            self.processed_events += 1
+            callback(*args)
             events += 1
         return self.now
 

@@ -14,15 +14,26 @@ from typing import Dict, List, Optional
 __all__ = ["Counter", "MaxTracker", "Accumulator", "StatRegistry"]
 
 
-@dataclass
 class Counter:
-    """A monotonically increasing counter (events, bytes, stalls...)."""
+    """A monotonically increasing counter (events, bytes, stalls...).
 
-    name: str
-    value: float = 0.0
+    A ``__slots__`` class rather than a dataclass: counters are bumped on
+    every message send and stall on the hot path, and hot-path callers
+    cache the handle and call :meth:`add` directly.  (Hand-written slots
+    because ``@dataclass(slots=True)`` needs Python 3.10.)
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
 
     def add(self, amount: float = 1.0) -> None:
         self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter(name={self.name!r}, value={self.value!r})"
 
 
 @dataclass
@@ -127,7 +138,12 @@ class StatRegistry:
             result[f"{name}.max"] = tracker.maximum
         for name, acc in self._accumulators.items():
             result[f"{name}.count"] = acc.count
+            result[f"{name}.total"] = acc.total
             result[f"{name}.mean"] = acc.mean
+            # min/max make a cached RunRecord reproduce the tail statistics
+            # a live RunResult can report (0.0 when no samples were added).
+            result[f"{name}.min"] = acc.minimum if acc.minimum is not None else 0.0
+            result[f"{name}.max"] = acc.maximum if acc.maximum is not None else 0.0
         return result
 
     def grouped(self) -> Dict[str, Dict[str, float]]:

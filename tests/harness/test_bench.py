@@ -1,0 +1,156 @@
+"""Tests for the engine benchmark harness (python -m repro bench)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness.bench import (
+    DEFAULT_OUTPUT,
+    SCHEMA_VERSION,
+    bench_points,
+    compare_payloads,
+    run_basket,
+    validate_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_payload():
+    return run_basket(quick=True, repeats=1)
+
+
+class TestBasket:
+    def test_basket_names_are_fixed(self):
+        names = [name for name, _runner in bench_points(quick=True)]
+        assert names == ["micro.kernel", "fig2.cxl", "litmus.classic"]
+        assert names == [name for name, _ in bench_points(quick=False)]
+
+    def test_payload_is_schema_valid(self, quick_payload):
+        validate_payload(quick_payload)  # must not raise
+        assert quick_payload["schema"] == SCHEMA_VERSION
+        assert quick_payload["quick"] is True
+        assert len(quick_payload["points"]) == 3
+        for point in quick_payload["points"]:
+            assert point["events"] > 0
+            assert point["wall_s"] > 0
+            assert point["events_per_sec"] > 0
+            assert point["sim_time_ns"] > 0
+
+    def test_payload_survives_json_round_trip(self, quick_payload):
+        validate_payload(json.loads(json.dumps(quick_payload)))
+
+    def test_event_counts_are_deterministic(self, quick_payload):
+        again = run_basket(quick=True, repeats=1)
+        assert ([p["events"] for p in again["points"]]
+                == [p["events"] for p in quick_payload["points"]])
+        assert ([p["sim_time_ns"] for p in again["points"]]
+                == [p["sim_time_ns"] for p in quick_payload["points"]])
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            run_basket(quick=True, repeats=0)
+
+
+class TestValidation:
+    def test_missing_top_field_rejected(self, quick_payload):
+        broken = copy.deepcopy(quick_payload)
+        del broken["points"]
+        with pytest.raises(ValueError, match="points"):
+            validate_payload(broken)
+
+    def test_wrong_schema_rejected(self, quick_payload):
+        broken = copy.deepcopy(quick_payload)
+        broken["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            validate_payload(broken)
+
+    def test_malformed_point_rejected(self, quick_payload):
+        broken = copy.deepcopy(quick_payload)
+        del broken["points"][0]["events_per_sec"]
+        with pytest.raises(ValueError, match="events_per_sec"):
+            validate_payload(broken)
+
+    def test_wrong_point_type_rejected(self, quick_payload):
+        broken = copy.deepcopy(quick_payload)
+        broken["points"][0]["events"] = "many"
+        with pytest.raises(ValueError, match="events"):
+            validate_payload(broken)
+
+    def test_empty_points_rejected(self, quick_payload):
+        broken = copy.deepcopy(quick_payload)
+        broken["points"] = []
+        with pytest.raises(ValueError, match="no points"):
+            validate_payload(broken)
+
+
+class TestComparison:
+    def test_within_threshold_is_ok(self, quick_payload):
+        previous = copy.deepcopy(quick_payload)
+        for point in previous["points"]:
+            point["events_per_sec"] *= 1.1    # current is 10% slower
+        rows = compare_payloads(quick_payload, previous, threshold=0.25)
+        assert len(rows) == 3
+        assert not any(row["regressed"] for row in rows)
+
+    def test_beyond_threshold_is_regressed(self, quick_payload):
+        previous = copy.deepcopy(quick_payload)
+        for point in previous["points"]:
+            point["events_per_sec"] *= 10.0   # current is 10x slower
+        rows = compare_payloads(quick_payload, previous, threshold=0.25)
+        assert all(row["regressed"] for row in rows)
+        assert all(row["ratio"] == pytest.approx(0.1) for row in rows)
+
+    def test_mode_mismatch_yields_no_rows(self, quick_payload):
+        previous = copy.deepcopy(quick_payload)
+        previous["quick"] = False
+        assert compare_payloads(quick_payload, previous) == []
+
+    def test_unknown_points_are_skipped(self, quick_payload):
+        previous = copy.deepcopy(quick_payload)
+        previous["points"] = [previous["points"][0]]
+        rows = compare_payloads(quick_payload, previous)
+        assert [row["name"] for row in rows] == ["micro.kernel"]
+
+
+class TestCli:
+    def test_quick_writes_schema_valid_json(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        validate_payload(payload)
+        assert payload["quick"] is True
+
+    def test_strict_regression_fails(self, tmp_path, quick_payload):
+        out = tmp_path / "bench.json"
+        previous = copy.deepcopy(quick_payload)
+        for point in previous["points"]:
+            point["events_per_sec"] *= 1000.0
+        out.write_text(json.dumps(previous))
+        assert main(["bench", "--quick", "--strict",
+                     "--out", str(out)]) == 1
+        # The new payload replaced the doctored previous file regardless.
+        validate_payload(json.loads(out.read_text()))
+
+    def test_non_strict_regression_is_advisory(self, tmp_path, quick_payload):
+        out = tmp_path / "bench.json"
+        previous = copy.deepcopy(quick_payload)
+        for point in previous["points"]:
+            point["events_per_sec"] *= 1000.0
+        out.write_text(json.dumps(previous))
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+
+    def test_corrupt_previous_file_is_ignored(self, tmp_path):
+        out = tmp_path / "bench.json"
+        out.write_text("{not json")
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        validate_payload(json.loads(out.read_text()))
+
+    def test_bad_flag_is_usage_error(self):
+        assert main(["bench", "--nope"]) == 2
+        assert main(["bench", "--repeats"]) == 2
+        assert main(["bench", "--repeats", "x"]) == 2
+
+    def test_default_output_name(self):
+        assert DEFAULT_OUTPUT == "BENCH_engine.json"

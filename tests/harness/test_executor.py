@@ -9,6 +9,7 @@ from repro.config import CXL, CordConfig, SystemConfig
 from repro.harness import (
     Executor,
     RunSpec,
+    SweepError,
     default_executor,
     fig7_end_to_end,
     read_run_log,
@@ -16,6 +17,7 @@ from repro.harness import (
     spec_key,
 )
 from repro.harness.executor import _execute_spec, code_version
+from repro.sim import DeadlockError
 from repro.harness.experiments import default_config, run_micro
 from repro.workloads.micro import MicroSpec
 from repro.workloads.table2 import APPLICATIONS
@@ -96,6 +98,25 @@ class TestRecord:
         assert restored.storage_report().max_dir_bytes == \
             record.storage_report().max_dir_bytes
 
+    def test_accumulator_tails_survive_the_cache(self, tmp_path):
+        """Regression: records carrying accumulator stats used to come
+        back from the cache without total/min/max (``as_dict`` dropped
+        them), so cached and fresh records compared unequal."""
+        from repro.sim import StatRegistry
+        stats = StatRegistry()
+        acc = stats.accumulator("net.latency")
+        for value in (40.0, 10.0, 70.0):
+            acc.add(value)
+        record = _execute_spec(micro_spec())
+        record.stats.update(stats.as_dict())
+        restored = type(record).from_dict(
+            json.loads(json.dumps(record.to_dict())), cached=True
+        )
+        assert restored.stats == record.stats
+        assert restored.stat("net.latency.total") == 120.0
+        assert restored.stat("net.latency.min") == 10.0
+        assert restored.stat("net.latency.max") == 70.0
+
 
 class TestCache:
     def test_second_map_is_all_hits(self, tmp_path):
@@ -159,6 +180,85 @@ class TestParallel:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError):
             Executor(jobs=0)
+
+
+class TestDuplicateSpecs:
+    """Regression: identical specs in one sweep used to be simulated N times
+    (and, under a pool, raced each other into the cache)."""
+
+    def test_duplicates_simulate_once_and_fan_out(self, tmp_path, monkeypatch):
+        import repro.harness.executor as executor_module
+        calls = []
+        real = executor_module._execute_spec
+
+        def counting(spec, trace_dir=None):
+            calls.append(spec)
+            return real(spec, trace_dir)
+
+        monkeypatch.setattr(executor_module, "_execute_spec", counting)
+        ex = Executor(cache_dir=tmp_path)
+        records = ex.map([micro_spec()] * 3)
+        assert len(calls) == 1
+        assert (ex.hits, ex.misses) == (2, 1)
+        assert len(records) == 3
+        assert len({id(r) for r in records}) == 1   # same record fanned out
+        assert [sim_dict(r) for r in records[1:]] == [sim_dict(records[0])] * 2
+
+    def test_mixed_duplicates_preserve_order(self, tmp_path):
+        ex = Executor(cache_dir=tmp_path)
+        records = ex.map([micro_spec("cord"), micro_spec("so"),
+                          micro_spec("cord")])
+        assert [r.protocol for r in records] == ["cord", "so", "cord"]
+        assert (ex.hits, ex.misses) == (1, 2)
+        assert sim_dict(records[0]) == sim_dict(records[2])
+
+
+def livelock_spec(protocol="so", **overrides):
+    """A spec guaranteed to exhaust its event budget (DeadlockError)."""
+    overrides.setdefault("max_events", 10)
+    return micro_spec(protocol, **overrides)
+
+
+class TestSweepFailure:
+    """Regression: one failing run used to abort the whole sweep with a bare
+    worker exception and discard every completed sibling's record."""
+
+    def test_inline_failure_names_spec_and_keeps_completed(self, tmp_path):
+        good, bad = micro_spec("cord"), livelock_spec()
+        ex = Executor(cache_dir=tmp_path)
+        with pytest.raises(SweepError) as excinfo:
+            ex.map([good, bad])
+        assert "protocol='so'" in str(excinfo.value)
+        assert "micro.g64" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, DeadlockError)
+        assert excinfo.value.spec == bad
+        # The completed run was cached before the raise.
+        fresh = Executor(cache_dir=tmp_path)
+        record = fresh.run(good)
+        assert record.cached and (fresh.hits, fresh.misses) == (1, 0)
+
+    def test_pool_failure_keeps_every_completed_record(self, tmp_path):
+        good = [micro_spec("cord"), micro_spec("mp")]
+        ex = Executor(jobs=2, cache_dir=tmp_path)
+        with pytest.raises(SweepError) as excinfo:
+            ex.map([good[0], livelock_spec(), good[1]])
+        assert isinstance(excinfo.value.__cause__, DeadlockError)
+        fresh = Executor(cache_dir=tmp_path)
+        fresh.map(good)
+        assert (fresh.hits, fresh.misses) == (2, 0)
+
+    def test_sweep_error_survives_pickling(self):
+        import pickle
+        bad = livelock_spec()
+        try:
+            Executor().run(bad)
+        except SweepError as error:
+            restored = pickle.loads(pickle.dumps(error))
+        else:
+            pytest.fail("livelock spec did not raise")
+        assert restored.spec == bad
+        assert isinstance(restored.__cause__, DeadlockError)
+        assert "protocol='so'" in str(restored)
 
 
 @pytest.mark.slow

@@ -98,6 +98,28 @@ class TestViews:
         assert flattened["a.count"] == 1
         assert flattened["a.mean"] == 3
 
+    def test_as_dict_exports_accumulator_tails(self):
+        """Regression: ``as_dict`` used to export only count/mean, so
+        cached records silently lost an accumulator's total/min/max."""
+        stats = StatRegistry()
+        acc = stats.accumulator("lat")
+        for value in (4.0, 1.0, 7.0):
+            acc.add(value)
+        flattened = stats.as_dict()
+        assert flattened["lat.count"] == 3
+        assert flattened["lat.total"] == 12.0
+        assert flattened["lat.mean"] == 4.0
+        assert flattened["lat.min"] == 1.0
+        assert flattened["lat.max"] == 7.0
+
+    def test_as_dict_empty_accumulator_tails_are_zero(self):
+        stats = StatRegistry()
+        stats.accumulator("lat")
+        flattened = stats.as_dict()
+        assert flattened["lat.min"] == 0.0
+        assert flattened["lat.max"] == 0.0
+        assert flattened["lat.total"] == 0.0
+
     def test_grouped_by_head(self):
         stats = StatRegistry()
         stats.counter("traffic.ctrl").add(1)

@@ -20,12 +20,16 @@ from repro.faults import (
     DedupFilter,
     DropSpec,
     DuplicateSpec,
+    FaultInjector,
     FaultPlan,
     FlapSpec,
     StallSpec,
     fault_presets,
     parse_faults,
 )
+from repro.interconnect.message import Message, NodeId
+from repro.interconnect.network import Network
+from repro.sim import Simulator, StatRegistry
 from repro.harness import RunSpec
 from repro.harness.executor import _execute_spec
 from repro.harness.experiments import default_config
@@ -175,6 +179,66 @@ class TestDuplicateTolerance:
         baseline = _execute_spec(_spec())
         assert record.stat("faults.duplicate") > 0
         assert record.inter_host_bytes > baseline.inter_host_bytes
+
+
+def _fabric(plan, trace=None):
+    """A two-host network with ``plan`` injected, one registered endpoint."""
+    sim, stats = Simulator(), StatRegistry()
+    config = default_config(CXL, hosts=2, cores_per_host=1)
+    injector = FaultInjector(plan, sim, stats, trace=trace)
+    network = Network(sim, config, stats, trace=trace, faults=injector)
+    src = NodeId.core(0, 0)
+    dst = NodeId.directory(1, 1)
+    network.register(dst, lambda message: None)
+    return network, src, dst
+
+
+def _cross_msg(src, dst, size=640):
+    return Message(src=src, dst=dst, msg_type="wt_rlx", size_bytes=size,
+                   control=False)
+
+
+# ---------------------------------------------------------------------------
+# Fault-induced waits on the fabric: accounting regressions
+# ---------------------------------------------------------------------------
+class TestFaultWaitAccounting:
+    def test_duplicates_occupy_the_egress_port(self):
+        """Regression: a duplicate must serialize through the source's
+        egress port like the original — it used to charge bytes without
+        ever occupying the port, so dup-heavy runs inflated byte counters
+        without inducing any contention."""
+        plan = FaultPlan(duplicate=DuplicateSpec(rate=1.0, delay_ns=5.0))
+        network, src, dst = _fabric(plan)
+        ser = network.config.interconnect.serialization_ns(640)
+        latency = network.topology.latency_ns(src, dst)
+        network.send(_cross_msg(src, dst))
+        second = network.send(_cross_msg(src, dst))
+        # The second send queues behind the original AND its duplicate.
+        assert second == pytest.approx(3 * ser + latency)
+
+    def test_flap_wait_split_from_egress_queue(self):
+        """Regression: a fault-delayed departure used to be traced entirely
+        as an ``egress_queue`` contention span; only the port-busy portion
+        is contention — the remainder is ``fault.link_down``."""
+        from repro.trace import TraceCollector
+        trace = TraceCollector()
+        plan = FaultPlan(flaps=(
+            # Down windows [0, 100) and [105, 400) on the source's link.
+            FlapSpec(period_ns=1e6, down_ns=100.0),
+            FlapSpec(period_ns=1e6, down_ns=295.0, offset_ns=105.0),
+        ))
+        network, src, dst = _fabric(plan, trace=trace)
+        network.send(_cross_msg(src, dst))   # departs at 100, frees at 110
+        network.send(_cross_msg(src, dst))   # queued to 110, flapped to 400
+        spans = [(e.name, e.ts_ns, e.ts_ns + e.dur_ns)
+                 for e in trace if e.kind == "stall"]
+        # First send: uncontended — its whole wait is the down window.
+        assert ("fault.link_down", 0.0, 100.0) in spans
+        # Second send: split — port-busy until 110, link-down 110 -> 400.
+        assert ("egress_queue", 0.0, 110.0) in spans
+        assert ("fault.link_down", 110.0, 400.0) in spans
+        assert not any(name == "egress_queue" and end > 110.0
+                       for name, _start, end in spans)
 
 
 # ---------------------------------------------------------------------------

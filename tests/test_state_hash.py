@@ -1,0 +1,87 @@
+"""Pinned final-state hashes for a fixed basket of runs.
+
+The engine hot path (topology lookups, stat accounting, message plumbing)
+is performance-tuned under a strict no-behavior-change contract: every
+optimization must leave simulation results *byte-identical*.  This module
+enforces that contract by pinning the ``final_state_hash`` — a SHA-256
+over final register values, timings and the full stats dict — of a basket
+spanning all five protocols on the Fig. 2 CXL application point, with and
+without fault injection.
+
+If a hash changes, either the change was an intended semantic fix (then
+regenerate: ``REPRO_UPDATE_HASHES=1 pytest tests/test_state_hash.py`` and
+commit the JSON alongside an explanation) or the "optimization" altered
+behavior and must be fixed.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import CXL
+from repro.faults import DropSpec, DuplicateSpec, FaultPlan, FlapSpec
+from repro.harness import RunSpec
+from repro.harness.executor import _execute_spec
+from repro.harness.experiments import default_config
+from repro.workloads.table2 import APPLICATIONS
+
+EXPECTED_PATH = Path(__file__).parent / "data" / "state_hash_basket.json"
+
+#: The five statically-registered protocols (seq<k> is excluded: monolithic
+#: sequence numbers make the CR app exceed any reasonable event budget).
+PROTOCOLS = ("so", "cord", "cord-nonotify", "mp", "wb")
+
+#: Deterministic adversity: drops, duplicates and a periodic link flap.
+FAULTS = FaultPlan(
+    drop=DropSpec(rate=0.05),
+    duplicate=DuplicateSpec(rate=0.05),
+    flaps=(FlapSpec(period_ns=50_000.0, down_ns=500.0),),
+)
+
+BASKET = [
+    (f"{protocol}{'+faults' if faults else ''}",
+     RunSpec(kind="app", protocol=protocol, workload=APPLICATIONS["CR"],
+             config=default_config(CXL), seed=0, faults=faults,
+             experiment="hash-basket"))
+    for protocol in PROTOCOLS
+    for faults in (None, FAULTS)
+]
+
+
+def _expected() -> dict:
+    if not EXPECTED_PATH.exists():
+        pytest.fail(
+            f"{EXPECTED_PATH} missing; regenerate with "
+            "REPRO_UPDATE_HASHES=1 pytest tests/test_state_hash.py"
+        )
+    return json.loads(EXPECTED_PATH.read_text())
+
+
+class TestStateHashBasket:
+    def test_basket_covers_every_protocol_twice(self):
+        if os.environ.get("REPRO_UPDATE_HASHES"):
+            pytest.skip("regenerating expected hashes")
+        labels = [label for label, _spec in BASKET]
+        assert len(labels) == len(set(labels)) == 2 * len(PROTOCOLS)
+        assert set(_expected()) == set(labels)
+
+    @pytest.mark.parametrize(
+        "label,spec", BASKET, ids=[label for label, _spec in BASKET]
+    )
+    def test_final_state_hash_is_pinned(self, label, spec):
+        record = _execute_spec(spec)
+        if os.environ.get("REPRO_UPDATE_HASHES"):
+            data = (json.loads(EXPECTED_PATH.read_text())
+                    if EXPECTED_PATH.exists() else {})
+            data[label] = record.final_state_hash
+            EXPECTED_PATH.parent.mkdir(parents=True, exist_ok=True)
+            EXPECTED_PATH.write_text(
+                json.dumps(dict(sorted(data.items())), indent=2) + "\n"
+            )
+            return
+        assert record.final_state_hash == _expected()[label], (
+            f"final_state_hash drifted for {label}; if this change is an "
+            "intended semantic fix, regenerate with REPRO_UPDATE_HASHES=1"
+        )
