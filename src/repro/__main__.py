@@ -12,6 +12,8 @@ Usage::
     python -m repro fig13           # TSO mode
     python -m repro table3          # area/power
     python -m repro litmus          # full model-checking sweep (§4.5)
+    python -m repro modelcheck      # same sweep via the executor: cached,
+                                    # parallel (--jobs), per-case verdicts
     python -m repro breakdown CR    # per-message-type traffic for one app
     python -m repro energy CR       # §5.4 energy comparison for one app
     python -m repro resilience      # time/traffic under injected faults
@@ -44,6 +46,13 @@ Bench options (``bench`` only; see ``repro.harness.bench``):
                       counts as regressed vs BENCH_engine.json (default 0.25)
     --out PATH        output path (default: BENCH_engine.json)
     --strict          exit 1 when a point regressed beyond the threshold
+
+Modelcheck options (``modelcheck`` only; see ``repro.harness.modelcheck``):
+
+    SUITE             quick | classic | custom | full (default: full)
+    --max-states N    per-case exploration budget (default: 500000)
+    --no-por          disable the partial-order reduction
+    plus --jobs/--cache-dir/--no-cache/--run-log as above
 """
 
 from __future__ import annotations
@@ -202,6 +211,12 @@ def main(argv=None) -> int:
         # cache, and its own flags (--quick/--repeats/--threshold/...).
         from repro.harness.bench import run_bench_cli
         return run_bench_cli(args[1:])
+
+    if args[0] == "modelcheck":
+        # Suite-wide model checking has its own flags (SUITE/--max-states/
+        # --no-por) interleaved with the executor ones; it parses both.
+        from repro.harness.modelcheck import run_modelcheck_cli
+        return run_modelcheck_cli(args[1:])
 
     args, executor = _parse_executor_flags(args)
     if args is None or executor is None:

@@ -50,6 +50,19 @@ class CordDirectoryState:
         self.releases_committed = 0
         self.notifications_sent = 0
 
+    def clone(self) -> "CordDirectoryState":
+        """An independent copy (``config`` is shared, tables are cloned)."""
+        new = CordDirectoryState.__new__(CordDirectoryState)
+        new.directory = self.directory
+        new.config = self.config
+        new.store_counters = self.store_counters.clone()
+        new.notification_counters = self.notification_counters.clone()
+        new.largest_committed = dict(self.largest_committed)
+        new.relaxed_committed = self.relaxed_committed
+        new.releases_committed = self.releases_committed
+        new.notifications_sent = self.notifications_sent
+        return new
+
     # ------------------------------------------------------------------
     # Alg. 2 lines 18-20: Relaxed stores commit immediately.
     # ------------------------------------------------------------------

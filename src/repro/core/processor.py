@@ -80,6 +80,25 @@ class CordProcessorState:
         #: only watches, it never feeds back.
         self.on_transition = None
 
+    def clone(self) -> "CordProcessorState":
+        """An independent copy of the protocol state.
+
+        ``config`` is shared (immutable provisioning) and ``on_transition``
+        is not carried over: clones are made by the model checker, which
+        never traces, and a cloned observer would double-report.
+        """
+        new = CordProcessorState.__new__(CordProcessorState)
+        new.proc = self.proc
+        new.config = self.config
+        new.epoch = self.epoch.clone()
+        new.store_counters = self.store_counters.clone()
+        new.unacked = self.unacked.clone()
+        new.relaxed_issued = self.relaxed_issued
+        new.releases_issued = self.releases_issued
+        new.stalls = dict(self.stalls)
+        new.on_transition = None
+        return new
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

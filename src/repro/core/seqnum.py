@@ -72,3 +72,6 @@ class SequenceSpace:
     def at_max(self) -> bool:
         """True when the wire form is at its maximum (next increment wraps)."""
         return self.wire() == self.modulus - 1
+
+    def clone(self) -> "SequenceSpace":
+        return SequenceSpace(self.bits, self.value)

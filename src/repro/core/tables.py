@@ -69,6 +69,19 @@ class BoundedTable(Generic[K, V]):
     def keys(self):
         return self._entries.keys()
 
+    def clone(self) -> "BoundedTable[K, V]":
+        """An independent copy (entries, peak/insertion accounting).
+
+        Used by the model checker's incremental state cloning: entry keys
+        and values are assumed immutable (ints, tuples of ints), so only
+        the entry mapping itself is copied.
+        """
+        new = BoundedTable(self.name, self.capacity, self.entry_bytes)
+        new._entries = dict(self._entries)
+        new.peak_occupancy = self.peak_occupancy
+        new.insertions = self.insertions
+        return new
+
     @property
     def peak_bytes(self) -> int:
         """Peak occupied storage, the quantity Fig. 11 reports."""
@@ -119,6 +132,17 @@ class PartitionedTable(Generic[K, V]):
 
     def remove(self, proc: int, key: K) -> Optional[V]:
         return self.partition(proc).remove(key)
+
+    def clone(self) -> "PartitionedTable[K, V]":
+        """An independent copy with every partition cloned."""
+        new = PartitionedTable.__new__(PartitionedTable)
+        new.name = self.name
+        new.entries_per_proc = self.entries_per_proc
+        new.entry_bytes = self.entry_bytes
+        new._partitions = {
+            proc: table.clone() for proc, table in self._partitions.items()
+        }
+        return new
 
     @property
     def peak_bytes(self) -> int:

@@ -110,6 +110,25 @@ def _fig2_runner(quick: bool) -> Callable[[], Tuple[int, float]]:
     return run
 
 
+def _modelcheck_runner(quick: bool) -> Callable[[], Tuple[int, float]]:
+    # The checker-scalability point: the ISA2 causality shape over every
+    # placement under CORD, explored from scratch.  Events are explored
+    # states (exploration is untimed, so simulated time is 0).
+    def run() -> Tuple[int, float]:
+        from repro.litmus.model_checker import ModelChecker
+        from repro.litmus.suite import classic_tests
+        tests = [t for t in classic_tests() if t.name.startswith("ISA2")]
+        if quick:
+            tests = tests[:2]
+        states = 0
+        for test in tests:
+            result = ModelChecker(test, protocol="cord").run()
+            states += result.states_explored
+        return states, 0.0
+
+    return run
+
+
 def _litmus_runner(quick: bool) -> Callable[[], Tuple[int, float]]:
     def run() -> Tuple[int, float]:
         from repro.litmus import run_timed
@@ -139,6 +158,7 @@ def bench_points(quick: bool = False) -> List[Tuple[str, Callable[[], Tuple[int,
         ("micro.kernel", _micro_runner(quick)),
         ("fig2.cxl", _fig2_runner(quick)),
         ("litmus.classic", _litmus_runner(quick)),
+        ("modelcheck", _modelcheck_runner(quick)),
     ]
 
 

@@ -40,10 +40,12 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import enum
 import hashlib
 import itertools
 import json
 import os
+import sys
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -62,6 +64,7 @@ __all__ = [
     "Executor",
     "SweepError",
     "spec_key",
+    "register_spec_type",
     "code_version",
     "default_cache_dir",
     "default_executor",
@@ -154,6 +157,11 @@ _OBSERVATIONAL_FIELDS = ("max_events", "experiment", "trace")
 
 def _canonical(obj: Any) -> Any:
     """JSON-serializable canonical form (dataclasses tagged by class name)."""
+    if isinstance(obj, enum.Enum):
+        # Enums (e.g. Ordering inside a LitmusTest program) canonicalize
+        # by class and member name; must precede the int/str scalar cases
+        # (IntEnum-style members are ints).
+        return {"__enum__": type(obj).__name__, "name": obj.name}
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         out: Dict[str, Any] = {"__class__": type(obj).__name__}
         for f in dataclasses.fields(obj):
@@ -171,7 +179,7 @@ def _canonical(obj: Any) -> Any:
     raise TypeError(f"cannot canonicalize {type(obj).__name__} for hashing")
 
 
-def _canonical_json(spec: RunSpec) -> str:
+def _canonical_json(spec: Any) -> str:
     return json.dumps(_canonical(spec), sort_keys=True,
                       separators=(",", ":"))
 
@@ -197,11 +205,56 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
-def spec_key(spec: RunSpec, version: Optional[str] = None) -> str:
-    """Content-addressed cache key of one run."""
+def spec_key(spec: Any, version: Optional[str] = None) -> str:
+    """Content-addressed cache key of one run (any registered spec type)."""
     version = version if version is not None else code_version()
     payload = f"{version}\n{_canonical_json(spec)}"
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Spec-type extensions
+# ---------------------------------------------------------------------------
+#: Spec class -> top-level (picklable) worker ``fn(spec, trace_dir) ->
+#: record``.  :class:`RunSpec` is pre-registered below; other harness
+#: modules (e.g. :mod:`repro.harness.modelcheck`) register theirs on import.
+_SPEC_WORKERS: Dict[type, Any] = {}
+#: Record ``kind`` tag -> deserializer ``fn(data, cached) -> record`` used
+#: when loading cache entries (each record's ``kind`` field picks its class).
+_RECORD_LOADERS: Dict[str, Any] = {}
+
+
+def register_spec_type(spec_cls: type, worker: Any, record_kinds: Sequence[str],
+                       record_loader: Any) -> None:
+    """Teach the executor a new spec type.
+
+    ``worker`` must be a module-level function (pickled into pool
+    workers) taking ``(spec, trace_dir)``; ``record_loader`` rebuilds the
+    record from its cached dict form for each ``kind`` tag in
+    ``record_kinds``.  Records must carry the ``_log`` fields
+    (``experiment``/``spec_key``/``kind``/``protocol``/``workload``/
+    ``time_ns``/``quiesce_ns``/``wall_time_s``/``events``/``stats``/
+    ``cached``/``trace_path`` plus ``stat()`` and ``inter_host_bytes``)
+    and specs the :class:`SweepError` ones (``protocol``/
+    ``workload_label``/``kind``).
+    """
+    _SPEC_WORKERS[spec_cls] = worker
+    for kind in record_kinds:
+        _RECORD_LOADERS[kind] = record_loader
+
+
+def _worker_for(spec: Any) -> Any:
+    worker = _SPEC_WORKERS.get(type(spec))
+    if worker is None:
+        raise TypeError(
+            f"no executor worker registered for spec type "
+            f"{type(spec).__name__}"
+        )
+    # Resolve through the defining module at call time so monkeypatching
+    # the module-level function (e.g. ``executor._execute_spec``) still
+    # intercepts dispatch, as it did before the registry existed.
+    module = sys.modules.get(getattr(worker, "__module__", ""))
+    return getattr(module, worker.__name__, worker) if module else worker
 
 
 # ---------------------------------------------------------------------------
@@ -383,6 +436,10 @@ def _execute_spec(spec: RunSpec,
     )
 
 
+register_spec_type(RunSpec, _execute_spec, sorted(_BUILDERS),
+                   RunRecord.from_dict)
+
+
 class SweepError(SimulationError):
     """A sweep run failed; names the failing spec so failures are diagnosable.
 
@@ -394,7 +451,7 @@ class SweepError(SimulationError):
     repaired re-sweep only re-simulates from the failure onward.
     """
 
-    def __init__(self, spec: RunSpec, key: str, error: BaseException) -> None:
+    def __init__(self, spec: Any, key: str, error: BaseException) -> None:
         super().__init__(
             f"sweep run failed: protocol={spec.protocol!r} "
             f"workload={spec.workload_label!r} kind={spec.kind!r} "
@@ -475,7 +532,7 @@ class Executor:
             return None
         return self.cache_dir / key[:2] / f"{key}.json"
 
-    def _cache_load(self, key: str) -> Optional[RunRecord]:
+    def _cache_load(self, key: str) -> Optional[Any]:
         path = self._cache_path(key)
         if path is None or not path.exists():
             return None
@@ -483,9 +540,10 @@ class Executor:
             data = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
-        return RunRecord.from_dict(data, cached=True)
+        loader = _RECORD_LOADERS.get(data.get("kind"), RunRecord.from_dict)
+        return loader(data, cached=True)
 
-    def _cache_store(self, record: RunRecord) -> None:
+    def _cache_store(self, record: Any) -> None:
         path = self._cache_path(record.spec_key)
         if path is None:
             return
@@ -506,7 +564,7 @@ class Executor:
                 tmp.unlink()
 
     # -- run log -------------------------------------------------------
-    def _log(self, record: RunRecord) -> None:
+    def _log(self, record: Any) -> None:
         if self.run_log is None:
             return
         inter_host_msgs = sum(
@@ -535,12 +593,16 @@ class Executor:
             handle.write(json.dumps(line) + "\n")
 
     # -- execution -----------------------------------------------------
-    def run(self, spec: RunSpec) -> RunRecord:
+    def run(self, spec: Any) -> Any:
         """Execute (or recall) a single run."""
         return self.map([spec])[0]
 
-    def map(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+    def map(self, specs: Sequence[Any]) -> List[Any]:
         """Execute ``specs``, returning records in spec order.
+
+        Accepts any registered spec type (:class:`RunSpec` simulations,
+        :class:`repro.harness.modelcheck.CheckSpec` model-checker runs);
+        the trace/fault rewrites below apply only to simulation specs.
 
         Cache hits are recalled without simulating; misses run across the
         worker pool (``jobs > 1``) or inline.  Identical specs (same cache
@@ -556,17 +618,18 @@ class Executor:
         """
         if self.trace_dir is not None:
             specs = [
-                spec if spec.trace else replace(spec, trace=True)
+                spec if not isinstance(spec, RunSpec) or spec.trace
+                else replace(spec, trace=True)
                 for spec in specs
             ]
         if self.faults is not None:
             specs = [
-                spec if spec.faults is not None
+                spec if not isinstance(spec, RunSpec) or spec.faults is not None
                 else replace(spec, faults=self.faults)
                 for spec in specs
             ]
         version = code_version()
-        records: List[Optional[RunRecord]] = [None] * len(specs)
+        records: List[Optional[Any]] = [None] * len(specs)
         # Unique cache key -> every spec index that wants its record, so
         # duplicate specs in one sweep are simulated exactly once (and
         # never race each other into the cache).
@@ -599,7 +662,7 @@ class Executor:
             self._log(record)
         return records  # type: ignore[return-value]
 
-    def _execute_many(self, specs: List[RunSpec]) -> List[RunRecord]:
+    def _execute_many(self, specs: List[Any]) -> List[Any]:
         """Simulate ``specs`` (all cache misses), returning records in order.
 
         If any run fails, the completed records are cached before the
@@ -608,10 +671,10 @@ class Executor:
         """
         trace_dir = str(self.trace_dir) if self.trace_dir else None
         if self.jobs == 1 or len(specs) == 1:
-            records: List[RunRecord] = []
+            records: List[Any] = []
             for spec in specs:
                 try:
-                    records.append(_execute_spec(spec, trace_dir))
+                    records.append(_worker_for(spec)(spec, trace_dir))
                 except Exception as error:
                     for record in records:
                         self._cache_store(record)
@@ -619,13 +682,14 @@ class Executor:
             return records
         from concurrent.futures import ProcessPoolExecutor
         workers = min(self.jobs, len(specs))
-        results: List[Optional[RunRecord]] = [None] * len(specs)
+        results: List[Optional[Any]] = [None] * len(specs)
         failure: Optional[SweepError] = None
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # Per-spec futures (not pool.map): one failing run must not
             # discard every other run's completed record.
             futures = [
-                pool.submit(_execute_spec, spec, trace_dir) for spec in specs
+                pool.submit(_worker_for(spec), spec, trace_dir)
+                for spec in specs
             ]
             for index, (spec, future) in enumerate(zip(specs, futures)):
                 try:

@@ -1,0 +1,346 @@
+"""Suite-wide model checking through the harness executor (§4.5).
+
+Each litmus case is an independent, deterministic unit of work, so suite
+sweeps get the same infrastructure as the figure experiments:
+
+* :class:`CheckSpec` — a frozen, picklable description of one checker run
+  (litmus test x protocol x CORD provisioning x exploration options),
+  registered with :mod:`repro.harness.executor` so ``Executor.map``
+  content-addresses, caches and parallelizes it exactly like a
+  :class:`~repro.harness.executor.RunSpec`.
+* :class:`CheckRecord` — the serializable verdict of one checker run:
+  pass/fail, outcome sets, forbidden outcomes reached, RC-violation and
+  deadlock counts, the first-deadlock witness and the exploration stats
+  (states/sec, visited-set hit rate, peak frontier).
+* ``python -m repro modelcheck`` — the CLI sweep over the curated/classic/
+  custom/full suites with ``--jobs`` fan-out and cache reuse
+  (:func:`run_modelcheck_cli`).
+
+The cache key includes the repo-wide code version, so editing the model
+checker or any protocol state machine invalidates cached verdicts; an
+unchanged tree re-verifies the whole suite from cache in milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.config import CordConfig
+from repro.harness.executor import Executor, register_spec_type, spec_key
+from repro.litmus.dsl import LitmusTest
+from repro.litmus.suite import CaseSpec, classic_tests, custom_tests, full_suite
+from repro.sim.stats import StatRegistry
+
+__all__ = [
+    "CheckSpec",
+    "CheckRecord",
+    "suite_cases",
+    "make_specs",
+    "run_modelcheck_cli",
+]
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """One independent model-checker run: litmus test x configuration.
+
+    Mirrors :class:`repro.litmus.suite.CaseSpec` plus the exploration
+    options that change the verdict artifact (``max_states``) or the
+    search (``por``).  Frozen and picklable, so it crosses pool-worker
+    boundaries and canonicalizes for the content-addressed cache.
+    """
+
+    test: LitmusTest
+    protocol: str = "cord"
+    cord_config: Optional[CordConfig] = None
+    tso: bool = False
+    max_states: int = 500_000
+    por: bool = True
+    experiment: str = "modelcheck"
+    kind: str = "modelcheck"
+
+    @property
+    def workload_label(self) -> str:
+        """The suite-style case name (``ISA2.split@cord.tiny``)."""
+        suffix = f"@{self.protocol}"
+        if self.cord_config is not None:
+            suffix += ".tiny"
+        if self.tso:
+            suffix += ".tso"
+        return self.test.name + suffix
+
+
+@dataclass
+class CheckRecord:
+    """Serializable verdict of one completed checker run.
+
+    Carries the run-log fields the executor expects from any record
+    (``time_ns``/``quiesce_ns`` are 0 — exploration is untimed — and
+    ``events`` counts explored states), plus the checking verdict.
+    """
+
+    spec_key: str
+    experiment: str
+    kind: str
+    protocol: str
+    workload: str
+    passed: bool
+    complete: bool
+    states_explored: int
+    deadlocks: int
+    outcomes: List[Dict[str, int]]
+    forbidden_reached: List[Dict[str, int]]
+    rc_violations: List[str]
+    required_missing: List[Dict[str, int]]
+    stats: Dict[str, float]
+    wall_time_s: float
+    deadlock_witness: Optional[Dict[str, Any]] = None
+    time_ns: float = 0.0
+    quiesce_ns: float = 0.0
+    trace_path: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def events(self) -> int:
+        return self.states_explored
+
+    @property
+    def states_per_sec(self) -> float:
+        return self.stats.get("states_per_sec", 0.0)
+
+    # -- executor/run-log compatible accessors -------------------------
+    def stat(self, name: str) -> float:
+        return self.stats.get(name, 0.0)
+
+    @property
+    def inter_host_bytes(self) -> float:
+        return 0.0
+
+    def failure_lines(self) -> List[str]:
+        """Human-readable reasons this case failed (empty when passed)."""
+        lines: List[str] = []
+        if not self.complete:
+            lines.append(
+                f"incomplete: budget exhausted after "
+                f"{self.states_explored} states"
+            )
+        for outcome in self.forbidden_reached:
+            lines.append(f"forbidden outcome reached: {outcome}")
+        for violation in self.rc_violations:
+            lines.append(f"RC violation: {violation}")
+        for pattern in self.required_missing:
+            lines.append(f"required outcome unreachable: {pattern}")
+        if self.deadlocks:
+            lines.append(f"{self.deadlocks} deadlocked interleavings")
+            if self.deadlock_witness is not None:
+                from repro.litmus.model_checker import DeadlockWitness
+                witness = DeadlockWitness.from_dict(self.deadlock_witness)
+                lines.extend(str(witness).splitlines())
+        return lines
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data.pop("cached")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], cached: bool = False
+                  ) -> "CheckRecord":
+        return cls(cached=cached, **data)
+
+
+def _execute_check(spec: CheckSpec,
+                   trace_dir: Optional[str] = None) -> CheckRecord:
+    """Worker entry point: model-check one case, harvest the verdict.
+
+    ``trace_dir`` is part of the shared worker signature but unused —
+    exploration has no timed message trace.  Runs with ``partial=True``
+    so a budget-exhausted case records ``complete=False`` (and fails)
+    instead of aborting the rest of the sweep.
+    """
+    from repro.litmus.model_checker import ModelChecker
+
+    started = time.perf_counter()
+    checker = ModelChecker(
+        spec.test,
+        protocol=spec.protocol,
+        cord_config=spec.cord_config,
+        tso=spec.tso,
+        max_states=spec.max_states,
+        por=spec.por,
+        partial=True,
+        stats=StatRegistry(),
+    )
+    result = checker.run()
+    required_missing = [
+        pattern for pattern in spec.test.required
+        if not result.reaches(pattern)
+    ]
+    passed = result.passed and result.complete and not required_missing
+    return CheckRecord(
+        spec_key=spec_key(spec),
+        experiment=spec.experiment,
+        kind=spec.kind,
+        protocol=spec.protocol,
+        workload=spec.workload_label,
+        passed=passed,
+        complete=result.complete,
+        states_explored=result.states_explored,
+        deadlocks=result.deadlocks,
+        outcomes=result.outcomes,
+        forbidden_reached=result.forbidden_reached,
+        rc_violations=[str(v) for v in result.rc_violations],
+        required_missing=required_missing,
+        stats=dict(result.stats),
+        wall_time_s=time.perf_counter() - started,
+        deadlock_witness=(result.first_deadlock.to_dict()
+                          if result.first_deadlock is not None else None),
+    )
+
+
+register_spec_type(CheckSpec, _execute_check, ["modelcheck"],
+                   CheckRecord.from_dict)
+
+
+# ---------------------------------------------------------------------------
+# Suites
+# ---------------------------------------------------------------------------
+def suite_cases(suite: str) -> List[CaseSpec]:
+    """Named case sets for the CLI and CI.
+
+    ``quick`` is the curated smoke subset: the causality shapes (MP/ISA2)
+    under CORD and SO over every placement, plus SEQ-8 and
+    tiny-provisioning corners — the cases that cover every protocol path
+    while staying under a second even cold.
+    """
+    if suite == "classic":
+        return [CaseSpec(test=test, protocol=protocol)
+                for test in classic_tests() for protocol in ("cord", "so")]
+    if suite == "custom":
+        return custom_tests()
+    if suite == "full":
+        return full_suite()
+    if suite == "quick":
+        shapes = ("MP.", "ISA2.")
+        cases = [
+            CaseSpec(test=test, protocol=protocol)
+            for test in classic_tests()
+            if test.name.startswith(shapes)
+            for protocol in ("cord", "so")
+        ]
+        cases.extend(
+            CaseSpec(test=test, protocol="seq8")
+            for test in classic_tests()
+            if test.name.startswith(shapes) and test.name.endswith(".same")
+        )
+        cases.extend(
+            case for case in custom_tests()
+            if case.cord_config is not None
+            and case.test.name.startswith(shapes)
+        )
+        return cases
+    raise ValueError(
+        f"unknown suite {suite!r}; choose from classic, custom, full, quick"
+    )
+
+
+def make_specs(cases: List[CaseSpec], max_states: int = 500_000,
+               por: bool = True) -> List[CheckSpec]:
+    return [
+        CheckSpec(test=case.test, protocol=case.protocol,
+                  cord_config=case.cord_config, tso=case.tso,
+                  max_states=max_states, por=por)
+        for case in cases
+    ]
+
+
+# ---------------------------------------------------------------------------
+# CLI (python -m repro modelcheck)
+# ---------------------------------------------------------------------------
+def run_modelcheck_cli(argv: List[str]) -> int:
+    """``python -m repro modelcheck [SUITE] [options]``.
+
+    SUITE is ``quick``, ``classic``, ``custom`` or ``full`` (default).
+    Options: ``--max-states N``, ``--no-por``, and the executor flags
+    ``--jobs N``, ``--cache-dir PATH``, ``--no-cache``, ``--run-log PATH``.
+    Exit status 1 when any case fails.
+    """
+    from repro.harness.executor import default_cache_dir
+
+    suite = "full"
+    max_states = 500_000
+    por = True
+    jobs = 1
+    cache_dir: Optional[str] = str(default_cache_dir())
+    run_log: Optional[str] = None
+
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("--max-states", "--jobs", "--cache-dir", "--run-log"):
+            if index + 1 >= len(argv):
+                print(f"{arg} requires a value")
+                return 2
+            index += 1
+            value = argv[index]
+            if arg == "--cache-dir":
+                cache_dir = value
+            elif arg == "--run-log":
+                run_log = value
+            else:
+                try:
+                    number = int(value)
+                    if number < 1:
+                        raise ValueError
+                except ValueError:
+                    print(f"{arg} expects a positive integer, got {value!r}")
+                    return 2
+                if arg == "--max-states":
+                    max_states = number
+                else:
+                    jobs = number
+        elif arg == "--no-por":
+            por = False
+        elif arg == "--no-cache":
+            cache_dir = None
+        elif arg.startswith("-"):
+            print(f"unknown modelcheck option {arg!r}; supported: SUITE "
+                  "--max-states N --no-por --jobs N --cache-dir PATH "
+                  "--no-cache --run-log PATH")
+            return 2
+        else:
+            suite = arg
+        index += 1
+
+    try:
+        cases = suite_cases(suite)
+    except ValueError as err:
+        print(err)
+        return 2
+    specs = make_specs(cases, max_states=max_states, por=por)
+    executor = Executor(jobs=jobs, cache_dir=cache_dir, run_log=run_log)
+    started = time.perf_counter()
+    records = executor.map(specs)
+    wall = time.perf_counter() - started
+
+    failed = [r for r in records if not r.passed]
+    for record in failed:
+        print(f"FAILED {record.workload}")
+        for line in record.failure_lines():
+            print(f"  {line}")
+
+    states = sum(r.states_explored for r in records)
+    explored_wall = sum(r.stats.get("wall_s", 0.0)
+                        for r in records if not r.cached)
+    rate = states / explored_wall if explored_wall > 0 else 0.0
+    status = "ALL PASSED" if not failed else f"{len(failed)} FAILED"
+    print(f"modelcheck[{suite}]: {len(records)} cases, {states} states "
+          f"explored, {executor.hits} cached / {executor.misses} run "
+          f"in {wall:.2f}s"
+          + (f" ({rate:,.0f} states/s explored)" if rate else "")
+          + f" — {status}")
+    return 1 if failed else 0

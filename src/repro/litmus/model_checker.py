@@ -21,18 +21,47 @@ are additionally FIFO per source-destination pair — which is precisely the
 modelling difference that lets the checker exhibit MP's ISA2
 release-consistency violation (§3.2) while proving CORD safe.
 
+FIFO classes
+------------
+Each in-flight :class:`_Msg` carries an optional ``fifo_class`` tag: two
+messages in the same class deliver in send (``seq``) order, everything else
+is adversarial.  Three schemes are in play:
+
+* ``("addr", core, addr)`` — per-location coherence for SO-, SEQ- and
+  CORD-issued stores and atomics: one core's conflicting writes to one
+  address never race each other.
+* ``(core, dst_dir)`` — MP's posted-write channel: FIFO per
+  source-destination pair (the point-to-point ordering of §3.2).
+* ``None`` — unordered: acks, notifications, atomic responses and
+  address-less barrier Releases.
+
+The ``"addr"`` head tag keeps the per-address 3-tuples disjoint from MP's
+2-tuple pairs, so mixed-protocol tests cannot alias the two schemes.
+
+Performance
+-----------
+Exploration scales with transitions, so successor construction is
+incremental: :meth:`_State.clone` shallow-copies the container lists and
+clones a core/directory/value map only when a transition actually mutates
+it (copy-on-write via the ``mutable_*`` accessors), untouched components
+stay shared between states.  Visited-set keys memoize each component's
+frozen form on the component itself (``_frozen_memo``) — valid because
+every mutation path goes through clone-on-write, which starts from a fresh,
+memo-less copy.  A sound partial-order reduction (see
+:meth:`ModelChecker._reduce`) collapses the interleavings of commuting
+deliveries (acks, notifications, atomic responses).
+
 For every reachable final state the checker records the register outcome and
 one representative execution history, validates the history with the
 axiomatic RC checker, and reports deadlocks (unfinished programs with no
-enabled transition).
+enabled transition) along with a witness of the first deadlocked state.
 """
 
 from __future__ import annotations
 
-import copy
-import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.config import CordConfig, SystemConfig
 from repro.consistency.checker import Violation, check_rc
@@ -43,12 +72,44 @@ from repro.core.messages import NotifyMeta, ReleaseMeta, RelaxedMeta, ReqNotifyM
 from repro.core.processor import CordProcessorState
 from repro.litmus.dsl import LitmusTest
 from repro.memory.address import AddressMap
+from repro.sim.stats import StatRegistry
 
-__all__ = ["ModelChecker", "CheckResult", "FinalState", "ModelCheckError"]
+__all__ = [
+    "ModelChecker",
+    "CheckResult",
+    "FinalState",
+    "DeadlockWitness",
+    "ModelCheckError",
+]
 
 
 class ModelCheckError(RuntimeError):
-    """Raised when exploration exceeds its configured bounds."""
+    """Raised when exploration exceeds its configured bounds.
+
+    The work completed before the budget ran out is not discarded:
+    ``partial_result`` holds a :class:`CheckResult` with
+    ``complete=False`` covering everything explored so far, and
+    ``states_explored``/``finals``/``deadlocks`` mirror its fields for
+    convenience.  (Construct the checker with ``partial=True`` to receive
+    that partial result as a return value instead of an exception.)
+    """
+
+    def __init__(self, message: str,
+                 partial_result: Optional["CheckResult"] = None) -> None:
+        super().__init__(message)
+        self.partial_result = partial_result
+
+    @property
+    def states_explored(self) -> int:
+        return self.partial_result.states_explored if self.partial_result else 0
+
+    @property
+    def finals(self) -> List["FinalState"]:
+        return self.partial_result.finals if self.partial_result else []
+
+    @property
+    def deadlocks(self) -> int:
+        return self.partial_result.deadlocks if self.partial_result else 0
 
 
 # ---------------------------------------------------------------------------
@@ -61,7 +122,18 @@ class _Msg:
     dst_dir: Optional[int]
     dst_core: Optional[int]
     fields: Dict[str, Any]
-    fifo_class: Optional[Tuple[int, int]] = None  # (src core, dst dir) for MP
+    #: FIFO-ordering class (see the module docstring): ``("addr", core,
+    #: addr)`` for per-location coherence, ``(core, dst_dir)`` for MP's
+    #: posted-write pairs, ``None`` for unordered messages.
+    fifo_class: Optional[Tuple[Any, ...]] = None
+    #: Memoized frozen form of ``fields`` — messages are immutable once
+    #: sent, so the form is computed at most once per message.
+    _frozen: Optional[Tuple] = field(default=None, repr=False, compare=False)
+
+    def frozen_fields(self) -> Tuple:
+        if self._frozen is None:
+            self._frozen = _freeze(self.fields)
+        return self._frozen
 
 
 @dataclass
@@ -75,9 +147,33 @@ class _CoreState:
     seq_next: int = 0            # SEQ-k: next sequence number to assign
     seq_outstanding: int = 0     # SEQ-k: stores not yet committed
 
+    def clone(self) -> "_CoreState":
+        return _CoreState(
+            pc=self.pc,
+            regs=dict(self.regs),
+            cord=self.cord.clone() if self.cord is not None else None,
+            so_outstanding=self.so_outstanding,
+            fence_issued=self.fence_issued,
+            blocked=self.blocked,
+            seq_next=self.seq_next,
+            seq_outstanding=self.seq_outstanding,
+        )
+
 
 @dataclass
 class _State:
+    """One explored interleaving point.
+
+    Cloning is copy-on-write: :meth:`clone` shallow-copies the component
+    lists, and a transition that mutates core ``i`` / directory ``d`` /
+    value map ``d`` must first take it via :meth:`mutable_core` /
+    :meth:`mutable_dir` / :meth:`mutable_values`, which clones the
+    component once per state.  Read paths (:meth:`ModelChecker._enabled`,
+    key construction) use the plain lists.  ``events``, ``seq_committed``
+    and ``network`` are copied eagerly — they are flat containers of
+    immutable entries, so a list/dict copy suffices.
+    """
+
     cores: List[_CoreState]
     dirs: List[CordDirectoryState]
     values: List[Dict[int, int]]     # per directory
@@ -86,9 +182,67 @@ class _State:
     events: List[Tuple] = field(default_factory=list)  # history log
     # SEQ-k: committed-store watermark per (directory, core).
     seq_committed: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    # Components this state owns (already cloned since the last clone()).
+    _owned_cores: Set[int] = field(default_factory=set, repr=False)
+    _owned_dirs: Set[int] = field(default_factory=set, repr=False)
+    _owned_values: Set[int] = field(default_factory=set, repr=False)
 
     def clone(self) -> "_State":
-        return copy.deepcopy(self)
+        return _State(
+            cores=list(self.cores),
+            dirs=list(self.dirs),
+            values=list(self.values),
+            network=list(self.network),
+            next_seq=self.next_seq,
+            events=list(self.events),
+            seq_committed=dict(self.seq_committed),
+        )
+
+    def mutable_core(self, index: int) -> _CoreState:
+        if index not in self._owned_cores:
+            self.cores[index] = self.cores[index].clone()
+            self._owned_cores.add(index)
+        return self.cores[index]
+
+    def mutable_dir(self, index: int) -> CordDirectoryState:
+        if index not in self._owned_dirs:
+            self.dirs[index] = self.dirs[index].clone()
+            self._owned_dirs.add(index)
+        return self.dirs[index]
+
+    def mutable_values(self, index: int) -> Dict[int, int]:
+        if index not in self._owned_values:
+            self.values[index] = dict(self.values[index])
+            self._owned_values.add(index)
+        return self.values[index]
+
+
+def _attr_state(obj: Any) -> Optional[Dict[str, Any]]:
+    """``name -> value`` attribute map, or ``None`` for non-object values.
+
+    Covers plain ``__dict__`` instances *and* ``__slots__``-only classes
+    (slots collected across the MRO), so a PR-4-style slots adoption in
+    the shared ``repro.core`` state classes cannot silently shrink the
+    visited-set key to an empty attribute tuple.
+    """
+    state: Dict[str, Any] = {}
+    found = False
+    for klass in type(obj).__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            found = True
+            if name in ("__dict__", "__weakref__"):
+                continue
+            try:
+                state[name] = getattr(obj, name)
+            except AttributeError:
+                pass  # slot declared but never assigned
+    if hasattr(obj, "__dict__"):
+        found = True
+        state.update(obj.__dict__)
+    return state if found else None
 
 
 def _freeze(obj: Any) -> Any:
@@ -104,7 +258,8 @@ def _freeze(obj: Any) -> Any:
         return tuple(sorted(_freeze(x) for x in obj))
     if isinstance(obj, (int, float, str, bool, type(None))):
         return obj
-    if hasattr(obj, "__dict__"):
+    attrs = _attr_state(obj)
+    if attrs is not None:
         skip = {"stalls", "relaxed_issued", "releases_issued",
                 "relaxed_committed", "releases_committed",
                 "notifications_sent", "insertions", "peak_occupancy"}
@@ -112,14 +267,36 @@ def _freeze(obj: Any) -> Any:
             type(obj).__name__,
             tuple(
                 (name, _freeze(value))
-                for name, value in sorted(obj.__dict__.items())
-                if name not in skip and not name.startswith("_partitions")
+                for name, value in sorted(attrs.items())
+                if name not in skip
+                and not name.startswith("_partitions")
+                and not name.startswith("_frozen")
             ) + (
                 (("partitions", _freeze(obj._partitions)),)
                 if hasattr(obj, "_partitions") else ()
             ),
         )
     raise TypeError(f"cannot freeze {type(obj)}")
+
+
+def _freeze_cached(obj: Any) -> Any:
+    """Per-component ``_freeze`` memoization keyed on mutation.
+
+    The memo lives on the component itself; it stays valid because every
+    checker mutation goes through clone-on-write and clones never carry
+    the memo.  (``_freeze`` excludes ``_frozen*`` names, so the memo does
+    not perturb the frozen form.)  Objects that cannot take the attribute
+    — ``__slots__``-only classes without a ``_frozen_memo`` slot — are
+    simply re-frozen each time.
+    """
+    memo = getattr(obj, "_frozen_memo", None)
+    if memo is None:
+        memo = _freeze(obj)
+        try:
+            obj._frozen_memo = memo
+        except AttributeError:
+            pass
+    return memo
 
 
 @dataclass
@@ -132,6 +309,65 @@ class FinalState:
 
 
 @dataclass
+class DeadlockWitness:
+    """Snapshot of the first deadlocked state (§4.5 debugging aid).
+
+    ``cores`` holds one dict per core — program counter (``pc`` of
+    ``ops``), ``blocked``/outstanding-store status and the op it was
+    stuck on; ``messages`` lists the in-flight message kinds with their
+    destinations.  Serializes losslessly for the harness result cache.
+    """
+
+    cores: List[Dict[str, Any]]
+    messages: List[Dict[str, Any]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"cores": [dict(c) for c in self.cores],
+                "messages": [dict(m) for m in self.messages]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DeadlockWitness":
+        return cls(cores=[dict(c) for c in data["cores"]],
+                   messages=[dict(m) for m in data["messages"]])
+
+    def __str__(self) -> str:
+        lines = ["deadlock witness:"]
+        for core in self.cores:
+            status = []
+            if core["done"]:
+                status.append("done")
+            else:
+                status.append(f"next={core['next_op']}")
+            if core["blocked"]:
+                status.append("blocked-on-rmw")
+            if core["so_outstanding"]:
+                status.append(f"so_out={core['so_outstanding']}")
+            if core["seq_outstanding"]:
+                status.append(f"seq_out={core['seq_outstanding']}")
+            if core["fence_issued"]:
+                status.append("fence-issued")
+            if core.get("cord_unacked"):
+                status.append(f"unacked={core['cord_unacked']}")
+            lines.append(
+                f"  P{core['core']} [{core['protocol']}] "
+                f"pc={core['pc']}/{core['ops']} " + " ".join(status)
+            )
+        if self.messages:
+            flight = ", ".join(
+                m["kind"] + (
+                    f"->dir{m['dst_dir']}" if m["dst_dir"] is not None
+                    else f"->P{m['dst_core']}" if m["dst_core"] is not None
+                    else ""
+                )
+                for m in self.messages
+            )
+            lines.append(f"  in flight: {flight}")
+        else:
+            lines.append("  in flight: (none)")
+        return "\n".join(lines)
+
+
+@dataclass
 class CheckResult:
     """Result of exhaustively checking one litmus test under one protocol."""
 
@@ -140,6 +376,19 @@ class CheckResult:
     finals: List[FinalState]
     deadlocks: int
     states_explored: int
+    #: False when exploration stopped at ``max_states`` (``partial=True``
+    #: runs only; the default behaviour raises :class:`ModelCheckError`).
+    complete: bool = True
+    #: Snapshot of the first deadlocked state, if any.
+    first_deadlock: Optional[DeadlockWitness] = None
+    #: Exploration observability: states/sec, transitions, visited-set
+    #: hit rate, peak frontier, POR prunes (see :meth:`ModelChecker.run`).
+    stats: Dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def states_per_sec(self) -> float:
+        return self.states_explored / self.elapsed_s if self.elapsed_s else 0.0
 
     @property
     def outcomes(self) -> List[Dict[str, int]]:
@@ -176,6 +425,14 @@ class CheckResult:
 # ---------------------------------------------------------------------------
 # The checker
 # ---------------------------------------------------------------------------
+
+#: Message kinds whose delivery commutes with every other enabled or
+#: future action (see :meth:`ModelChecker._reduce` and DESIGN.md §4):
+#: always deliverable, never disabling, touching state no other action
+#: reads conflictingly.  Eligible as singleton ample sets.
+_AMPLE_KINDS = frozenset({"so_ack", "notify", "atomic_resp"})
+
+
 class ModelChecker:
     """Exhaustive interleaving exploration of a litmus test.
 
@@ -197,6 +454,21 @@ class ModelChecker:
         Model sequential consistency: TSO's store ordering plus
         store->load ordering (loads wait for the issuing core's stores
         to commit).
+    max_states:
+        Exploration budget; exceeding it raises :class:`ModelCheckError`
+        (or returns a ``complete=False`` result with ``partial=True``).
+    partial:
+        Return the partial :class:`CheckResult` instead of raising when
+        the budget is exhausted.
+    por:
+        Enable the partial-order reduction over commuting deliveries
+        (sound: reduced and unreduced exploration reach identical
+        outcome sets, deadlock counts and violations — pinned by the
+        differential test).  Disable to explore every interleaving.
+    stats:
+        Optional :class:`~repro.sim.stats.StatRegistry`; when given, the
+        run accumulates ``modelcheck.*`` counters (states, transitions,
+        visited hits, POR prunes, peak frontier, wall seconds) into it.
     """
 
     def __init__(
@@ -208,6 +480,9 @@ class ModelChecker:
         tso: bool = False,
         sc: bool = False,
         max_states: int = 2_000_000,
+        partial: bool = False,
+        por: bool = True,
+        stats: Optional[StatRegistry] = None,
     ) -> None:
         self.test = test
         self.protocol = protocol
@@ -222,6 +497,9 @@ class ModelChecker:
         self.cord_config = cord_config or self.config.cord
         self.tso = tso
         self.max_states = max_states
+        self.partial = partial
+        self.por = por
+        self.stats = stats
         self.address_map = AddressMap(self.config)
         self.programs = test.compile(self.config)
         self.core_protocols = list(
@@ -262,7 +540,7 @@ class ModelChecker:
         for core_index in range(self.test.threads):
             if self._core_enabled(state, core_index):
                 actions.append(("core", core_index))
-        fifo_heads: Dict[Tuple[int, int], int] = {}
+        fifo_heads: Dict[Tuple, int] = {}
         for msg in state.network:
             if msg.fifo_class is not None:
                 head = fifo_heads.get(msg.fifo_class)
@@ -273,6 +551,34 @@ class ModelChecker:
                 continue
             if self._delivery_enabled(state, msg):
                 actions.append(("deliver", position))
+        return actions
+
+    def _reduce(self, state: _State, actions: List[Tuple]) -> List[Tuple]:
+        """Partial-order reduction: collapse commuting deliveries.
+
+        If some enabled action delivers a message whose kind is in
+        :data:`_AMPLE_KINDS`, explore *only* that delivery (a singleton
+        persistent/ample set).  Soundness (DESIGN.md §4 has the full
+        argument): such a delivery (1) is always enabled and stays
+        enabled (``fifo_class is None`` and ``_delivery_enabled`` is
+        unconditional for these kinds), (2) only *enables* other actions
+        — ``so_ack`` decrements a guard counter toward zero, ``notify``
+        raises a monotone notification count, ``atomic_resp`` unblocks
+        its core — so no pruned action is ever lost, and (3) commutes
+        with every coenabled action: the state it writes (one core's ack
+        counter / one directory's notification counter / a blocked
+        core's registers) is read by no action that can fire before it.
+        Terminal states (finals *and* deadlocks) of the reduced graph
+        therefore coincide with the full graph's, which the differential
+        test verifies over the whole litmus suite.
+        """
+        if len(actions) <= 1:
+            return actions
+        for action in actions:
+            if action[0] != "deliver":
+                continue
+            if state.network[action[1]].kind in _AMPLE_KINDS:
+                return [action]
         return actions
 
     def _core_enabled(self, state: _State, core_index: int) -> bool:
@@ -390,7 +696,7 @@ class ModelChecker:
         fields: Dict[str, Any],
         dst_dir: Optional[int] = None,
         dst_core: Optional[int] = None,
-        fifo_class: Optional[Tuple[int, int]] = None,
+        fifo_class: Optional[Tuple[Any, ...]] = None,
     ) -> None:
         state.network.append(_Msg(
             seq=state.next_seq, kind=kind, dst_dir=dst_dir, dst_core=dst_core,
@@ -399,7 +705,7 @@ class ModelChecker:
         state.next_seq += 1
 
     def _step_core(self, state: _State, core_index: int) -> None:
-        core = state.cores[core_index]
+        core = state.mutable_core(core_index)
         op = self.programs[core_index][core.pc]
         proto = self.core_protocols[core_index]
         ordered = op.ordering.is_release or self.tso
@@ -417,7 +723,13 @@ class ModelChecker:
             core.pc += 1
             return
         if op.kind is OpKind.FENCE:
-            if not op.ordering.is_release or proto in ("so", "mp"):
+            # SO/MP/SEQ fences carry no directory metadata: they gate in
+            # ``_core_enabled`` (SO/SEQ drain their outstanding stores; MP
+            # orders nothing) and then simply advance.  Only CORD fences
+            # issue barrier Releases below.
+            if (not op.ordering.is_release
+                    or proto in ("so", "mp")
+                    or proto.startswith("seq")):
                 core.pc += 1
                 return
             pending = core.cord.pending_directories()
@@ -482,7 +794,7 @@ class ModelChecker:
 
     def _step_atomic(self, state, core_index, op, home, proto, ordered):
         """Issue an RMW; the core blocks until the response delivers."""
-        core = state.cores[core_index]
+        core = state.mutable_core(core_index)
         fields = {
             "addr": op.addr, "value": op.value, "core": core_index,
             "pc": core.pc, "ordering": op.ordering,
@@ -517,10 +829,11 @@ class ModelChecker:
     def _perform_atomic(self, state: _State, msg: _Msg) -> None:
         fields = msg.fields
         directory = msg.dst_dir
-        old = state.values[directory].get(fields["addr"], 0)
+        values = state.mutable_values(directory)
+        old = values.get(fields["addr"], 0)
         new = fields["atomic"].apply(old, fields["value"],
                                      fields.get("compare"))
-        state.values[directory][fields["addr"]] = new
+        values[fields["addr"]] = new
         state.events.append((
             fields["core"], fields["pc"], EventKind.STORE,
             fields["ordering"], fields["addr"], new,
@@ -537,7 +850,7 @@ class ModelChecker:
         home: int,
         barrier: bool = False,
     ) -> None:
-        core = state.cores[core_index]
+        core = state.mutable_core(core_index)
         issue = core.cord.on_release_store(home, barrier=barrier)
         for pending_dir, req_meta in issue.notifications:
             self._send(state, "req_notify", {"meta": req_meta},
@@ -556,19 +869,21 @@ class ModelChecker:
         kind = msg.kind
         if kind in ("posted", "wt_store", "wt_rlx"):
             directory = msg.dst_dir
-            state.values[directory][msg.fields["addr"]] = msg.fields["value"]
+            state.mutable_values(directory)[msg.fields["addr"]] = \
+                msg.fields["value"]
             state.events.append((
                 msg.fields["core"], msg.fields["pc"], EventKind.STORE,
                 msg.fields["ordering"], msg.fields["addr"], msg.fields["value"],
             ))
             if kind == "wt_rlx":
-                state.dirs[directory].on_relaxed(msg.fields["meta"])
+                state.mutable_dir(directory).on_relaxed(msg.fields["meta"])
             if kind == "wt_store":
                 self._send(state, "so_ack", {}, dst_core=msg.fields["core"])
         elif kind == "seq_store":
             directory = msg.dst_dir
             core_index = msg.fields["core"]
-            state.values[directory][msg.fields["addr"]] = msg.fields["value"]
+            state.mutable_values(directory)[msg.fields["addr"]] = \
+                msg.fields["value"]
             state.events.append((
                 core_index, msg.fields["pc"], EventKind.STORE,
                 msg.fields["ordering"], msg.fields["addr"],
@@ -576,16 +891,16 @@ class ModelChecker:
             ))
             key = (directory, core_index)
             state.seq_committed[key] = state.seq_committed.get(key, 0) + 1
-            state.cores[core_index].seq_outstanding -= 1
+            state.mutable_core(core_index).seq_outstanding -= 1
         elif kind == "so_ack":
-            state.cores[msg.dst_core].so_outstanding -= 1
+            state.mutable_core(msg.dst_core).so_outstanding -= 1
         elif kind == "atomic":
             meta = msg.fields.get("meta")
             if meta is not None:
-                state.dirs[msg.dst_dir].on_relaxed(meta)
+                state.mutable_dir(msg.dst_dir).on_relaxed(meta)
             self._perform_atomic(state, msg)
         elif kind == "atomic_resp":
-            core = state.cores[msg.dst_core]
+            core = state.mutable_core(msg.dst_core)
             register = msg.fields.get("register")
             if register is not None:
                 core.regs[register] = msg.fields["old"]
@@ -594,7 +909,7 @@ class ModelChecker:
         elif kind == "wt_rel" and "atomic" in msg.fields:
             directory = msg.dst_dir
             meta: ReleaseMeta = msg.fields["meta"]
-            state.dirs[directory].commit_release(meta)
+            state.mutable_dir(directory).commit_release(meta)
             self._perform_atomic(state, msg)
             self._send(state, "rel_ack", {
                 "dir": directory, "epoch": meta.epoch,
@@ -602,9 +917,10 @@ class ModelChecker:
         elif kind == "wt_rel":
             directory = msg.dst_dir
             meta: ReleaseMeta = msg.fields["meta"]
-            state.dirs[directory].commit_release(meta)
+            state.mutable_dir(directory).commit_release(meta)
             if "addr" in msg.fields:
-                state.values[directory][msg.fields["addr"]] = msg.fields["value"]
+                state.mutable_values(directory)[msg.fields["addr"]] = \
+                    msg.fields["value"]
                 state.events.append((
                     msg.fields["core"], msg.fields["pc"], EventKind.STORE,
                     msg.fields["ordering"], msg.fields["addr"],
@@ -616,12 +932,12 @@ class ModelChecker:
         elif kind == "req_notify":
             directory = msg.dst_dir
             meta: ReqNotifyMeta = msg.fields["meta"]
-            notify = state.dirs[directory].consume_req_notify(meta)
+            notify = state.mutable_dir(directory).consume_req_notify(meta)
             self._send(state, "notify", {"meta": notify}, dst_dir=meta.noti_dst)
         elif kind == "notify":
-            state.dirs[msg.dst_dir].on_notify(msg.fields["meta"])
+            state.mutable_dir(msg.dst_dir).on_notify(msg.fields["meta"])
         elif kind == "rel_ack":
-            core = state.cores[msg.dst_core]
+            core = state.mutable_core(msg.dst_core)
             core.cord.on_release_ack(msg.fields["dir"], msg.fields["epoch"])
         else:  # pragma: no cover - exhaustive
             raise RuntimeError(f"unknown message kind {kind}")
@@ -632,16 +948,17 @@ class ModelChecker:
     def _key(self, state: _State) -> Tuple:
         return (
             tuple(
-                (c.pc, _freeze(c.regs), _freeze(c.cord) if c.cord else None,
+                (c.pc, _freeze(c.regs),
+                 _freeze_cached(c.cord) if c.cord else None,
                  c.so_outstanding, c.fence_issued, c.blocked,
                  c.seq_next, c.seq_outstanding)
                 for c in state.cores
             ),
-            tuple(_freeze(d) for d in state.dirs),
-            tuple(_freeze(v) for v in state.values),
-            _freeze(state.seq_committed),
+            tuple(_freeze_cached(d) for d in state.dirs),
+            tuple(tuple(sorted(v.items())) for v in state.values),
+            tuple(sorted(state.seq_committed.items())),
             tuple(
-                (m.kind, m.dst_dir, m.dst_core, _freeze(m.fields), m.fifo_class,
+                (m.kind, m.dst_dir, m.dst_core, m.frozen_fields(), m.fifo_class,
                  # preserve relative FIFO order, not absolute seq
                  sum(1 for o in state.network
                      if o.fifo_class == m.fifo_class and o.seq < m.seq))
@@ -661,6 +978,31 @@ class ModelChecker:
             and not state.network
         )
 
+    def _witness(self, state: _State) -> DeadlockWitness:
+        cores = []
+        for core_index, core in enumerate(state.cores):
+            program = self.programs[core_index]
+            done = core.pc >= len(program)
+            cores.append({
+                "core": core_index,
+                "protocol": self.core_protocols[core_index],
+                "pc": core.pc,
+                "ops": len(program),
+                "done": done,
+                "next_op": None if done else str(program[core.pc]),
+                "blocked": core.blocked,
+                "so_outstanding": core.so_outstanding,
+                "seq_outstanding": core.seq_outstanding,
+                "fence_issued": core.fence_issued,
+                "cord_unacked": (core.cord.total_unacked()
+                                 if core.cord is not None else 0),
+            })
+        messages = [
+            {"kind": m.kind, "dst_dir": m.dst_dir, "dst_core": m.dst_core}
+            for m in state.network
+        ]
+        return DeadlockWitness(cores=cores, messages=messages)
+
     def _history(self, state: _State) -> ExecutionHistory:
         history = ExecutionHistory()
         for core_index, pc, kind, ordering, addr, value in state.events:
@@ -673,20 +1015,27 @@ class ModelChecker:
 
     def run(self) -> CheckResult:
         """Exhaustively explore; returns all distinct final outcomes."""
+        started = time.perf_counter()
         initial = self._initial()
         visited: Set[Tuple] = {self._key(initial)}
         stack = [initial]
         finals: Dict[Tuple, FinalState] = {}
         deadlocks = 0
         explored = 0
+        transitions = 0
+        visited_hits = 0
+        ample_pruned = 0
+        peak_frontier = 1
+        first_deadlock: Optional[DeadlockWitness] = None
+        complete = True
 
         while stack:
             state = stack.pop()
             explored += 1
             if explored > self.max_states:
-                raise ModelCheckError(
-                    f"{self.test.name}: exceeded {self.max_states} states"
-                )
+                explored -= 1  # this state was not expanded
+                complete = False
+                break
             actions = self._enabled(state)
             if not actions:
                 if self._is_final(state):
@@ -711,18 +1060,60 @@ class ModelChecker:
                         )
                 else:
                     deadlocks += 1
+                    if first_deadlock is None:
+                        first_deadlock = self._witness(state)
                 continue
+            if self.por:
+                reduced = self._reduce(state, actions)
+                ample_pruned += len(actions) - len(reduced)
+                actions = reduced
             for action in actions:
                 successor = self._apply(state, action)
+                transitions += 1
                 key = self._key(successor)
                 if key not in visited:
                     visited.add(key)
                     stack.append(successor)
+                    if len(stack) > peak_frontier:
+                        peak_frontier = len(stack)
+                else:
+                    visited_hits += 1
 
-        return CheckResult(
+        elapsed = time.perf_counter() - started
+        run_stats = {
+            "states": float(explored),
+            "transitions": float(transitions),
+            "visited_hits": float(visited_hits),
+            "visited_hit_rate": (visited_hits / transitions
+                                 if transitions else 0.0),
+            "peak_frontier": float(peak_frontier),
+            "ample_pruned": float(ample_pruned),
+            "wall_s": elapsed,
+            "states_per_sec": explored / elapsed if elapsed > 0 else 0.0,
+        }
+        if self.stats is not None:
+            self.stats.counter("modelcheck.states").add(explored)
+            self.stats.counter("modelcheck.transitions").add(transitions)
+            self.stats.counter("modelcheck.visited_hits").add(visited_hits)
+            self.stats.counter("modelcheck.ample_pruned").add(ample_pruned)
+            self.stats.counter("modelcheck.wall_s").add(elapsed)
+            self.stats.max_tracker("modelcheck.frontier").set(peak_frontier)
+
+        result = CheckResult(
             test=self.test,
             protocol=self.protocol,
             finals=list(finals.values()),
             deadlocks=deadlocks,
             states_explored=explored,
+            complete=complete,
+            first_deadlock=first_deadlock,
+            stats=run_stats,
+            elapsed_s=elapsed,
         )
+        if not complete and not self.partial:
+            raise ModelCheckError(
+                f"{self.test.name}: exceeded {self.max_states} states "
+                f"({len(result.finals)} finals, {deadlocks} deadlocks so far)",
+                partial_result=result,
+            )
+        return result

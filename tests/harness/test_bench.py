@@ -24,19 +24,24 @@ def quick_payload():
 class TestBasket:
     def test_basket_names_are_fixed(self):
         names = [name for name, _runner in bench_points(quick=True)]
-        assert names == ["micro.kernel", "fig2.cxl", "litmus.classic"]
+        assert names == ["micro.kernel", "fig2.cxl", "litmus.classic",
+                         "modelcheck"]
         assert names == [name for name, _ in bench_points(quick=False)]
 
     def test_payload_is_schema_valid(self, quick_payload):
         validate_payload(quick_payload)  # must not raise
         assert quick_payload["schema"] == SCHEMA_VERSION
         assert quick_payload["quick"] is True
-        assert len(quick_payload["points"]) == 3
+        assert len(quick_payload["points"]) == 4
         for point in quick_payload["points"]:
             assert point["events"] > 0
             assert point["wall_s"] > 0
             assert point["events_per_sec"] > 0
-            assert point["sim_time_ns"] > 0
+            if point["name"] == "modelcheck":
+                # State exploration is untimed: no simulated clock.
+                assert point["sim_time_ns"] == 0.0
+            else:
+                assert point["sim_time_ns"] > 0
 
     def test_payload_survives_json_round_trip(self, quick_payload):
         validate_payload(json.loads(json.dumps(quick_payload)))
@@ -91,7 +96,7 @@ class TestComparison:
         for point in previous["points"]:
             point["events_per_sec"] *= 1.1    # current is 10% slower
         rows = compare_payloads(quick_payload, previous, threshold=0.25)
-        assert len(rows) == 3
+        assert len(rows) == 4
         assert not any(row["regressed"] for row in rows)
 
     def test_beyond_threshold_is_regressed(self, quick_payload):

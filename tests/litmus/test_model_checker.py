@@ -121,6 +121,62 @@ class TestBoundedResources:
         with pytest.raises(ModelCheckError):
             ModelChecker(ISA2, protocol="cord", max_states=3).run()
 
+    def test_max_states_error_carries_partial_results(self):
+        from repro.litmus import ModelCheckError
+        with pytest.raises(ModelCheckError) as exc_info:
+            ModelChecker(ISA2, protocol="cord", max_states=3).run()
+        error = exc_info.value
+        assert error.states_explored == 3
+        assert error.deadlocks == 0
+        assert isinstance(error.finals, list)
+        assert error.partial_result is not None
+        assert not error.partial_result.complete
+
+    def test_partial_mode_returns_incomplete_result(self):
+        partial = ModelChecker(ISA2, protocol="cord", max_states=3,
+                               partial=True).run()
+        assert not partial.complete
+        assert partial.states_explored == 3
+        full = ModelChecker(ISA2, protocol="cord").run()
+        assert full.complete
+        assert full.states_explored > partial.states_explored
+
+
+class TestDeadlockWitness:
+    STUCK = LitmusTest(
+        name="stuck",
+        locations={"X": 1, "Y": 1},
+        programs=[
+            [st("X", 1), poll_acq("Y", 1, "r1")],  # Y is never written
+        ],
+    )
+
+    def test_witness_captures_first_deadlock(self):
+        result = ModelChecker(self.STUCK, protocol="cord").run()
+        assert result.deadlocks > 0
+        assert not result.passed
+        witness = result.first_deadlock
+        assert witness is not None
+        core = witness.cores[0]
+        assert core["pc"] == 1 and core["ops"] == 2
+        assert not core["done"]
+        assert core["next_op"]  # the stuck op is rendered
+        assert witness.messages == []  # network fully drained
+
+    def test_witness_renders_and_round_trips(self):
+        from repro.litmus.model_checker import DeadlockWitness
+        result = ModelChecker(self.STUCK, protocol="cord").run()
+        witness = result.first_deadlock
+        text = str(witness)
+        assert "deadlock witness" in text
+        assert "P0" in text and "pc=1/2" in text
+        assert DeadlockWitness.from_dict(witness.to_dict()) == witness
+
+    def test_no_witness_when_deadlock_free(self):
+        result = ModelChecker(ISA2, protocol="cord").run()
+        assert result.deadlocks == 0
+        assert result.first_deadlock is None
+
 
 class TestTsoMode:
     def test_tso_forbids_store_store_reorder(self):

@@ -57,3 +57,42 @@ class TestSeqSafety:
                         thread_protocols=["seq8", "cord"])
         result = ModelChecker(mixed, protocol="cord").run()
         assert result.passed
+
+
+class TestSeqReleaseFence:
+    def test_release_fence_advances_after_drain(self):
+        """Regression: a Release FENCE on a seq<k> core used to fall
+        through to the CORD barrier path and crash on ``core.cord =
+        None``; it must simply wait for the store window to drain and
+        advance."""
+        from repro.litmus.dsl import fence_rel
+        test = LitmusTest(
+            name="seq-fence-mp",
+            locations={"X": 2, "Y": 1},
+            programs=[
+                [st("X", 1), fence_rel(), st("Y", 1)],
+                [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+            ],
+            forbidden=[{"P1:r1": 1, "P1:r2": 0}],
+        )
+        result = ModelChecker(test, protocol="seq8").run()
+        assert result.passed
+        assert result.deadlocks == 0
+        # The fence drains X before Y issues, so the flag implies the data.
+        assert all(o["P1:r2"] == 1 for o in result.outcomes
+                   if o.get("P1:r1") == 1)
+
+    def test_release_fence_mixed_with_cord_core(self):
+        from repro.litmus.dsl import fence_rel
+        test = LitmusTest(
+            name="seq-fence-mixed",
+            locations={"X": 2, "Y": 1},
+            programs=[
+                [st("X", 1), fence_rel(), st("Y", 1)],
+                [poll_acq("Y", 1, "r1"), ld("X", "r2")],
+            ],
+            forbidden=[{"P1:r1": 1, "P1:r2": 0}],
+            thread_protocols=["seq8", "cord"],
+        )
+        result = ModelChecker(test, protocol="cord").run()
+        assert result.passed
