@@ -9,12 +9,21 @@ passing lacks in §3.2), and rejects reads of overwritten or future values.
 
 ``check_tso`` does the same under TSO's preserved program order (everything
 except store->load).
+
+Reads-from is inferred by value matching.  When several stores to an
+address wrote the same value (bounded-value generated programs alias
+freely), the attribution is ambiguous, so a history is accepted iff *some*
+assignment of loads to same-valued stores is violation-free — reporting a
+violation only when no attribution can explain the observed values.
+Unique-value programs (every hand-written suite) have one candidate per
+load and take the single-pass fast path unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from itertools import product
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.consistency.history import EventKind, ExecutionHistory, HistoryEvent
 from repro.consistency.ops import Ordering
@@ -68,34 +77,53 @@ def _program_order_edges_tso(events: List[HistoryEvent]) -> List[Tuple[int, int]
     return edges
 
 
-def _reads_from(history: ExecutionHistory) -> Dict[int, HistoryEvent]:
-    """Map load uid -> the store event it read from (by matching value).
-
-    Loads of the initial value (0 / None with no matching store) have no
-    entry.  Litmus programs write unique values per (location, store) so the
-    match is unambiguous.
-    """
-    rf: Dict[int, HistoryEvent] = {}
-    stores_by_addr: Dict[int, List[HistoryEvent]] = {}
+def _stores_by_addr(history: ExecutionHistory
+                    ) -> Dict[int, List[HistoryEvent]]:
+    stores: Dict[int, List[HistoryEvent]] = {}
     for event in history:
         if event.is_store and event.addr is not None:
-            stores_by_addr.setdefault(event.addr, []).append(event)
+            stores.setdefault(event.addr, []).append(event)
+    return stores
+
+
+def _rf_candidates(history: ExecutionHistory
+                   ) -> Dict[int, List[HistoryEvent]]:
+    """Map load uid -> every store it *could* have read from (same
+    address, same value).  Loads of the initial value (0 / None) have no
+    entry; a load of a never-written value maps to an empty list
+    (thin-air)."""
+    stores = _stores_by_addr(history)
+    candidates: Dict[int, List[HistoryEvent]] = {}
     for event in history:
         if not event.is_load or event.addr is None:
             continue
         if event.value in (None, 0):
             continue
-        for store in stores_by_addr.get(event.addr, []):
-            if store.value == event.value:
-                rf[event.uid] = store
-                break
-    return rf
+        candidates[event.uid] = [
+            store for store in stores.get(event.addr, [])
+            if store.value == event.value
+        ]
+    return candidates
+
+
+def _reads_from(history: ExecutionHistory) -> Dict[int, HistoryEvent]:
+    """One concrete reads-from map (first candidate per load)."""
+    return {
+        uid: stores[0]
+        for uid, stores in _rf_candidates(history).items()
+        if stores
+    }
 
 
 def happens_before(
-    history: ExecutionHistory, model: str = "rc"
+    history: ExecutionHistory, model: str = "rc",
+    rf: Optional[Dict[int, HistoryEvent]] = None,
 ) -> Dict[int, Set[int]]:
-    """Transitive happens-before relation: uid -> set of uids after it."""
+    """Transitive happens-before relation: uid -> set of uids after it.
+
+    ``rf`` fixes the reads-from attribution (load uid -> store event);
+    when None the first value-matching store per load is used.
+    """
     if model == "rc":
         po_fn = _program_order_edges_rc
         sw_release_only = True
@@ -109,7 +137,8 @@ def happens_before(
     for events in history.by_core().values():
         edges.extend(po_fn(events))
 
-    rf = _reads_from(history)
+    if rf is None:
+        rf = _reads_from(history)
     for load_uid, store in rf.items():
         load = next(e for e in history if e.uid == load_uid)
         if sw_release_only:
@@ -139,15 +168,14 @@ def happens_before(
     return closure
 
 
-def _check(history: ExecutionHistory, model: str) -> List[Violation]:
+def _violations_for(
+    history: ExecutionHistory, model: str,
+    rf: Dict[int, HistoryEvent],
+    stores_by_addr: Dict[int, List[HistoryEvent]],
+) -> List[Violation]:
+    """The violations of one concrete reads-from attribution."""
     violations: List[Violation] = []
-    hb = happens_before(history, model)
-    rf = _reads_from(history)
-    events_by_uid = {e.uid: e for e in history}
-    stores_by_addr: Dict[int, List[HistoryEvent]] = {}
-    for event in history:
-        if event.is_store and event.addr is not None:
-            stores_by_addr.setdefault(event.addr, []).append(event)
+    hb = happens_before(history, model, rf=rf)
 
     for event in history:
         if not event.is_load or event.addr is None:
@@ -201,6 +229,66 @@ def _check(history: ExecutionHistory, model: str) -> List[Violation]:
             seen.add(key)
             unique.append(violation)
     return unique
+
+
+#: Assignment-enumeration budget for value-aliased histories.  Past it,
+#: per-load candidate lists are truncated to their first surviving entry
+#: (still post-pruning, so still optimistic about what each load read).
+_MAX_RF_ASSIGNMENTS = 2048
+
+
+def _check(history: ExecutionHistory, model: str) -> List[Violation]:
+    candidates = _rf_candidates(history)
+    stores_by_addr = _stores_by_addr(history)
+
+    ambiguous = [uid for uid, stores in candidates.items()
+                 if len(stores) > 1]
+    if not ambiguous:
+        rf = {uid: stores[0] for uid, stores in candidates.items()
+              if stores}
+        return _violations_for(history, model, rf, stores_by_addr)
+
+    # Aliased values: accept iff some attribution is violation-free.
+    # Pruning first — happens-before only grows as synchronizes-with
+    # edges are added, so a candidate already violating under the
+    # po-only relation (rf = {}) violates under *every* attribution and
+    # can be dropped without losing any clean assignment.
+    hb_base = happens_before(history, model, rf={})
+    pruned: Dict[int, List[HistoryEvent]] = {}
+    for uid, stores in candidates.items():
+        if not stores:
+            continue
+        survivors = []
+        for store in stores:
+            if store.uid in hb_base.get(uid, set()):
+                continue  # reads-from-future under any attribution
+            overwritten = any(
+                other.uid != store.uid
+                and other.uid in hb_base.get(store.uid, set())
+                and uid in hb_base.get(other.uid, set())
+                for other in stores_by_addr.get(store.addr, [])
+            )
+            if not overwritten:
+                survivors.append(store)
+        # No survivor: definitely violating; keep one for the report.
+        pruned[uid] = survivors or stores[:1]
+
+    order = sorted(pruned)
+    total = 1
+    for uid in order:
+        total *= len(pruned[uid])
+    if total > _MAX_RF_ASSIGNMENTS:
+        pruned = {uid: stores[:1] for uid, stores in pruned.items()}
+
+    best: Optional[List[Violation]] = None
+    for combo in product(*(pruned[uid] for uid in order)):
+        rf = dict(zip(order, combo))
+        found = _violations_for(history, model, rf, stores_by_addr)
+        if not found:
+            return []
+        if best is None or len(found) < len(best):
+            best = found
+    return best or []
 
 
 def check_rc(history: ExecutionHistory) -> List[Violation]:

@@ -19,11 +19,22 @@ sweeps get the same infrastructure as the figure experiments:
 The cache key includes the repo-wide code version, so editing the model
 checker or any protocol state machine invalidates cached verdicts; an
 unchanged tree re-verifies the whole suite from cache in milliseconds.
+
+Execution-environment knobs — ``--parallel N`` worker processes per case,
+``--visited-db DIR`` / ``--spill-threshold N`` for the disk-backed visited
+set — deliberately stay *out* of :class:`CheckSpec` (they are plumbed via
+``REPRO_MODELCHECK_PARALLEL`` / ``REPRO_MODELCHECK_VISITED_DB`` /
+``REPRO_MODELCHECK_SPILL``): the verdict artifact is identical however the
+exploration was scheduled, so a suite checked serially is a warm cache for
+the same suite re-run with ``--parallel 4`` and vice versa.  ``--symmetry``
+is a :class:`CheckSpec` field — it changes the search, and flipping it is
+exactly what the soundness differential wants to re-explore.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -59,6 +70,7 @@ class CheckSpec:
     tso: bool = False
     max_states: int = 500_000
     por: bool = True
+    symmetry: bool = True
     experiment: str = "modelcheck"
     kind: str = "modelcheck"
 
@@ -161,8 +173,22 @@ def _execute_check(spec: CheckSpec,
     exploration has no timed message trace.  Runs with ``partial=True``
     so a budget-exhausted case records ``complete=False`` (and fails)
     instead of aborting the rest of the sweep.
+
+    Scheduling knobs come from the environment, not the spec, so they
+    never perturb the cache key (see the module docstring):
+    ``REPRO_MODELCHECK_PARALLEL`` (worker processes per case),
+    ``REPRO_MODELCHECK_VISITED_DB`` (directory for per-case spillable
+    visited sets) and ``REPRO_MODELCHECK_SPILL`` (spill threshold).
     """
     from repro.litmus.model_checker import ModelChecker
+
+    key = spec_key(spec)
+    parallel = int(os.environ.get("REPRO_MODELCHECK_PARALLEL") or 1)
+    visited_dir = os.environ.get("REPRO_MODELCHECK_VISITED_DB") or None
+    visited_db = (os.path.join(visited_dir, key + ".visited.sqlite")
+                  if visited_dir else None)
+    spill_env = os.environ.get("REPRO_MODELCHECK_SPILL")
+    spill_threshold = int(spill_env) if spill_env else None
 
     started = time.perf_counter()
     checker = ModelChecker(
@@ -172,6 +198,10 @@ def _execute_check(spec: CheckSpec,
         tso=spec.tso,
         max_states=spec.max_states,
         por=spec.por,
+        symmetry=spec.symmetry,
+        parallel=parallel,
+        visited_db=visited_db,
+        spill_threshold=spill_threshold,
         partial=True,
         stats=StatRegistry(),
     )
@@ -182,7 +212,7 @@ def _execute_check(spec: CheckSpec,
     ]
     passed = result.passed and result.complete and not required_missing
     return CheckRecord(
-        spec_key=spec_key(spec),
+        spec_key=key,
         experiment=spec.experiment,
         kind=spec.kind,
         protocol=spec.protocol,
@@ -209,14 +239,24 @@ register_spec_type(CheckSpec, _execute_check, ["modelcheck"],
 # ---------------------------------------------------------------------------
 # Suites
 # ---------------------------------------------------------------------------
-def suite_cases(suite: str) -> List[CaseSpec]:
+def suite_cases(suite: str, gen_count: int = 32, gen_seed: int = 0,
+                gen_params=None) -> List[CaseSpec]:
     """Named case sets for the CLI and CI.
 
     ``quick`` is the curated smoke subset: the causality shapes (MP/ISA2)
     under CORD and SO over every placement, plus SEQ-8 and
     tiny-provisioning corners — the cases that cover every protocol path
     while staying under a second even cold.
+
+    ``generated`` samples ``gen_count`` seeded random programs from
+    :mod:`repro.litmus.generate` (``gen_params`` is a
+    :class:`~repro.litmus.generate.GeneratorParams`; default bounds when
+    None) — the overnight full-bound conformance sweep.
     """
+    if suite == "generated":
+        from repro.litmus.generate import GeneratorParams, generated_suite
+        return generated_suite(count=gen_count, seed=gen_seed,
+                               params=gen_params or GeneratorParams())
     if suite == "classic":
         return [CaseSpec(test=test, protocol=protocol)
                 for test in classic_tests() for protocol in ("cord", "so")]
@@ -244,16 +284,17 @@ def suite_cases(suite: str) -> List[CaseSpec]:
         )
         return cases
     raise ValueError(
-        f"unknown suite {suite!r}; choose from classic, custom, full, quick"
+        f"unknown suite {suite!r}; choose from classic, custom, full, "
+        f"quick, generated"
     )
 
 
 def make_specs(cases: List[CaseSpec], max_states: int = 500_000,
-               por: bool = True) -> List[CheckSpec]:
+               por: bool = True, symmetry: bool = True) -> List[CheckSpec]:
     return [
         CheckSpec(test=case.test, protocol=case.protocol,
                   cord_config=case.cord_config, tso=case.tso,
-                  max_states=max_states, por=por)
+                  max_states=max_states, por=por, symmetry=symmetry)
         for case in cases
     ]
 
@@ -264,9 +305,14 @@ def make_specs(cases: List[CaseSpec], max_states: int = 500_000,
 def run_modelcheck_cli(argv: List[str]) -> int:
     """``python -m repro modelcheck [SUITE] [options]``.
 
-    SUITE is ``quick``, ``classic``, ``custom`` or ``full`` (default).
-    Options: ``--max-states N``, ``--no-por``, and the executor flags
-    ``--jobs N``, ``--cache-dir PATH``, ``--no-cache``, ``--run-log PATH``.
+    SUITE is ``quick``, ``classic``, ``custom``, ``generated`` or ``full``
+    (default).  Options: ``--max-states N``, ``--no-por``,
+    ``--no-symmetry``, ``--parallel N`` (worker processes *per case*;
+    forces ``--jobs 1``), ``--visited-db DIR`` / ``--spill-threshold N``
+    (disk-backed visited sets), the ``generated``-suite shape flags
+    ``--gen-count/--gen-seed/--gen-threads/--gen-locs/--gen-values/
+    --gen-ops/--gen-atomics``, and the executor flags ``--jobs N``,
+    ``--cache-dir PATH``, ``--no-cache``, ``--run-log PATH``.
     Exit status 1 when any case fails.
     """
     from repro.harness.executor import default_cache_dir
@@ -274,14 +320,26 @@ def run_modelcheck_cli(argv: List[str]) -> int:
     suite = "full"
     max_states = 500_000
     por = True
+    symmetry = True
+    parallel = 1
+    visited_db: Optional[str] = None
+    spill_threshold: Optional[int] = None
     jobs = 1
     cache_dir: Optional[str] = str(default_cache_dir())
     run_log: Optional[str] = None
+    gen_count, gen_seed = 32, 0
+    gen_threads, gen_locs, gen_values, gen_ops = 2, 2, 2, 3
+    gen_atomics = False
+
+    int_flags = {"--max-states", "--jobs", "--parallel", "--spill-threshold",
+                 "--gen-count", "--gen-threads", "--gen-locs", "--gen-values",
+                 "--gen-ops", "--gen-seed"}
+    value_flags = int_flags | {"--cache-dir", "--run-log", "--visited-db"}
 
     index = 0
     while index < len(argv):
         arg = argv[index]
-        if arg in ("--max-states", "--jobs", "--cache-dir", "--run-log"):
+        if arg in value_flags:
             if index + 1 >= len(argv):
                 print(f"{arg} requires a value")
                 return 2
@@ -291,40 +349,98 @@ def run_modelcheck_cli(argv: List[str]) -> int:
                 cache_dir = value
             elif arg == "--run-log":
                 run_log = value
+            elif arg == "--visited-db":
+                visited_db = value
             else:
                 try:
                     number = int(value)
-                    if number < 1:
+                    if number < (0 if arg in ("--gen-seed",
+                                              "--spill-threshold") else 1):
                         raise ValueError
                 except ValueError:
-                    print(f"{arg} expects a positive integer, got {value!r}")
+                    print(f"{arg} expects a valid integer, got {value!r}")
                     return 2
                 if arg == "--max-states":
                     max_states = number
-                else:
+                elif arg == "--jobs":
                     jobs = number
+                elif arg == "--parallel":
+                    parallel = number
+                elif arg == "--spill-threshold":
+                    spill_threshold = number
+                elif arg == "--gen-count":
+                    gen_count = number
+                elif arg == "--gen-seed":
+                    gen_seed = number
+                elif arg == "--gen-threads":
+                    gen_threads = number
+                elif arg == "--gen-locs":
+                    gen_locs = number
+                elif arg == "--gen-values":
+                    gen_values = number
+                else:
+                    gen_ops = number
         elif arg == "--no-por":
             por = False
+        elif arg in ("--no-symmetry", "--symmetry"):
+            symmetry = arg == "--symmetry"
+        elif arg == "--gen-atomics":
+            gen_atomics = True
         elif arg == "--no-cache":
             cache_dir = None
         elif arg.startswith("-"):
             print(f"unknown modelcheck option {arg!r}; supported: SUITE "
-                  "--max-states N --no-por --jobs N --cache-dir PATH "
-                  "--no-cache --run-log PATH")
+                  "--max-states N --no-por --symmetry/--no-symmetry "
+                  "--parallel N --visited-db DIR --spill-threshold N "
+                  "--gen-count/--gen-seed/--gen-threads/--gen-locs/"
+                  "--gen-values/--gen-ops N --gen-atomics --jobs N "
+                  "--cache-dir PATH --no-cache --run-log PATH")
             return 2
         else:
             suite = arg
         index += 1
 
+    if parallel > 1 and jobs > 1:
+        print("--parallel shards each case across processes; forcing --jobs 1")
+        jobs = 1
+
+    gen_params = None
+    if suite == "generated":
+        from repro.litmus.generate import GeneratorParams
+        gen_params = GeneratorParams(
+            threads=gen_threads, locations=gen_locs, values=gen_values,
+            ops_per_thread=gen_ops, atomics=gen_atomics)
     try:
-        cases = suite_cases(suite)
+        cases = suite_cases(suite, gen_count=gen_count, gen_seed=gen_seed,
+                            gen_params=gen_params)
     except ValueError as err:
         print(err)
         return 2
-    specs = make_specs(cases, max_states=max_states, por=por)
+    specs = make_specs(cases, max_states=max_states, por=por,
+                       symmetry=symmetry)
     executor = Executor(jobs=jobs, cache_dir=cache_dir, run_log=run_log)
+
+    env_overrides = {
+        "REPRO_MODELCHECK_PARALLEL": str(parallel) if parallel > 1 else None,
+        "REPRO_MODELCHECK_VISITED_DB": visited_db,
+        "REPRO_MODELCHECK_SPILL": (str(spill_threshold)
+                                   if spill_threshold is not None else None),
+    }
+    saved = {name: os.environ.get(name) for name in env_overrides}
+    for name, value in env_overrides.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
     started = time.perf_counter()
-    records = executor.map(specs)
+    try:
+        records = executor.map(specs)
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
     wall = time.perf_counter() - started
 
     failed = [r for r in records if not r.passed]

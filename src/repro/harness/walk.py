@@ -1,0 +1,150 @@
+"""Random-walk validation through the harness executor (§4.5 sampling).
+
+:func:`repro.litmus.random_walk` is deterministic in ``(test, protocol,
+walks, seed, ...)`` — exactly the contract the executor's
+content-addressed cache wants — so sampled validation gets the same
+infrastructure as the checker sweeps: :class:`WalkSpec` (frozen,
+picklable, cache-keyed against the repo code version) fans out across
+``--jobs`` workers and re-verifies from cache in milliseconds on an
+unchanged tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.config import CordConfig
+from repro.harness.executor import register_spec_type, spec_key
+from repro.litmus.dsl import LitmusTest
+
+__all__ = ["WalkSpec", "WalkRecord", "make_walk_specs"]
+
+
+@dataclass(frozen=True)
+class WalkSpec:
+    """One seeded random-walk validation run of a litmus test."""
+
+    test: LitmusTest
+    protocol: str = "cord"
+    walks: int = 200
+    seed: int = 0
+    cord_config: Optional[CordConfig] = None
+    tso: bool = False
+    max_steps: int = 20_000
+    experiment: str = "randomwalk"
+    kind: str = "randomwalk"
+
+    @property
+    def workload_label(self) -> str:
+        suffix = f"@{self.protocol}.w{self.walks}.s{self.seed}"
+        if self.cord_config is not None:
+            suffix += ".tiny"
+        if self.tso:
+            suffix += ".tso"
+        return self.test.name + suffix
+
+
+@dataclass
+class WalkRecord:
+    """Serializable verdict of one completed random-walk run.
+
+    ``events`` counts sampled schedules; ``time_ns``/``quiesce_ns`` are 0
+    (walks are untimed) to satisfy the executor's run-log contract.
+    """
+
+    spec_key: str
+    experiment: str
+    kind: str
+    protocol: str
+    workload: str
+    passed: bool
+    walks: int
+    deadlocks: int
+    distinct_outcomes: List[Dict[str, int]]
+    forbidden_hits: List[Dict[str, int]]
+    rc_violations: List[str]
+    stats: Dict[str, float]
+    wall_time_s: float
+    time_ns: float = 0.0
+    quiesce_ns: float = 0.0
+    trace_path: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def events(self) -> int:
+        return self.walks
+
+    def stat(self, name: str) -> float:
+        return self.stats.get(name, 0.0)
+
+    @property
+    def inter_host_bytes(self) -> float:
+        return 0.0
+
+    def reaches(self, pattern: Dict[str, int]) -> bool:
+        return any(
+            all(outcome.get(k) == v for k, v in pattern.items())
+            for outcome in self.distinct_outcomes
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data.pop("cached")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], cached: bool = False
+                  ) -> "WalkRecord":
+        return cls(cached=cached, **data)
+
+
+def _execute_walk(spec: WalkSpec,
+                  trace_dir: Optional[str] = None) -> WalkRecord:
+    """Worker entry point (``trace_dir`` unused — walks are untimed)."""
+    from repro.litmus.random_walk import random_walk
+
+    started = time.perf_counter()
+    result = random_walk(
+        spec.test, protocol=spec.protocol, walks=spec.walks, seed=spec.seed,
+        cord_config=spec.cord_config, tso=spec.tso, max_steps=spec.max_steps,
+    )
+    wall = time.perf_counter() - started
+    return WalkRecord(
+        spec_key=spec_key(spec),
+        experiment=spec.experiment,
+        kind=spec.kind,
+        protocol=spec.protocol,
+        workload=spec.workload_label,
+        passed=result.passed,
+        walks=result.walks,
+        deadlocks=result.deadlocks,
+        distinct_outcomes=result.outcomes,
+        forbidden_hits=result.forbidden_hits,
+        rc_violations=[str(v) for v in result.rc_violations],
+        stats={
+            "walks": float(result.walks),
+            "distinct_outcomes": float(len(result.finals)),
+            "deadlocks": float(result.deadlocks),
+            "wall_s": wall,
+            "walks_per_sec": result.walks / wall if wall > 0 else 0.0,
+        },
+        wall_time_s=wall,
+    )
+
+
+register_spec_type(WalkSpec, _execute_walk, ["randomwalk"],
+                   WalkRecord.from_dict)
+
+
+def make_walk_specs(cases, walks: int = 200, seed: int = 0
+                    ) -> List[WalkSpec]:
+    """Walk specs for :class:`~repro.litmus.suite.CaseSpec` cases."""
+    return [
+        WalkSpec(test=case.test, protocol=case.protocol,
+                 cord_config=case.cord_config, tso=case.tso,
+                 walks=walks, seed=seed)
+        for case in cases
+    ]

@@ -22,7 +22,19 @@ from repro.litmus.model_checker import (
     ModelChecker,
     ModelCheckError,
 )
+from repro.litmus.generate import (
+    GeneratorParams,
+    generate_test,
+    generated_suite,
+)
 from repro.litmus.random_walk import RandomWalkResult, random_walk
+from repro.litmus.symmetry import Automorphism, find_automorphisms
+from repro.litmus.visited import (
+    MemoryVisitedSet,
+    SqliteVisitedSet,
+    VisitedSet,
+    make_visited,
+)
 from repro.litmus.runner import (
     FaultSweepReport,
     FuzzReport,
@@ -58,7 +70,17 @@ __all__ = [
     "TimedLitmusResult",
     "random_walk",
     "RandomWalkResult",
+    "GeneratorParams",
+    "generate_test",
+    "generated_suite",
+    "Automorphism",
+    "find_automorphisms",
+    "VisitedSet",
+    "MemoryVisitedSet",
+    "SqliteVisitedSet",
+    "make_visited",
     "classic_tests",
+
     "custom_tests",
     "full_suite",
     "run_suite",

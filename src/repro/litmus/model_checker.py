@@ -59,9 +59,10 @@ enabled transition) along with a witness of the first deadlocked state.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import CordConfig, SystemConfig
 from repro.consistency.checker import Violation, check_rc
@@ -70,7 +71,10 @@ from repro.consistency.ops import MemOp, OpKind, Ordering
 from repro.core.directory import CordDirectoryState
 from repro.core.messages import NotifyMeta, ReleaseMeta, RelaxedMeta, ReqNotifyMeta
 from repro.core.processor import CordProcessorState
+from repro.core.tables import BoundedTable, PartitionedTable
 from repro.litmus.dsl import LitmusTest
+from repro.litmus.symmetry import Automorphism, find_automorphisms
+from repro.litmus.visited import make_visited
 from repro.memory.address import AddressMap
 from repro.sim.stats import StatRegistry
 
@@ -299,6 +303,119 @@ def _freeze_cached(obj: Any) -> Any:
     return memo
 
 
+# ---------------------------------------------------------------------------
+# Symmetry: component permutation (DESIGN.md §4.11)
+# ---------------------------------------------------------------------------
+# The frozen forms of the protocol components embed core/directory indices
+# both as table keys and inside the table *names* (``proc0.store_counters``),
+# so permuting a frozen form textually would be fragile.  Instead each
+# component is rebuilt as the object the permuted execution would have
+# produced and frozen with the ordinary ``_freeze`` — one code path, no
+# format assumptions.  Like ``_freeze_cached``, the result is memoized on
+# the component per automorphism (``_frozen_perm``, excluded from freezing
+# by the ``_frozen*`` skip rule and dropped by every clone), so COW sharing
+# amortizes the rebuild across states.
+
+def _digest_of(key: Any) -> bytes:
+    """Canonical 128-bit digest of a visited-set key.
+
+    ``repr`` is injective and deterministic on the key domain (nested
+    tuples of ints, strings, bools and None — ``_freeze`` guarantees no
+    live objects remain), unlike ``pickle``, whose memoization makes the
+    byte stream depend on internal object sharing.
+    """
+    return hashlib.blake2b(repr(key).encode(), digest_size=16).digest()
+
+
+def _permuted_frozen(component: Any, auto: Automorphism, builder) -> Tuple:
+    memo = component.__dict__.get("_frozen_perm")
+    if memo is None:
+        memo = {}
+        component._frozen_perm = memo
+    form = memo.get(auto.index)
+    if form is None:
+        form = _freeze(builder(component, auto))
+        memo[auto.index] = form
+    return form
+
+
+def _build_permuted_proc(proc: CordProcessorState,
+                         auto: Automorphism) -> CordProcessorState:
+    """The processor state core σ(i) would hold in the permuted run."""
+    twin = CordProcessorState.__new__(CordProcessorState)
+    twin.proc = auto.cores[proc.proc]
+    twin.config = proc.config
+    twin.epoch = proc.epoch  # per-core epoch counting is identity-blind
+    counters: BoundedTable = BoundedTable(
+        "proc{}.store_counters".format(twin.proc),
+        proc.store_counters.capacity, proc.store_counters.entry_bytes,
+    )
+    for directory, count in proc.store_counters:
+        counters._entries[auto.dirs.get(directory, directory)] = count
+    twin.store_counters = counters
+    unacked: BoundedTable = BoundedTable(
+        "proc{}.unacked_epochs".format(twin.proc),
+        proc.unacked.capacity, proc.unacked.entry_bytes,
+    )
+    for (directory, epoch), flag in proc.unacked:
+        unacked._entries[(auto.dirs.get(directory, directory), epoch)] = flag
+    twin.unacked = unacked
+    # Statistics fields are excluded from frozen forms; the observer must
+    # match the checker's (always None).
+    twin.relaxed_issued = 0
+    twin.releases_issued = 0
+    twin.stalls = {}
+    twin.on_transition = None
+    return twin
+
+
+def _permute_partitioned(table: PartitionedTable, name: str,
+                         auto: Automorphism) -> PartitionedTable:
+    twin = PartitionedTable.__new__(PartitionedTable)
+    twin.name = name
+    twin.entries_per_proc = table.entries_per_proc
+    twin.entry_bytes = table.entry_bytes
+    twin._partitions = {}
+    for proc, sub in table._partitions.items():
+        image = auto.cores[proc]
+        part: BoundedTable = BoundedTable(
+            "{}[p{}]".format(name, image), sub.capacity, sub.entry_bytes)
+        part._entries = dict(sub._entries)  # keyed by epoch: invariant
+        twin._partitions[image] = part
+    return twin
+
+
+def _build_permuted_dir(directory: CordDirectoryState,
+                        auto: Automorphism) -> CordDirectoryState:
+    """The directory state slice δ(d) would hold in the permuted run."""
+    twin = CordDirectoryState.__new__(CordDirectoryState)
+    twin.directory = auto.dirs.get(directory.directory, directory.directory)
+    twin.config = directory.config
+    twin.store_counters = _permute_partitioned(
+        directory.store_counters,
+        "dir{}.store_counters".format(twin.directory), auto)
+    twin.notification_counters = _permute_partitioned(
+        directory.notification_counters,
+        "dir{}.notification_counters".format(twin.directory), auto)
+    twin.largest_committed = {
+        auto.cores[proc]: epoch
+        for proc, epoch in directory.largest_committed.items()
+    }
+    twin.relaxed_committed = 0
+    twin.releases_committed = 0
+    twin.notifications_sent = 0
+    return twin
+
+
+def _permute_meta(meta: Any, auto: Automorphism) -> Any:
+    if isinstance(meta, ReqNotifyMeta):
+        return replace(meta, proc=auto.cores[meta.proc],
+                       noti_dst=auto.dirs.get(meta.noti_dst, meta.noti_dst))
+    if isinstance(meta, (RelaxedMeta, ReleaseMeta, NotifyMeta)):
+        return replace(meta, proc=auto.cores[meta.proc])
+    raise TypeError("cannot permute meta {!r}".format(meta))
+
+
 @dataclass
 class FinalState:
     """One distinct terminal outcome."""
@@ -432,6 +549,13 @@ class CheckResult:
 #: reads conflictingly.  Eligible as singleton ample sets.
 _AMPLE_KINDS = frozenset({"so_ack", "notify", "atomic_resp"})
 
+#: In-flight store carriers a core's own later load must observe
+#: (read-own-write forwarding, :meth:`ModelChecker._read_for_core`).
+#: Disjoint from :data:`_AMPLE_KINDS`, so forwarding never reads state an
+#: ample delivery writes and the POR argument is untouched.
+_FWD_STORE_KINDS = frozenset(
+    {"wt_rlx", "wt_rel", "wt_store", "seq_store", "posted"})
+
 
 class ModelChecker:
     """Exhaustive interleaving exploration of a litmus test.
@@ -468,7 +592,27 @@ class ModelChecker:
     stats:
         Optional :class:`~repro.sim.stats.StatRegistry`; when given, the
         run accumulates ``modelcheck.*`` counters (states, transitions,
-        visited hits, POR prunes, peak frontier, wall seconds) into it.
+        visited hits, POR prunes, peak frontier, wall seconds, symmetry
+        canonicalizations) into it.
+    symmetry:
+        Canonicalize visited-set keys under the litmus test's
+        automorphism group (core-id, location/address, value and
+        register permutations — see :mod:`repro.litmus.symmetry` and
+        DESIGN.md §4.11).  Sound: final-outcome sets are recorded
+        orbit-expanded, so verdicts and outcome sets match the
+        unreduced exploration exactly.  Tests with a trivial group pay
+        nothing.
+    parallel:
+        Shard the frontier across this many worker processes
+        (:mod:`repro.litmus.parallel`); 1 explores serially in-process.
+    visited_db:
+        Path for a disk-backed visited set: exploration starts in RAM
+        and spills to SQLite at ``spill_threshold`` entries, bounding
+        memory for overnight full-bound runs.  None keeps the visited
+        set purely in memory.
+    spill_threshold:
+        Entry count at which a ``visited_db`` run spills to disk
+        (default :data:`repro.litmus.visited.DEFAULT_SPILL_THRESHOLD`).
     """
 
     def __init__(
@@ -483,6 +627,10 @@ class ModelChecker:
         partial: bool = False,
         por: bool = True,
         stats: Optional[StatRegistry] = None,
+        symmetry: bool = True,
+        parallel: int = 1,
+        visited_db: Optional[str] = None,
+        spill_threshold: Optional[int] = None,
     ) -> None:
         self.test = test
         self.protocol = protocol
@@ -500,6 +648,10 @@ class ModelChecker:
         self.partial = partial
         self.por = por
         self.stats = stats
+        self.symmetry = symmetry
+        self.parallel = max(1, int(parallel))
+        self.visited_db = visited_db
+        self.spill_threshold = spill_threshold
         self.address_map = AddressMap(self.config)
         self.programs = test.compile(self.config)
         self.core_protocols = list(
@@ -507,6 +659,17 @@ class ModelChecker:
         )
         if len(self.core_protocols) != test.threads:
             raise ValueError("thread_protocols length != thread count")
+        self._autos: List[Automorphism] = (
+            find_automorphisms(self) if symmetry else []
+        )
+        self._sym_canon = 0
+        # Everything a worker process needs to rebuild an equivalent
+        # (serial, in-memory) checker for frontier sharding.
+        self._ctor = dict(
+            test=test, protocol=protocol, config=self.config,
+            cord_config=self.cord_config, tso=tso, sc=sc,
+            max_states=max_states, partial=True, por=por, symmetry=symmetry,
+        )
 
     # ------------------------------------------------------------------
     # State construction
@@ -531,6 +694,27 @@ class ModelChecker:
 
     def _read(self, state: _State, addr: int) -> int:
         return state.values[self._home(addr)].get(addr, 0)
+
+    def _read_for_core(self, state: _State, core_index: int,
+                       addr: int) -> int:
+        """What a load by ``core_index`` observes: the youngest of the
+        core's own in-flight stores to ``addr``, else the committed value.
+
+        The timed machine gets read-own-write for free — a ``load_req``
+        queues behind the core's earlier store on the same FIFO link to
+        the home (and the write-combining buffer flushes before loads) —
+        but here loads read directory state directly, so without this
+        forwarding the adversarial network could delay a store past its
+        own core's later load and fabricate a stale read no
+        release-consistent machine exhibits.  Atomics never need it: the
+        issuing core blocks until the RMW response.
+        """
+        for msg in reversed(state.network):
+            if (msg.kind in _FWD_STORE_KINDS
+                    and msg.fields.get("core") == core_index
+                    and msg.fields.get("addr") == addr):
+                return msg.fields["value"]
+        return self._read(state, addr)
 
     # ------------------------------------------------------------------
     # Enabled actions
@@ -598,7 +782,7 @@ class ModelChecker:
         if op.kind is OpKind.LOAD:
             return True
         if op.kind is OpKind.LOAD_UNTIL:
-            value = self._read(state, op.addr)
+            value = self._read_for_core(state, core_index, op.addr)
             exact = op.meta.get("cmp") == "eq"
             return value == op.value or (not exact and value >= op.value)
         if op.kind is OpKind.FENCE:
@@ -714,7 +898,7 @@ class ModelChecker:
             core.pc += 1
             return
         if op.kind in (OpKind.LOAD, OpKind.LOAD_UNTIL):
-            value = self._read(state, op.addr)
+            value = self._read_for_core(state, core_index, op.addr)
             if op.register is not None:
                 core.regs[op.register] = value
             state.events.append(
@@ -969,6 +1153,122 @@ class ModelChecker:
             ),
         )
 
+    # ------------------------------------------------------------------
+    # Symmetry canonicalization (DESIGN.md §4.11)
+    # ------------------------------------------------------------------
+    def _perm_msg(self, msg: _Msg, auto: Automorphism) -> Tuple:
+        """Permuted ``(kind, dst_dir, dst_core, frozen_fields, fifo)`` of an
+        in-flight message, memoized per automorphism (messages are
+        immutable once sent and shared across states)."""
+        memo = msg.__dict__.get("_frozen_perm")
+        if memo is None:
+            memo = {}
+            msg._frozen_perm = memo
+        entry = memo.get(auto.index)
+        if entry is None:
+            dst_dir = (auto.dirs.get(msg.dst_dir, msg.dst_dir)
+                       if msg.dst_dir is not None else None)
+            dst_core = (auto.cores[msg.dst_core]
+                        if msg.dst_core is not None else None)
+            # atomic_resp has no "core" field; the register belongs to the
+            # destination (issuing) core.
+            owner = msg.fields.get("core", msg.dst_core)
+            fields: Dict[str, Any] = {}
+            for name, value in msg.fields.items():
+                if value is None:
+                    fields[name] = None
+                elif name == "core":
+                    fields[name] = auto.cores[value]
+                elif name == "addr":
+                    fields[name] = auto.addrs.get(value, value)
+                elif name in ("value", "old", "compare"):
+                    fields[name] = auto.values.get(value, value)
+                elif name == "dir":
+                    fields[name] = auto.dirs.get(value, value)
+                elif name == "register":
+                    fields[name] = auto.regs[owner].get(value, value)
+                elif name == "meta":
+                    fields[name] = _permute_meta(value, auto)
+                else:  # pc, ordering, seq, ordered, atomic flavour
+                    fields[name] = value
+            if msg.fifo_class is None:
+                fifo = None
+            elif msg.fifo_class[0] == "addr":
+                _, core, addr = msg.fifo_class
+                fifo = ("addr", auto.cores[core], auto.addrs.get(addr, addr))
+            else:
+                core, directory = msg.fifo_class
+                fifo = (auto.cores[core],
+                        auto.dirs.get(directory, directory))
+            entry = (msg.kind, dst_dir, dst_core, _freeze(fields), fifo)
+            memo[auto.index] = entry
+        return entry
+
+    def _permuted_key(self, state: _State, auto: Automorphism) -> Tuple:
+        """The key :meth:`_key` would produce for the ``auto``-image of
+        ``state`` — built without materializing the permuted state."""
+        threads = self.test.threads
+        cores_out: List[Optional[Tuple]] = [None] * threads
+        for i, core in enumerate(state.cores):
+            regs = tuple(sorted(
+                (auto.regs[i].get(r, r), auto.values.get(v, v))
+                for r, v in core.regs.items()
+            ))
+            cord = (_permuted_frozen(core.cord, auto, _build_permuted_proc)
+                    if core.cord is not None else None)
+            cores_out[auto.cores[i]] = (
+                core.pc, regs, cord, core.so_outstanding, core.fence_issued,
+                core.blocked, core.seq_next, core.seq_outstanding,
+            )
+        total = len(state.dirs)
+        dirs_out: List[Optional[Tuple]] = [None] * total
+        values_out: List[Optional[Tuple]] = [None] * total
+        for index, directory in enumerate(state.dirs):
+            dirs_out[auto.dirs.get(index, index)] = _permuted_frozen(
+                directory, auto, _build_permuted_dir)
+        for index, values in enumerate(state.values):
+            values_out[auto.dirs.get(index, index)] = tuple(sorted(
+                (auto.addrs.get(a, a), auto.values.get(v, v))
+                for a, v in values.items()
+            ))
+        seq_out = tuple(sorted(
+            ((auto.dirs.get(d, d), auto.cores[c]), count)
+            for (d, c), count in state.seq_committed.items()
+        ))
+        entries = []
+        for msg in state.network:
+            kind, dst_dir, dst_core, fields, fifo = self._perm_msg(msg, auto)
+            # Relative FIFO position is invariant (seq order and class
+            # membership are preserved), so compute it on the original.
+            rel = sum(1 for other in state.network
+                      if other.fifo_class == msg.fifo_class
+                      and other.seq < msg.seq)
+            entries.append(((kind, str(dst_dir), str(dst_core), msg.seq),
+                            (kind, dst_dir, dst_core, fields, fifo, rel)))
+        entries.sort(key=lambda e: e[0])
+        return (
+            tuple(cores_out), tuple(dirs_out), tuple(values_out), seq_out,
+            tuple(entry for _, entry in entries),
+        )
+
+    def _canonical_digest(self, state: _State) -> bytes:
+        """Orbit-canonical digest: the minimum of the state's own key
+        digest and every automorphic image's.  States in the same orbit
+        share it, so the visited set prunes whole orbits."""
+        best = identity = _digest_of(self._key(state))
+        for auto in self._autos:
+            candidate = _digest_of(self._permuted_key(state, auto))
+            if candidate < best:
+                best = candidate
+        if best != identity:
+            self._sym_canon += 1
+        return best
+
+    def _state_key(self, state: _State, digest_mode: bool) -> Any:
+        if digest_mode:
+            return self._canonical_digest(state)
+        return self._key(state)
+
     def _is_final(self, state: _State) -> bool:
         return (
             all(
@@ -1013,11 +1313,91 @@ class ModelChecker:
                 history.set_register(core_index, register, value)
         return history
 
+    def _permuted_history(self, state: _State,
+                          auto: Automorphism) -> ExecutionHistory:
+        """The execution history the ``auto``-image run would have logged
+        (same interleaving order, permuted identities)."""
+        history = ExecutionHistory()
+        for core_index, pc, kind, ordering, addr, value in state.events:
+            history.record(
+                auto.cores[core_index], pc, kind, ordering,
+                addr=auto.addrs.get(addr, addr),
+                value=auto.values.get(value, value),
+            )
+        for core_index, core in enumerate(state.cores):
+            renaming = auto.regs[core_index]
+            for register, value in core.regs.items():
+                history.set_register(
+                    auto.cores[core_index], renaming.get(register, register),
+                    auto.values.get(value, value),
+                )
+        return history
+
+    def _record_final(self, state: _State,
+                      finals: Dict[Tuple, FinalState]) -> None:
+        """Record a terminal state's outcome — and, under symmetry, its
+        entire orbit.  Orbit expansion is what keeps the reported outcome
+        set *exactly* equal to the unreduced exploration's: a pruned orbit
+        member's finals are the automorphic images of its representative's
+        (DESIGN.md §4.11), each validated against its own permuted history
+        so RC verdicts stay honest per outcome."""
+        memory = {
+            "mem:" + loc: self._read(
+                state, self.test.resolve_address(self.config, loc)
+            )
+            for loc in self.test.locations
+        }
+        outcome_key = _freeze(dict(
+            {"P{}:{}".format(i, r): v
+             for i, c in enumerate(state.cores)
+             for r, v in c.regs.items()},
+            **memory,
+        ))
+        if outcome_key not in finals:
+            history = self._history(state)
+            finals[outcome_key] = FinalState(
+                outcome=dict(history.register_outcome(), **memory),
+                history=history,
+                violations=check_rc(history),
+            )
+        for auto in self._autos:
+            perm_memory = {
+                "mem:" + auto.locs.get(loc, loc):
+                    auto.values.get(memory["mem:" + loc], memory["mem:" + loc])
+                for loc in self.test.locations
+            }
+            perm_key = _freeze(dict(
+                {"P{}:{}".format(auto.cores[i], auto.regs[i].get(r, r)):
+                     auto.values.get(v, v)
+                 for i, c in enumerate(state.cores)
+                 for r, v in c.regs.items()},
+                **perm_memory,
+            ))
+            if perm_key not in finals:
+                history = self._permuted_history(state, auto)
+                finals[perm_key] = FinalState(
+                    outcome=dict(history.register_outcome(), **perm_memory),
+                    history=history,
+                    violations=check_rc(history),
+                )
+
     def run(self) -> CheckResult:
         """Exhaustively explore; returns all distinct final outcomes."""
+        if self.parallel > 1:
+            from repro.litmus.parallel import run_parallel
+            return run_parallel(self)
+        return self._run_serial()
+
+    def _run_serial(self) -> CheckResult:
         started = time.perf_counter()
+        self._sym_canon = 0
+        visited = make_visited(self.visited_db, self.spill_threshold)
+        # Raw key tuples are the historical fast path; digests are needed
+        # once keys must be canonicalized (symmetry) or stored compactly
+        # on disk.
+        digest_mode = bool(self._autos) or visited.wants_bytes
         initial = self._initial()
-        visited: Set[Tuple] = {self._key(initial)}
+        visited.add(self._state_key(initial, digest_mode))
         stack = [initial]
         finals: Dict[Tuple, FinalState] = {}
         deadlocks = 0
@@ -1029,55 +1409,39 @@ class ModelChecker:
         first_deadlock: Optional[DeadlockWitness] = None
         complete = True
 
-        while stack:
-            state = stack.pop()
-            explored += 1
-            if explored > self.max_states:
-                explored -= 1  # this state was not expanded
-                complete = False
-                break
-            actions = self._enabled(state)
-            if not actions:
-                if self._is_final(state):
-                    memory = {
-                        f"mem:{loc}": self._read(
-                            state, self.test.resolve_address(self.config, loc)
-                        )
-                        for loc in self.test.locations
-                    }
-                    outcome_key = _freeze(dict(
-                        {f"P{i}:{r}": v
-                         for i, c in enumerate(state.cores)
-                         for r, v in c.regs.items()},
-                        **memory,
-                    ))
-                    if outcome_key not in finals:
-                        history = self._history(state)
-                        finals[outcome_key] = FinalState(
-                            outcome=dict(history.register_outcome(), **memory),
-                            history=history,
-                            violations=check_rc(history),
-                        )
-                else:
-                    deadlocks += 1
-                    if first_deadlock is None:
-                        first_deadlock = self._witness(state)
-                continue
-            if self.por:
-                reduced = self._reduce(state, actions)
-                ample_pruned += len(actions) - len(reduced)
-                actions = reduced
-            for action in actions:
-                successor = self._apply(state, action)
-                transitions += 1
-                key = self._key(successor)
-                if key not in visited:
-                    visited.add(key)
-                    stack.append(successor)
-                    if len(stack) > peak_frontier:
-                        peak_frontier = len(stack)
-                else:
-                    visited_hits += 1
+        try:
+            while stack:
+                state = stack.pop()
+                explored += 1
+                if explored > self.max_states:
+                    explored -= 1  # this state was not expanded
+                    complete = False
+                    break
+                actions = self._enabled(state)
+                if not actions:
+                    if self._is_final(state):
+                        self._record_final(state, finals)
+                    else:
+                        deadlocks += 1
+                        if first_deadlock is None:
+                            first_deadlock = self._witness(state)
+                    continue
+                if self.por:
+                    reduced = self._reduce(state, actions)
+                    ample_pruned += len(actions) - len(reduced)
+                    actions = reduced
+                for action in actions:
+                    successor = self._apply(state, action)
+                    transitions += 1
+                    if visited.add(self._state_key(successor, digest_mode)):
+                        stack.append(successor)
+                        if len(stack) > peak_frontier:
+                            peak_frontier = len(stack)
+                    else:
+                        visited_hits += 1
+            spilled = visited.spilled
+        finally:
+            visited.close()
 
         elapsed = time.perf_counter() - started
         run_stats = {
@@ -1088,16 +1452,13 @@ class ModelChecker:
                                  if transitions else 0.0),
             "peak_frontier": float(peak_frontier),
             "ample_pruned": float(ample_pruned),
+            "automorphisms": float(len(self._autos)),
+            "symmetry_canon": float(self._sym_canon),
+            "visited_spilled": 1.0 if spilled else 0.0,
             "wall_s": elapsed,
             "states_per_sec": explored / elapsed if elapsed > 0 else 0.0,
         }
-        if self.stats is not None:
-            self.stats.counter("modelcheck.states").add(explored)
-            self.stats.counter("modelcheck.transitions").add(transitions)
-            self.stats.counter("modelcheck.visited_hits").add(visited_hits)
-            self.stats.counter("modelcheck.ample_pruned").add(ample_pruned)
-            self.stats.counter("modelcheck.wall_s").add(elapsed)
-            self.stats.max_tracker("modelcheck.frontier").set(peak_frontier)
+        self._accumulate_registry(run_stats)
 
         result = CheckResult(
             test=self.test,
@@ -1110,10 +1471,33 @@ class ModelChecker:
             stats=run_stats,
             elapsed_s=elapsed,
         )
-        if not complete and not self.partial:
+        return self._finish(result)
+
+    def _accumulate_registry(self, run_stats: Dict[str, float]) -> None:
+        if self.stats is None:
+            return
+        self.stats.counter("modelcheck.states").add(run_stats["states"])
+        self.stats.counter("modelcheck.transitions").add(
+            run_stats["transitions"])
+        self.stats.counter("modelcheck.visited_hits").add(
+            run_stats["visited_hits"])
+        self.stats.counter("modelcheck.ample_pruned").add(
+            run_stats["ample_pruned"])
+        self.stats.counter("modelcheck.symmetry_canon").add(
+            run_stats["symmetry_canon"])
+        self.stats.counter("modelcheck.wall_s").add(run_stats["wall_s"])
+        self.stats.max_tracker("modelcheck.frontier").set(
+            run_stats["peak_frontier"])
+        if "parallel_rounds" in run_stats:
+            self.stats.counter("modelcheck.parallel_rounds").add(
+                run_stats["parallel_rounds"])
+
+    def _finish(self, result: CheckResult) -> CheckResult:
+        if not result.complete and not self.partial:
             raise ModelCheckError(
-                f"{self.test.name}: exceeded {self.max_states} states "
-                f"({len(result.finals)} finals, {deadlocks} deadlocks so far)",
+                "{}: exceeded {} states ({} finals, {} deadlocks so far)"
+                .format(self.test.name, self.max_states, len(result.finals),
+                        result.deadlocks),
                 partial_result=result,
             )
         return result

@@ -1,0 +1,262 @@
+"""Parallel frontier exploration for the model checker (§4.5 at scale).
+
+The state graph is explored in bulk-synchronous rounds over a pool of
+persistent worker processes:
+
+* **Hash-sharded visited ownership** — every canonical state digest has
+  one owner shard (``digest mod N``); only the owner answers "seen
+  before?", so the visited set is partitioned with no cross-worker
+  coordination and each shard can independently spill to its own SQLite
+  file (:mod:`repro.litmus.visited`).
+* **Work redistribution** — novelty filtering and expansion are separate
+  phases: after the owners dedup a round's frontier, the surviving states
+  are re-dispatched round-robin across *all* workers, so an owner whose
+  shard happens to attract the round's states does not serialize the
+  expansion work (idle workers steal an equal slice of every round).
+* **Equivalent counts** — each unique state is expanded exactly once and
+  each transition applied exactly once, so ``states_explored``,
+  ``transitions`` and ``visited_hits`` match the serial exploration
+  exactly (the differential test pins this); only ``peak_frontier``
+  differs (breadth-first waves vs a depth-first stack).
+
+Workers rebuild an equivalent serial checker from the coordinating
+checker's constructor arguments, so symmetry canonicalization, POR and
+final-state orbit recording run unchanged inside each worker.  Budget
+enforcement stays at the coordinator: a round whose novel states would
+exceed ``max_states`` is truncated and the result marked incomplete,
+mirroring the serial checker's partial-result semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.litmus.visited import make_visited
+
+__all__ = ["run_parallel"]
+
+
+def _strip_memos(state) -> None:
+    """Drop per-component freeze memos before shipping a state across a
+    process boundary (they are pure caches, and often larger than the
+    state itself)."""
+    for core in state.cores:
+        if core.cord is not None:
+            core.cord.__dict__.pop("_frozen_memo", None)
+            core.cord.__dict__.pop("_frozen_perm", None)
+    for directory in state.dirs:
+        directory.__dict__.pop("_frozen_memo", None)
+        directory.__dict__.pop("_frozen_perm", None)
+    for msg in state.network:
+        msg._frozen = None
+        msg.__dict__.pop("_frozen_perm", None)
+
+
+def _shard_of(digest: bytes, shards: int) -> int:
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def _worker_main(conn, ctor: Dict[str, Any], shard: int,
+                 visited_db: Optional[str],
+                 spill_threshold: Optional[int]) -> None:
+    """One persistent worker: owns visited shard ``shard``, expands
+    whatever slice of each round the coordinator re-dispatches to it."""
+    from repro.litmus.model_checker import ModelChecker
+
+    checker = ModelChecker(**ctor)
+    shard_db = ("{}.shard{}".format(visited_db, shard)
+                if visited_db is not None else None)
+    visited = make_visited(shard_db, spill_threshold)
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "mark":
+                flags = [visited.add(digest) for digest in message[1]]
+                conn.send(("marked", flags))
+            elif command == "expand":
+                checker._sym_canon = 0
+                successors: List[Tuple[bytes, Any]] = []
+                finals: List[Tuple[Tuple, Any]] = []
+                deadlocks = 0
+                witness = None
+                transitions = 0
+                ample_pruned = 0
+                for state in message[1]:
+                    actions = checker._enabled(state)
+                    if not actions:
+                        if checker._is_final(state):
+                            found: Dict[Tuple, Any] = {}
+                            checker._record_final(state, found)
+                            finals.extend(found.items())
+                        else:
+                            deadlocks += 1
+                            if witness is None:
+                                witness = checker._witness(state)
+                        continue
+                    if checker.por:
+                        reduced = checker._reduce(state, actions)
+                        ample_pruned += len(actions) - len(reduced)
+                        actions = reduced
+                    for action in actions:
+                        successor = checker._apply(state, action)
+                        transitions += 1
+                        digest = checker._canonical_digest(successor)
+                        successors.append((digest, successor))
+                for _, successor in successors:
+                    _strip_memos(successor)
+                conn.send(("expanded", successors, finals, deadlocks,
+                           witness, transitions, ample_pruned,
+                           checker._sym_canon))
+            elif command == "stop":
+                conn.send(("bye", visited.spilled))
+                return
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError("unknown command {!r}".format(command))
+    finally:
+        visited.close()
+        conn.close()
+
+
+def run_parallel(checker) -> "CheckResult":
+    """Explore ``checker``'s state graph across ``checker.parallel``
+    worker processes; returns the same :class:`CheckResult` a serial run
+    would (bar ``peak_frontier`` and wall-clock fields)."""
+    from repro.litmus.model_checker import CheckResult
+
+    started = time.perf_counter()
+    workers = checker.parallel
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+    connections = []
+    processes = []
+    for shard in range(workers):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_worker_main,
+            args=(child_conn, checker._ctor, shard, checker.visited_db,
+                  checker.spill_threshold),
+        )
+        process.start()
+        child_conn.close()
+        connections.append(parent_conn)
+        processes.append(process)
+
+    checker._sym_canon = 0
+    initial = checker._initial()
+    pending: List[Tuple[bytes, Any]] = [
+        (checker._canonical_digest(initial), initial)]
+    _strip_memos(initial)
+
+    explored = 0
+    transitions = 0
+    visited_hits = 0
+    ample_pruned = 0
+    sym_canon = checker._sym_canon
+    rounds = 0
+    peak_frontier = 1
+    deadlocks = 0
+    first_deadlock = None
+    finals: Dict[Tuple, Any] = {}
+    complete = True
+    spilled = False
+
+    try:
+        while pending:
+            rounds += 1
+            if len(pending) > peak_frontier:
+                peak_frontier = len(pending)
+            # Phase 1: novelty at the owning shards.
+            by_owner: Dict[int, List[int]] = {}
+            for index, (digest, _) in enumerate(pending):
+                by_owner.setdefault(_shard_of(digest, workers),
+                                    []).append(index)
+            for shard, indices in by_owner.items():
+                connections[shard].send(
+                    ("mark", [pending[i][0] for i in indices]))
+            novel_flags = [False] * len(pending)
+            for shard, indices in by_owner.items():
+                _, flags = connections[shard].recv()
+                for index, flag in zip(indices, flags):
+                    novel_flags[index] = flag
+            novel = [pending[i] for i in range(len(pending))
+                     if novel_flags[i]]
+            visited_hits += len(pending) - len(novel)
+            # Budget: truncate the wave like the serial checker stops
+            # popping its stack.
+            if explored + len(novel) > checker.max_states:
+                novel = novel[:max(0, checker.max_states - explored)]
+                complete = False
+            explored += len(novel)
+            # Phase 2: expansion re-dispatched evenly across every
+            # worker, owners and idle shards alike.
+            chunks = [novel[offset::workers] for offset in range(workers)]
+            active = [w for w in range(workers) if chunks[w]]
+            for shard in active:
+                connections[shard].send(
+                    ("expand", [state for _, state in chunks[shard]]))
+            pending = []
+            for shard in active:
+                (_, successors, worker_finals, worker_deadlocks, witness,
+                 worker_transitions, worker_ample,
+                 worker_canon) = connections[shard].recv()
+                pending.extend(successors)
+                for outcome_key, final in worker_finals:
+                    if outcome_key not in finals:
+                        finals[outcome_key] = final
+                deadlocks += worker_deadlocks
+                if first_deadlock is None:
+                    first_deadlock = witness
+                transitions += worker_transitions
+                ample_pruned += worker_ample
+                sym_canon += worker_canon
+            if not complete:
+                break
+        for connection in connections:
+            connection.send(("stop",))
+        for connection in connections:
+            _, worker_spilled = connection.recv()
+            spilled = spilled or worker_spilled
+        for process in processes:
+            process.join(timeout=30)
+    finally:
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - crash path
+                process.terminate()
+        for connection in connections:
+            connection.close()
+
+    elapsed = time.perf_counter() - started
+    run_stats = {
+        "states": float(explored),
+        "transitions": float(transitions),
+        "visited_hits": float(visited_hits),
+        "visited_hit_rate": (visited_hits / transitions
+                             if transitions else 0.0),
+        "peak_frontier": float(peak_frontier),
+        "ample_pruned": float(ample_pruned),
+        "automorphisms": float(len(checker._autos)),
+        "symmetry_canon": float(sym_canon),
+        "visited_spilled": 1.0 if spilled else 0.0,
+        "parallel_workers": float(workers),
+        "parallel_rounds": float(rounds),
+        "wall_s": elapsed,
+        "states_per_sec": explored / elapsed if elapsed > 0 else 0.0,
+    }
+    checker._accumulate_registry(run_stats)
+    result = CheckResult(
+        test=checker.test,
+        protocol=checker.protocol,
+        finals=list(finals.values()),
+        deadlocks=deadlocks,
+        states_explored=explored,
+        complete=complete,
+        first_deadlock=first_deadlock,
+        stats=run_stats,
+        elapsed_s=elapsed,
+    )
+    return checker._finish(result)

@@ -1,0 +1,159 @@
+"""Visited-set storage for the model checker (§4.5 at full bounds).
+
+The serial checker historically kept visited keys in a Python ``set``; at
+the paper's generated-suite bounds (4 cores / 2 addresses / 2 values) the
+key tuples alone exhaust RAM long before the state space is exhausted.
+This module abstracts the visited set behind a two-implementation
+interface:
+
+* :class:`MemoryVisitedSet` — a plain set, the default.  Accepts any
+  hashable key (raw key tuples in the no-symmetry fast path, 16-byte
+  digests otherwise).
+* :class:`SqliteVisitedSet` — starts as an in-memory set of digests and
+  *spills* to a SQLite table once it crosses ``spill_threshold`` entries.
+  After the spill every membership test is an ``INSERT OR IGNORE`` against
+  the primary key, so RAM usage is bounded by SQLite's page cache
+  regardless of state count.  Keys must be ``bytes`` (``wants_bytes``),
+  which the checker satisfies by hashing canonical keys to BLAKE2b-128
+  digests — the classic hash-compaction trade (a 2^-64-scale collision
+  probability per pair in exchange for constant-size entries).
+
+Both expose ``add(key) -> bool`` (True iff the key was new) so the caller
+performs exactly one lookup per successor.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from typing import Optional, Set
+
+__all__ = ["VisitedSet", "MemoryVisitedSet", "SqliteVisitedSet",
+           "make_visited", "DEFAULT_SPILL_THRESHOLD"]
+
+DEFAULT_SPILL_THRESHOLD = 200_000
+
+#: Commit the write transaction every this many post-spill insertions
+#: (membership reads see uncommitted rows on the same connection, so the
+#: interval only bounds crash-loss of scratch data, not correctness).
+_COMMIT_INTERVAL = 20_000
+
+
+class VisitedSet:
+    """Interface: ``add`` returns True when the key had not been seen."""
+
+    #: True when keys must be ``bytes`` (digest mode).
+    wants_bytes = False
+
+    def add(self, key) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def spilled(self) -> bool:
+        return False
+
+
+class MemoryVisitedSet(VisitedSet):
+    """The historical behaviour: an in-process Python set."""
+
+    def __init__(self) -> None:
+        self._seen: Set = set()
+
+    def add(self, key) -> bool:
+        before = len(self._seen)
+        self._seen.add(key)
+        return len(self._seen) != before
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+class SqliteVisitedSet(VisitedSet):
+    """Digest set that spills from RAM to a SQLite file past a threshold.
+
+    The database is scratch state for one exploration: journalling and
+    fsync are disabled for speed, and ``close()`` removes the file unless
+    ``keep=True`` (useful for post-mortem inspection of overnight runs).
+    """
+
+    wants_bytes = True
+
+    def __init__(self, path: str,
+                 spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+                 keep: bool = False) -> None:
+        self.path = str(path)
+        self.spill_threshold = max(0, int(spill_threshold))
+        self.keep = keep
+        self._seen: Optional[Set[bytes]] = set()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._count = 0
+        self._dirty = 0
+
+    @property
+    def spilled(self) -> bool:
+        return self._conn is not None
+
+    def _spill(self) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self.path):
+            os.unlink(self.path)  # scratch from an aborted previous run
+        conn = sqlite3.connect(self.path)
+        conn.execute("PRAGMA journal_mode=OFF")
+        conn.execute("PRAGMA synchronous=OFF")
+        conn.execute("CREATE TABLE visited (k BLOB PRIMARY KEY) WITHOUT ROWID")
+        conn.executemany("INSERT INTO visited VALUES (?)",
+                         ((key,) for key in self._seen))
+        conn.commit()
+        self._conn = conn
+        self._seen = None
+
+    def add(self, key: bytes) -> bool:
+        if self._conn is None:
+            before = len(self._seen)
+            self._seen.add(key)
+            novel = len(self._seen) != before
+            if novel:
+                self._count += 1
+                if self._count > self.spill_threshold:
+                    self._spill()
+            return novel
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO visited VALUES (?)", (key,))
+        novel = cursor.rowcount == 1
+        if novel:
+            self._count += 1
+            self._dirty += 1
+            if self._dirty >= _COMMIT_INTERVAL:
+                self._conn.commit()
+                self._dirty = 0
+        return novel
+
+    def __len__(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+            if not self.keep and os.path.exists(self.path):
+                os.unlink(self.path)
+        self._seen = set()
+
+
+def make_visited(db_path: Optional[str] = None,
+                 spill_threshold: Optional[int] = None) -> VisitedSet:
+    """The visited set a checker run should use."""
+    if db_path is None:
+        return MemoryVisitedSet()
+    threshold = (DEFAULT_SPILL_THRESHOLD if spill_threshold is None
+                 else spill_threshold)
+    return SqliteVisitedSet(db_path, spill_threshold=threshold)

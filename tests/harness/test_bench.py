@@ -25,19 +25,19 @@ class TestBasket:
     def test_basket_names_are_fixed(self):
         names = [name for name, _runner in bench_points(quick=True)]
         assert names == ["micro.kernel", "fig2.cxl", "litmus.classic",
-                         "modelcheck"]
+                         "modelcheck", "modelcheck.sym", "modelcheck.par"]
         assert names == [name for name, _ in bench_points(quick=False)]
 
     def test_payload_is_schema_valid(self, quick_payload):
         validate_payload(quick_payload)  # must not raise
         assert quick_payload["schema"] == SCHEMA_VERSION
         assert quick_payload["quick"] is True
-        assert len(quick_payload["points"]) == 4
+        assert len(quick_payload["points"]) == 6
         for point in quick_payload["points"]:
             assert point["events"] > 0
             assert point["wall_s"] > 0
             assert point["events_per_sec"] > 0
-            if point["name"] == "modelcheck":
+            if point["name"].startswith("modelcheck"):
                 # State exploration is untimed: no simulated clock.
                 assert point["sim_time_ns"] == 0.0
             else:
@@ -96,7 +96,7 @@ class TestComparison:
         for point in previous["points"]:
             point["events_per_sec"] *= 1.1    # current is 10% slower
         rows = compare_payloads(quick_payload, previous, threshold=0.25)
-        assert len(rows) == 4
+        assert len(rows) == 6
         assert not any(row["regressed"] for row in rows)
 
     def test_beyond_threshold_is_regressed(self, quick_payload):

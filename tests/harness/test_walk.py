@@ -1,0 +1,58 @@
+"""Random-walk specs in the executor registry: cache-hit regression."""
+
+from repro.harness.executor import Executor
+from repro.harness.walk import WalkSpec, make_walk_specs
+from repro.litmus.suite import full_suite
+
+
+def _case_named(name, protocol="cord"):
+    return next(c for c in full_suite()
+                if c.test.name == name and c.protocol == protocol)
+
+
+class TestWalkSpecRegistry:
+    def test_cold_then_warm_cache_hit(self, tmp_path):
+        spec = WalkSpec(test=_case_named("MP.same").test, protocol="cord",
+                        walks=30, seed=3)
+        cache = str(tmp_path / "cache")
+
+        cold = Executor(jobs=1, cache_dir=cache)
+        first = cold.map([spec])[0]
+        assert cold.misses == 1 and cold.hits == 0
+        assert not first.cached
+        assert first.passed and first.walks == 30
+
+        warm = Executor(jobs=1, cache_dir=cache)
+        second = warm.map([spec])[0]
+        assert warm.hits == 1 and warm.misses == 0
+        assert second.cached
+        assert second.distinct_outcomes == first.distinct_outcomes
+        assert second.deadlocks == first.deadlocks
+
+    def test_seed_changes_the_key(self, tmp_path):
+        case = _case_named("MP.same")
+        cache = str(tmp_path / "cache")
+        executor = Executor(jobs=1, cache_dir=cache)
+        executor.map([WalkSpec(test=case.test, walks=10, seed=0)])
+        executor.map([WalkSpec(test=case.test, walks=10, seed=1)])
+        assert executor.misses == 2
+
+    def test_make_walk_specs_mirrors_cases(self):
+        cases = [_case_named("MP.same"), _case_named("ISA2.split", "so")]
+        specs = make_walk_specs(cases, walks=50, seed=7)
+        assert [s.protocol for s in specs] == ["cord", "so"]
+        assert all(s.walks == 50 and s.seed == 7 for s in specs)
+
+    def test_run_log_fields(self, tmp_path):
+        # The executor's run log must accept walk records (the _log
+        # contract: events/stat()/inter_host_bytes).
+        log = str(tmp_path / "runs.jsonl")
+        executor = Executor(jobs=1, cache_dir=str(tmp_path / "c"),
+                            run_log=log)
+        record = executor.map(
+            [WalkSpec(test=_case_named("MP.same").test, walks=10)])[0]
+        assert record.events == 10
+        assert record.stat("walks") == 10.0
+        assert record.inter_host_bytes == 0.0
+        with open(log) as handle:
+            assert handle.read().strip()

@@ -1,0 +1,122 @@
+"""Parallel frontier exploration: equivalence with the serial checker.
+
+The sharded BFS must be a pure scheduling change: same verdicts, same
+finals, and the same exploration *counts* (states/transitions/visited
+hits — each unique state expanded exactly once at its owner-deduped
+round).  Only ``peak_frontier`` (breadth-first waves vs a depth-first
+stack), ``symmetry_canon`` (which concrete orbit representative gets
+expanded is order-dependent) and the wall-clock/parallel bookkeeping
+fields may differ.
+"""
+
+import glob
+
+import pytest
+
+from repro.harness.modelcheck import suite_cases
+from repro.litmus.model_checker import ModelChecker
+from repro.litmus.suite import full_suite
+
+#: Stats keys legitimately affected by exploration order, scheduling, or
+#: visited-set storage — everything else must match exactly.
+ORDER_DEPENDENT = {
+    "peak_frontier", "symmetry_canon", "wall_s", "states_per_sec",
+    "parallel_workers", "parallel_rounds", "visited_spilled",
+}
+
+
+def _checker(case, **kw):
+    return ModelChecker(
+        case.test, protocol=case.protocol, cord_config=case.cord_config,
+        tso=case.tso, partial=True, **kw,
+    )
+
+
+def _case_named(name, protocol="cord"):
+    return next(c for c in full_suite()
+                if c.test.name == name and c.protocol == protocol)
+
+
+def _comparable_stats(result):
+    return {k: v for k, v in result.stats.items() if k not in ORDER_DEPENDENT}
+
+
+def _outcome_set(result):
+    return {tuple(sorted(f.outcome.items())) for f in result.finals}
+
+
+def assert_equivalent(serial, parallel, label=""):
+    assert _comparable_stats(serial) == _comparable_stats(parallel), label
+    assert _outcome_set(serial) == _outcome_set(parallel), label
+    assert serial.deadlocks == parallel.deadlocks, label
+    assert serial.complete == parallel.complete, label
+    assert serial.passed == parallel.passed, label
+    key = lambda f: tuple(sorted(f.outcome.items()))
+    assert (
+        [sorted(map(str, f.violations))
+         for f in sorted(serial.finals, key=key)]
+        == [sorted(map(str, f.violations))
+            for f in sorted(parallel.finals, key=key)]
+    ), label
+
+
+class TestIsa2Smoke:
+    """The PR-blocking CI smoke: one ISA2 case, parallel == serial."""
+
+    def test_isa2_cord_parallel_matches_serial(self):
+        case = _case_named("ISA2.split")
+        serial = _checker(case).run()
+        parallel = _checker(case, parallel=2).run()
+        assert_equivalent(serial, parallel, "ISA2.split@cord")
+        assert parallel.stats["parallel_workers"] == 2.0
+        assert parallel.stats["parallel_rounds"] >= 1.0
+
+
+@pytest.mark.slow
+class TestQuickSuiteEquivalence:
+    def test_quick_suite_parallel_4(self):
+        for case in suite_cases("quick"):
+            serial = _checker(case).run()
+            parallel = _checker(case, parallel=4).run()
+            assert_equivalent(
+                serial, parallel, case.test.name + "@" + case.protocol)
+
+
+class TestBudgetAndSpill:
+    def test_budget_truncation_is_partial(self):
+        case = _case_named("ISA2.split")
+        parallel = _checker(case, max_states=10, parallel=2).run()
+        assert parallel.states_explored == 10
+        assert not parallel.complete
+
+    def test_per_shard_sqlite_spill(self, tmp_path):
+        case = _case_named("ISA2.split")
+        db = str(tmp_path / "vis.sqlite")
+        serial = _checker(case).run()
+        spilled = _checker(case, parallel=2, visited_db=db,
+                           spill_threshold=3).run()
+        assert_equivalent(serial, spilled, "spilled ISA2.split")
+        assert spilled.stats["visited_spilled"] == 1.0
+        assert glob.glob(db + "*") == []  # scratch shards cleaned up
+
+
+class TestWarmCache:
+    def test_parallel_setting_reuses_serial_cache(self, tmp_path,
+                                                  monkeypatch):
+        """Scheduling knobs stay out of the spec key: a suite checked
+        serially is a warm cache for the same suite under --parallel."""
+        from repro.harness.executor import Executor
+        from repro.harness.modelcheck import make_specs
+
+        specs = make_specs([_case_named("ISA2.split")])
+        cache = str(tmp_path / "cache")
+        cold = Executor(jobs=1, cache_dir=cache)
+        records = cold.map(specs)
+        assert cold.misses == 1 and not records[0].cached
+
+        monkeypatch.setenv("REPRO_MODELCHECK_PARALLEL", "4")
+        warm = Executor(jobs=1, cache_dir=cache)
+        reused = warm.map(specs)
+        assert warm.hits == 1 and warm.misses == 0
+        assert reused[0].cached
+        assert reused[0].states_explored == records[0].states_explored
