@@ -191,7 +191,10 @@ def code_version() -> str:
     """Hash of every ``*.py`` file in the ``repro`` package.
 
     Part of every cache key, so editing any simulator/protocol source
-    invalidates previously cached runs.
+    invalidates previously cached runs.  The ``--legacy-protocols``
+    toggle selects different actor implementations from the *same*
+    sources, so it is mixed in too (never memoized: the environment can
+    change between calls, e.g. under test monkeypatching).
     """
     global _CODE_VERSION
     if _CODE_VERSION is None:
@@ -202,6 +205,9 @@ def code_version() -> str:
             digest.update(str(path.relative_to(root)).encode())
             digest.update(path.read_bytes())
         _CODE_VERSION = digest.hexdigest()
+    from repro.protocols.factory import legacy_protocols_enabled
+    if legacy_protocols_enabled():
+        return _CODE_VERSION + "+legacy-protocols"
     return _CODE_VERSION
 
 

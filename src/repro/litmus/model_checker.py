@@ -76,6 +76,19 @@ from repro.litmus.dsl import LitmusTest
 from repro.litmus.symmetry import Automorphism, find_automorphisms
 from repro.litmus.visited import make_visited
 from repro.memory.address import AddressMap
+from repro.protocols.factory import (
+    legacy_protocols_enabled,
+    validate_checkable_protocol,
+)
+from repro.protocols.spec import (
+    DeliveryContext,
+    ample_kinds,
+    cord_barrier_batch_reason,
+    fifo_class_for,
+    forwarding_kinds,
+    get_spec,
+    has_spec,
+)
 from repro.sim.stats import StatRegistry
 
 __all__ = [
@@ -546,15 +559,117 @@ class CheckResult:
 #: Message kinds whose delivery commutes with every other enabled or
 #: future action (see :meth:`ModelChecker._reduce` and DESIGN.md §4):
 #: always deliverable, never disabling, touching state no other action
-#: reads conflictingly.  Eligible as singleton ample sets.
-_AMPLE_KINDS = frozenset({"so_ack", "notify", "atomic_resp"})
+#: reads conflictingly.  Eligible as singleton ample sets.  Derived from
+#: the protocol tables (``MessageSpec.ample``) — a new message type must
+#: declare its POR class, it cannot silently land here.
+_AMPLE_KINDS = ample_kinds()
 
 #: In-flight store carriers a core's own later load must observe
 #: (read-own-write forwarding, :meth:`ModelChecker._read_for_core`).
 #: Disjoint from :data:`_AMPLE_KINDS`, so forwarding never reads state an
-#: ample delivery writes and the POR argument is untouched.
-_FWD_STORE_KINDS = frozenset(
-    {"wt_rlx", "wt_rel", "wt_store", "seq_store", "posted"})
+#: ample delivery writes and the POR argument is untouched.  Derived from
+#: the tables (``MessageSpec.forwards_store``).
+_FWD_STORE_KINDS = forwarding_kinds()
+
+
+class _CheckerContext(DeliveryContext):
+    """Backs a table :class:`~repro.protocols.spec.DeliveryRule` with
+    ``_State`` mutations.
+
+    Delivery guards run read-only against the shared components; effects
+    run against the copy-on-write ``mutable_*`` accessors.  The message
+    wire format (field names, reply shapes, FIFO classes) produced here is
+    kept identical to the legacy inline delivery code — the equivalence
+    suites pin states/transitions/finals, not just outcomes.
+    """
+
+    __slots__ = ("_checker", "_state", "_msg", "_mutate", "_dir", "_core")
+
+    def __init__(self, checker: "ModelChecker", state: _State, msg: _Msg,
+                 mutate: bool) -> None:
+        self._checker = checker
+        self._state = state
+        self._msg = msg
+        self._mutate = mutate
+        self._dir = None
+        self._core = None
+
+    @property
+    def dir_state(self) -> Any:
+        dir_state = self._dir
+        if dir_state is None:
+            directory = self._msg.dst_dir
+            dir_state = self._dir = (
+                self._state.mutable_dir(directory) if self._mutate
+                else self._state.dirs[directory]
+            )
+        return dir_state
+
+    @property
+    def core(self) -> Any:
+        core = self._core
+        if core is None:
+            core = self._core = self._state.mutable_core(self._msg.dst_core)
+        return core
+
+    def commit(self, fields: Any) -> None:
+        state = self._state
+        state.mutable_values(self._msg.dst_dir)[fields["addr"]] = \
+            fields["value"]
+        state.events.append((
+            fields["core"], fields["pc"], EventKind.STORE,
+            fields["ordering"], fields["addr"], fields["value"],
+        ))
+
+    def commit_barrier(self) -> None:
+        pass  # barrier Releases carry no value
+
+    def perform_atomic(self, fields: Any) -> None:
+        self._checker._perform_atomic(self._state, self._msg)
+
+    def send_core(self, message: str, fields: Any) -> None:
+        self._checker._send(
+            self._state, message, dict(fields),
+            dst_core=self._msg.fields["core"],
+            fifo_class=self._checker._fifo(message, None),
+        )
+
+    def send_dir(self, message: str, dst_dir: int, fields: Any) -> None:
+        self._checker._send(
+            self._state, message, dict(fields), dst_dir=dst_dir,
+            fifo_class=self._checker._fifo(message, None),
+        )
+
+    def ack_release(self, meta: Any) -> None:
+        self._checker._send(
+            self._state, "rel_ack",
+            {"dir": self._msg.dst_dir, "epoch": meta.epoch},
+            dst_core=meta.proc,
+            fifo_class=self._checker._fifo("rel_ack", None),
+        )
+
+    def seq_committed(self, proc: int) -> int:
+        return sum(
+            count for (d, c), count in self._state.seq_committed.items()
+            if c == proc
+        )
+
+    def seq_commit(self, proc: int) -> None:
+        state = self._state
+        key = (self._msg.dst_dir, proc)
+        state.seq_committed[key] = state.seq_committed.get(key, 0) + 1
+        state.mutable_core(proc).seq_outstanding -= 1
+
+    def complete_atomic(self, fields: Any) -> None:
+        core = self.core
+        register = fields.get("register")
+        if register is not None:
+            core.regs[register] = fields["old"]
+        core.blocked = False
+        core.pc += 1
+
+    def wake(self) -> None:
+        pass  # enabledness is re-evaluated per state
 
 
 class ModelChecker:
@@ -613,6 +728,15 @@ class ModelChecker:
     spill_threshold:
         Entry count at which a ``visited_db`` run spills to disk
         (default :data:`repro.litmus.visited.DEFAULT_SPILL_THRESHOLD`).
+    use_tables:
+        Drive successor generation from the declarative transition
+        tables in :mod:`repro.protocols.spec` — the same table objects
+        the timed interpreter executes — for every protocol that has one
+        (``so``, ``cord``, ``seq<k>``; MP stays on the inline path).
+        ``None`` (the default) follows the ``REPRO_LEGACY_PROTOCOLS``
+        environment toggle, matching the timed factory.  Table and
+        legacy exploration produce identical states, transitions and
+        outcome sets — pinned by the table-equivalence suites.
     """
 
     def __init__(
@@ -631,6 +755,7 @@ class ModelChecker:
         parallel: int = 1,
         visited_db: Optional[str] = None,
         spill_threshold: Optional[int] = None,
+        use_tables: Optional[bool] = None,
     ) -> None:
         self.test = test
         self.protocol = protocol
@@ -659,6 +784,27 @@ class ModelChecker:
         )
         if len(self.core_protocols) != test.threads:
             raise ValueError("thread_protocols length != thread count")
+        for proto in self.core_protocols:
+            validate_checkable_protocol(proto)
+        if use_tables is None:
+            use_tables = not legacy_protocols_enabled()
+        self.use_tables = bool(use_tables)
+        # Per-core transition table (None -> legacy inline path: MP, or
+        # everything under --legacy-protocols).
+        self._specs = [
+            get_spec(proto) if (self.use_tables and has_spec(proto)) else None
+            for proto in self.core_protocols
+        ]
+        self._so_spec = get_spec("so")  # mixed-mode ``via: so`` carriers
+        self._delivery_rules: Dict[str, Any] = {}
+        if any(spec is not None for spec in self._specs):
+            # SO's rules ride along for the via-so carriers a CORD core
+            # can emit (§4.5 mixed mode).
+            self._delivery_rules.update(self._so_spec.delivery)
+            for spec in self._specs:
+                if spec is not None:
+                    self._delivery_rules.update(spec.delivery)
+        self._fifo_classes: Dict[Tuple[str, Optional[str]], Any] = {}
         self._autos: List[Automorphism] = (
             find_automorphisms(self) if symmetry else []
         )
@@ -669,6 +815,7 @@ class ModelChecker:
             test=test, protocol=protocol, config=self.config,
             cord_config=self.cord_config, tso=tso, sc=sc,
             max_states=max_states, partial=True, por=por, symmetry=symmetry,
+            use_tables=self.use_tables,
         )
 
     # ------------------------------------------------------------------
@@ -788,19 +935,42 @@ class ModelChecker:
         if op.kind is OpKind.FENCE:
             if not op.ordering.is_release:
                 return True
+            spec = self._specs[core_index]
+            if spec is not None:
+                fence = spec.fence
+                if (fence.barrier_broadcast and not core.fence_issued
+                        and core.cord.pending_directories()):
+                    # The whole barrier batch must fit before the fence
+                    # fires (never-fitting batches report as deadlocks,
+                    # not mid-step crashes).
+                    return cord_barrier_batch_reason(core.cord) is None
+                return fence.done(core)
             if proto == "so":
                 return core.so_outstanding == 0
             if proto.startswith("seq"):
                 return core.seq_outstanding == 0
             if proto == "mp":
                 return True
-            # cord: issue barriers once, then wait for all acks.
+            # cord: issue barriers once, then wait for all acks.  The
+            # batch bound mirrors the table path above.
             if not core.fence_issued and core.cord.pending_directories():
-                return core.cord.release_stall_reason(
-                    core.cord.pending_directories()[0]
-                ) is None
+                return cord_barrier_batch_reason(core.cord) is None
             return core.cord.total_unacked() == 0
         # Stores and atomics (RMWs follow the same issue rules per class).
+        spec = self._specs[core_index]
+        if spec is not None:
+            if spec.core_state == "cord" and op.meta.get("via") == "so":
+                spec = self._so_spec  # mixed-mode §4.5: SO's issue rules
+            op_class = "atomic" if op.kind is OpKind.ATOMIC else "store"
+            rule = spec.issue_rule(op_class, ordered)
+            reason = rule.guard(core, self._home(op.addr))
+            if reason is None:
+                return True
+            if rule.escape == "barrier":
+                # Stalled Relaxed op: enabled if the barrier-release
+                # escape hatch can fire (§4.4).
+                return rule.escape_guard(core, self._home(op.addr)) is None
+            return False
         if proto.startswith("seq"):
             # Overflow stall: the wire window may not reach the modulus.
             bits = int(proto[3:])
@@ -832,6 +1002,11 @@ class ModelChecker:
         core = state.cores[core_index]
         if core.so_outstanding > 0:
             return False
+        if core.seq_outstanding > 0:
+            # SEQ stores complete at commit; SC load gating must wait for
+            # them like any other in-flight store (divergence fix: the
+            # timed interpreter drains, the checker previously did not).
+            return False
         if core.cord is not None and core.cord.total_unacked() > 0:
             return False
         # MP has no completion signal; approximate with network emptiness
@@ -844,6 +1019,12 @@ class ModelChecker:
         return True
 
     def _delivery_enabled(self, state: _State, msg: _Msg) -> bool:
+        rule = self._delivery_rules.get(msg.kind)
+        if rule is not None:
+            if rule.guard is None:
+                return True
+            ctx = _CheckerContext(self, state, msg, mutate=False)
+            return rule.guard(ctx, msg.fields)
         if msg.kind == "seq_store":
             if not msg.fields["ordered"]:
                 return True
@@ -888,6 +1069,23 @@ class ModelChecker:
         ))
         state.next_seq += 1
 
+    def _fifo(
+        self,
+        kind: str,
+        proto: Optional[str],
+        core: Optional[int] = None,
+        addr: Optional[int] = None,
+        dst_dir: Optional[int] = None,
+    ) -> Optional[Tuple[Any, ...]]:
+        """``_Msg.fifo_class`` for one send, derived from the tables
+        (``MessageSpec.fifo``) — never hand-assigned per call site.
+        ``proto`` is the issuing protocol (``None`` for replies)."""
+        fifo = self._fifo_classes.get((kind, proto))
+        if fifo is None:
+            fifo = self._fifo_classes[(kind, proto)] = \
+                fifo_class_for(kind, proto)
+        return fifo.key(core=core, addr=addr, dst_dir=dst_dir)
+
     def _step_core(self, state: _State, core_index: int) -> None:
         core = state.mutable_core(core_index)
         op = self.programs[core_index][core.pc]
@@ -918,9 +1116,16 @@ class ModelChecker:
                 return
             pending = core.cord.pending_directories()
             if not core.fence_issued and pending:
+                spec = self._specs[core_index]
                 for directory in pending:
-                    self._issue_cord_release(state, core_index, None, directory,
-                                             barrier=True)
+                    if spec is not None:
+                        self._table_issue(
+                            state, core_index, spec,
+                            spec.issue_rule("store", True), None, directory,
+                            barrier=True)
+                    else:
+                        self._issue_cord_release(state, core_index, None,
+                                                 directory, barrier=True)
                 core.fence_issued = True
                 return
             core.fence_issued = False
@@ -928,8 +1133,29 @@ class ModelChecker:
             return
 
         home = self._home(op.addr)
+        spec = self._specs[core_index]
+        if spec is not None and spec.core_state == "cord" \
+                and op.meta.get("via") == "so":
+            spec = self._so_spec  # mixed-mode §4.5: SO's issue rules
         if op.kind is OpKind.ATOMIC:
-            self._step_atomic(state, core_index, op, home, proto, ordered)
+            if spec is not None:
+                self._table_step_atomic(state, core_index, spec, op, home,
+                                        ordered)
+            else:
+                self._step_atomic(state, core_index, op, home, proto, ordered)
+            return
+
+        if spec is not None:
+            rule = spec.issue_rule("store", ordered)
+            if rule.escape == "barrier" and rule.guard(core, home) is not None:
+                # Escape hatch: inject an empty Release barrier (§4.4);
+                # the pc does not advance — the store retries afterwards.
+                self._table_issue(state, core_index, spec,
+                                  spec.issue_rule("store", True), None, home,
+                                  barrier=True)
+                return
+            self._table_issue(state, core_index, spec, rule, op, home)
+            core.pc += 1
             return
 
         if proto.startswith("seq"):
@@ -937,7 +1163,8 @@ class ModelChecker:
                 "addr": op.addr, "value": op.value, "core": core_index,
                 "pc": core.pc, "ordering": op.ordering,
                 "seq": core.seq_next, "ordered": ordered,
-            }, dst_dir=home, fifo_class=("addr", core_index, op.addr))
+            }, dst_dir=home, fifo_class=self._fifo(
+                "seq_store", proto, core=core_index, addr=op.addr))
             core.seq_next += 1
             core.seq_outstanding += 1
             core.pc += 1
@@ -948,14 +1175,16 @@ class ModelChecker:
             self._send(state, "posted", {
                 "addr": op.addr, "value": op.value, "core": core_index,
                 "pc": core.pc, "ordering": op.ordering,
-            }, dst_dir=home, fifo_class=(core_index, home))
+            }, dst_dir=home, fifo_class=self._fifo(
+                "posted", proto, core=core_index, dst_dir=home))
             core.pc += 1
             return
         if proto == "so" or op.meta.get("via") == "so":
             self._send(state, "wt_store", {
                 "addr": op.addr, "value": op.value, "core": core_index,
                 "pc": core.pc, "ordering": op.ordering,
-            }, dst_dir=home, fifo_class=("addr", core_index, op.addr))
+            }, dst_dir=home, fifo_class=self._fifo(
+                "wt_store", "so", core=core_index, addr=op.addr))
             core.so_outstanding += 1
             core.pc += 1
             return
@@ -973,8 +1202,83 @@ class ModelChecker:
         self._send(state, "wt_rlx", {
             "meta": meta, "addr": op.addr, "value": op.value,
             "core": core_index, "pc": core.pc, "ordering": op.ordering,
-        }, dst_dir=home, fifo_class=("addr", core_index, op.addr))
+        }, dst_dir=home, fifo_class=self._fifo(
+            "wt_rlx", proto, core=core_index, addr=op.addr))
         core.pc += 1
+
+    # ------------------------------------------------------------------
+    # Table-driven issue (the untimed interpreter over protocols.spec)
+    # ------------------------------------------------------------------
+    def _table_issue(
+        self,
+        state: _State,
+        core_index: int,
+        spec: Any,
+        rule: Any,
+        op: Optional[MemOp],
+        home: int,
+        barrier: bool = False,
+    ) -> None:
+        """Run one issue rule's effects and put its emissions on the wire.
+
+        The rule mutates the core's protocol state and returns the ordered
+        :class:`~repro.protocols.spec.Emit` list; emission order fixes
+        message sequence numbers, so it is semantic.
+        """
+        core = state.mutable_core(core_index)
+        proto = self.core_protocols[core_index]
+        emits = rule.effects(core, home, rule.ordered, barrier=barrier)
+        for emit in emits:
+            fields = dict(emit.fields)
+            addr = None
+            if emit.carries_op:
+                if op is not None:
+                    fields["addr"] = op.addr
+                    fields["value"] = op.value
+                    fields["pc"] = core.pc
+                    fields["ordering"] = op.ordering
+                    addr = op.addr
+                fields["core"] = core_index
+            dst = emit.dst_dir if emit.dst_dir is not None else home
+            self._send(state, emit.message, fields, dst_dir=dst,
+                       fifo_class=self._fifo(emit.message, proto,
+                                             core=core_index, addr=addr,
+                                             dst_dir=dst))
+
+    def _table_step_atomic(self, state: _State, core_index: int, spec: Any,
+                           op: MemOp, home: int, ordered: bool) -> None:
+        """Issue an RMW via the table; the core blocks until the response."""
+        core = state.mutable_core(core_index)
+        proto = self.core_protocols[core_index]
+        rule = spec.issue_rule("atomic", ordered)
+        if rule.escape == "barrier" and rule.guard(core, home) is not None:
+            # §4.4 escape: barrier Release; the RMW retries afterwards.
+            self._table_issue(state, core_index, spec,
+                              spec.issue_rule("store", True), None, home,
+                              barrier=True)
+            return
+        emits = rule.effects(core, home, ordered)
+        base = {
+            "addr": op.addr, "value": op.value, "core": core_index,
+            "pc": core.pc, "ordering": op.ordering,
+            "atomic": op.meta["atomic"], "compare": op.meta.get("compare"),
+            "register": op.register,
+        }
+        for emit in emits:
+            if emit.carries_op:
+                fields = dict(base)
+                fields.update(emit.fields)
+                self._send(state, emit.message, fields, dst_dir=home,
+                           fifo_class=self._fifo(emit.message, proto,
+                                                 core=core_index,
+                                                 addr=op.addr, dst_dir=home))
+            else:
+                self._send(state, emit.message, dict(emit.fields),
+                           dst_dir=emit.dst_dir,
+                           fifo_class=self._fifo(emit.message, proto,
+                                                 core=core_index,
+                                                 dst_dir=emit.dst_dir))
+        core.blocked = True
 
     def _step_atomic(self, state, core_index, op, home, proto, ordered):
         """Issue an RMW; the core blocks until the response delivers."""
@@ -993,7 +1297,9 @@ class ModelChecker:
                                dst_dir=pending_dir)
                 fields["meta"] = issue.release
                 self._send(state, "wt_rel", fields, dst_dir=home,
-                           fifo_class=("addr", core_index, op.addr))
+                           fifo_class=self._fifo("wt_rel", proto,
+                                                 core=core_index,
+                                                 addr=op.addr))
             else:
                 if core.cord.relaxed_stall_reason(home) is not None:
                     self._issue_cord_release(state, core_index, None, home,
@@ -1001,13 +1307,17 @@ class ModelChecker:
                     return
                 fields["meta"] = core.cord.on_relaxed_store(home)
                 self._send(state, "atomic", fields, dst_dir=home,
-                           fifo_class=("addr", core_index, op.addr))
+                           fifo_class=self._fifo("atomic", proto,
+                                                 core=core_index,
+                                                 addr=op.addr))
         elif proto == "mp":
             self._send(state, "atomic", fields, dst_dir=home,
-                       fifo_class=(core_index, home))
+                       fifo_class=self._fifo("atomic", proto,
+                                             core=core_index, dst_dir=home))
         else:  # so (or via-so)
             self._send(state, "atomic", fields, dst_dir=home,
-                       fifo_class=("addr", core_index, op.addr))
+                       fifo_class=self._fifo("atomic", "so",
+                                             core=core_index, addr=op.addr))
         core.blocked = True
 
     def _perform_atomic(self, state: _State, msg: _Msg) -> None:
@@ -1040,17 +1350,27 @@ class ModelChecker:
             self._send(state, "req_notify", {"meta": req_meta},
                        dst_dir=pending_dir)
         fields: Dict[str, Any] = {"meta": issue.release, "core": core_index}
-        fifo_class = None
+        addr = None
         if op is not None:
             fields.update({
                 "addr": op.addr, "value": op.value, "pc": core.pc,
                 "ordering": op.ordering,
             })
-            fifo_class = ("addr", core_index, op.addr)
-        self._send(state, "wt_rel", fields, dst_dir=home, fifo_class=fifo_class)
+            addr = op.addr
+        # Address-less barrier Releases degrade to unordered (addr=None).
+        self._send(state, "wt_rel", fields, dst_dir=home,
+                   fifo_class=self._fifo("wt_rel", "cord", core=core_index,
+                                         addr=addr))
 
     def _deliver(self, state: _State, msg: _Msg) -> None:
         kind = msg.kind
+        rule = self._delivery_rules.get(kind)
+        if rule is not None:
+            # Table path: the same DeliveryRule the timed interpreter
+            # dispatches, run against _State via _CheckerContext.
+            rule.effects(_CheckerContext(self, state, msg, mutate=True),
+                         msg.fields)
+            return
         if kind in ("posted", "wt_store", "wt_rlx"):
             directory = msg.dst_dir
             state.mutable_values(directory)[msg.fields["addr"]] = \

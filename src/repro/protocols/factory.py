@@ -10,12 +10,21 @@ helpers):
 * ``"mp"``   — message passing / posted writes (§3.2)
 * ``"wb"``   — source-ordered write-back MESI
 * ``"seq<k>"`` — monolithic k-bit sequence numbers (e.g. ``seq8``, ``seq40``)
+
+``so``, ``cord`` and ``seq<k>`` resolve to the *table-driven* interpreter
+(:mod:`repro.protocols.table` running the :mod:`repro.protocols.spec`
+transition tables — the same tables the model checker executes) unless the
+``REPRO_LEGACY_PROTOCOLS`` environment variable is set (CLI:
+``--legacy-protocols``), which restores the hand-written coroutine actors.
+``mp``, ``wb`` and the ``cord-nonotify`` ablation always use the legacy
+actors (no table yet).
 """
 
 from __future__ import annotations
 
+import os
 import re
-from typing import Tuple, Type
+from typing import Optional, Tuple, Type
 
 from repro.protocols.ablation import CordNoNotifyCorePort, CordNoNotifyDirectory
 from repro.protocols.cord import CordCorePort, CordDirectory
@@ -24,7 +33,13 @@ from repro.protocols.seq import make_seq_protocol
 from repro.protocols.so import SoCorePort, SoDirectory
 from repro.protocols.wb import WbCorePort, WbDirectory
 
-__all__ = ["protocol_classes", "available_protocols"]
+__all__ = [
+    "protocol_classes",
+    "available_protocols",
+    "checkable_protocols",
+    "legacy_protocols_enabled",
+    "validate_checkable_protocol",
+]
 
 _STATIC = {
     "so": (SoCorePort, SoDirectory),
@@ -36,21 +51,76 @@ _STATIC = {
 
 _SEQ_PATTERN = re.compile(r"^seq(\d+)$")
 
+#: Environment toggle for the legacy (non-table) actor implementations.
+LEGACY_ENV = "REPRO_LEGACY_PROTOCOLS"
 
-def protocol_classes(name: str) -> Tuple[Type, Type]:
-    """Resolve a protocol name to its (core port, directory) classes."""
-    if name in _STATIC:
-        return _STATIC[name]
+
+def legacy_protocols_enabled() -> bool:
+    """Whether ``REPRO_LEGACY_PROTOCOLS`` selects the legacy actors."""
+    return os.environ.get(LEGACY_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
+def protocol_classes(name: str,
+                     legacy: Optional[bool] = None) -> Tuple[Type, Type]:
+    """Resolve a protocol name to its (core port, directory) classes.
+
+    ``legacy=None`` (the default) follows :func:`legacy_protocols_enabled`;
+    pass ``True``/``False`` to force a side regardless of the environment.
+    Raises :class:`ValueError` for unknown names (naming the valid
+    choices) and out-of-range ``seq<k>`` widths — at factory time, never
+    deep inside actor construction.
+    """
+    match = _SEQ_PATTERN.match(name)
+    if name not in _STATIC and not match:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {available_protocols()}"
+        )
+    if match:
+        bits = int(match.group(1))
+        if not 1 <= bits <= 64:
+            raise ValueError(f"seq bit-width out of range: {bits}")
+    if legacy is None:
+        legacy = legacy_protocols_enabled()
+    if not legacy:
+        from repro.protocols.spec import has_spec
+
+        if has_spec(name):
+            from repro.protocols.table import table_protocol_classes
+
+            return table_protocol_classes(name)
+    if match:
+        return make_seq_protocol(bits)
+    return _STATIC[name]
+
+
+def available_protocols() -> Tuple[str, ...]:
+    return tuple(_STATIC) + ("seq<k>",)
+
+
+def checkable_protocols() -> Tuple[str, ...]:
+    """Protocols the model checker has an untimed operational model for.
+
+    ``wb`` (cache-state machine) and the ``cord-nonotify`` ablation are
+    timed-only.
+    """
+    return ("so", "cord", "mp", "seq<k>")
+
+
+def validate_checkable_protocol(name: str) -> None:
+    """Raise a clear :class:`ValueError` if ``name`` cannot be model
+    checked (previously an ``AttributeError`` deep inside exploration)."""
+    if name in ("so", "cord", "mp"):
+        return
     match = _SEQ_PATTERN.match(name)
     if match:
         bits = int(match.group(1))
         if not 1 <= bits <= 64:
             raise ValueError(f"seq bit-width out of range: {bits}")
-        return make_seq_protocol(bits)
+        return
+    detail = "is timed-only" if name in _STATIC else "is unknown"
     raise ValueError(
-        f"unknown protocol {name!r}; choose from {available_protocols()}"
+        f"protocol {name!r} {detail} for model checking; "
+        f"choose from {checkable_protocols()}"
     )
-
-
-def available_protocols() -> Tuple[str, ...]:
-    return tuple(_STATIC) + ("seq<k>",)

@@ -243,6 +243,18 @@ class Machine:
     def core_id(self, index: int) -> NodeId:
         return NodeId.core(index, self.config.host_of_core(index))
 
+    def seq_board(self):
+        """The machine-global SEQ commit board (built on first use).
+
+        Release-like ``seq_store`` gating must see commits at *every*
+        directory slice, so the per-processor counts live here rather
+        than per directory."""
+        board = getattr(self, "_seq_board", None)
+        if board is None:
+            from repro.protocols.seq import SeqCommitBoard
+            board = self._seq_board = SeqCommitBoard(self.sim)
+        return board
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

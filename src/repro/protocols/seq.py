@@ -13,14 +13,49 @@ exposes exactly the trade-off CORD's decoupled epoch/counter design breaks:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List
+from typing import Callable, Dict, Generator, List, Tuple
 
 from repro.consistency.ops import MemOp
 from repro.core.seqnum import SequenceSpace
 from repro.interconnect.message import Message
 from repro.protocols.base import CorePort, DirectoryNode
 
-__all__ = ["SeqCorePort", "SeqDirectory", "make_seq_protocol"]
+__all__ = ["SeqCommitBoard", "SeqCorePort", "SeqDirectory",
+           "make_seq_protocol"]
+
+
+class SeqCommitBoard:
+    """Machine-global per-processor committed-store counts.
+
+    A Release-like ``seq_store`` with number ``n`` waits for *all* earlier
+    numbers from the same processor — and those stores fan out across
+    directory slices, so the count that gates it must span the machine.
+    (Keeping the counts per-directory deadlocks any cross-directory
+    release; the model checker always used the global sum.)
+
+    Directories subscribe their retry loop: a commit at one slice
+    re-evaluates the others' buffered stores/flushes on a zero-delay
+    event (never re-entrantly, and never for the committing slice itself
+    — single-slice machines see the exact legacy event stream).
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.committed: Dict[int, int] = {}
+        self._subscribers: List[Tuple[object, Callable[[], None]]] = []
+
+    def subscribe(self, origin: object,
+                  callback: Callable[[], None]) -> None:
+        self._subscribers.append((origin, callback))
+
+    def count(self, proc: int) -> int:
+        return self.committed.get(proc, 0)
+
+    def commit(self, proc: int, origin: object = None) -> None:
+        self.committed[proc] = self.committed.get(proc, 0) + 1
+        for sub_origin, callback in self._subscribers:
+            if sub_origin is not origin:
+                self.sim.schedule(0.0, callback)
 
 
 class SeqCorePort(CorePort):
@@ -91,8 +126,22 @@ class SeqCorePort(CorePort):
             self._seen_dirs = set()
         self._seen_dirs.add(dir_index)
 
+    def fence(self, op: MemOp, program_index: int) -> Generator:
+        if not op.ordering.is_release:
+            return  # acquire barriers order nothing SEQ tracks
+        yield from self.drain()
+
+    def drain(self) -> Generator:
+        """A release fence may not complete with uncommitted sequence
+        numbers outstanding.  (Previously inherited the no-op drain, so
+        fences ordered nothing — the model checker always gated them.)"""
+        if self.seq.value > self.flushed_watermark:
+            yield from self._flush("seq_drain")
+
     def on_message(self, message: Message) -> None:
         if message.msg_type == "seq_flush_ack":
+            if not self._flush_pending:
+                return  # stale ack from a multi-directory flush broadcast
             self._flush_pending = False
             self.flush_signal.trigger()
         else:
@@ -104,7 +153,11 @@ class SeqDirectory(DirectoryNode):
 
     def __init__(self, machine, node_id) -> None:
         super().__init__(machine, node_id)
-        self.committed_count: Dict[int, int] = {}
+        self.board = machine.seq_board()
+        self.board.subscribe(self, self._progress)
+        #: Alias of the machine-global counts (legacy name, kept for
+        #: diagnostics; the gating below must be machine-wide).
+        self.committed_count = self.board.committed
         self._pending: List[Message] = []
         self._pending_flushes: List[Message] = []
 
@@ -123,16 +176,15 @@ class SeqDirectory(DirectoryNode):
             for message in list(self._pending):
                 payload = message.payload
                 proc = payload["proc"]
-                committed = self.committed_count.get(proc, 0)
-                if payload["ordered"] and committed < payload["seq"]:
+                if payload["ordered"] and self.board.count(proc) < payload["seq"]:
                     continue  # a Release-like store waits for all priors
                 self._pending.remove(message)
                 self.commit_store(message)
-                self.committed_count[proc] = committed + 1
+                self.board.commit(proc, origin=self)
                 changed = True
             for message in list(self._pending_flushes):
                 proc = message.payload["proc"]
-                if self.committed_count.get(proc, 0) >= message.payload["upto"]:
+                if self.board.count(proc) >= message.payload["upto"]:
                     self._pending_flushes.remove(message)
                     self.network.send(Message(
                         src=self.node_id,

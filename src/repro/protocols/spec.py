@@ -1,0 +1,1145 @@
+"""One declarative protocol spec, two interpreters (ROADMAP open item #1).
+
+Every protocol used to exist twice: as a timed coroutine actor in
+:mod:`repro.protocols` and as an untimed operational model hard-coded into
+:mod:`repro.litmus.model_checker`.  PR 6's generated-conformance layer
+proved the duplication breeds real divergence bugs.  This module is the
+fix, following the shape of the Edinburgh lazy-coherence verification work
+(Banks et al.) and BedRock: each protocol is a *transition table* —
+state-predicate guards, state-update actions and emitted messages, with an
+explicit FIFO/ordering class per message type — and both the timed
+simulator (:mod:`repro.protocols.table`) and the model checker interpret
+the *same* table object.
+
+Row schema
+----------
+* :class:`MessageSpec` — one wire message type: canonical (checker) name,
+  timed wire name, FIFO/ordering class, control-vs-data wire class,
+  metadata bit-width (the traffic model), and the structural flags the
+  checker derives its ample (partial-order reduction) and
+  read-own-write-forwarding sets from.
+* :class:`IssueRule` — one processor-side row, keyed ``(op_class,
+  ordered)``: a *guard* (why the op may not issue now, ``None`` = may
+  issue), an *escape* describing what an interpreter does about a failing
+  guard (``"wait"``: block until state changes; ``"barrier"``: inject a
+  CORD §4.4 empty Release; ``"flush"``: SEQ's watermark flush — timed
+  side only), and *effects* that mutate the core's protocol state and
+  return the emitted messages.
+* :class:`FenceRule` — release-fence semantics: a completion predicate
+  over core state plus the CORD two-phase barrier-broadcast flag.
+* :class:`DeliveryRule` — one directory/core-side row: a guard (may this
+  message be consumed now?  failing guards buffer the message — the
+  paper's "retry later") and effects applied through a small adapter
+  (:class:`DeliveryContext`) each interpreter implements.
+
+Guard/action semantics
+----------------------
+Guards and effects are *pure functions over the shared protocol state*:
+they operate on any object exposing the ``_CoreState``-shaped fields
+(``cord``, ``so_outstanding``, ``seq_next``, ``seq_outstanding``) and on
+the shared :class:`~repro.core.processor.CordProcessorState` /
+:class:`~repro.core.directory.CordDirectoryState` machines.  The checker
+passes its ``_CoreState`` and the timed interpreter passes its
+port-state twin — both execute the very same callables, so a divergence
+in guard or commit logic is structurally impossible.  Scaffolding that is
+inherently per-interpreter (event loops, stall accounting, wire payload
+transport fields) stays in the interpreters; every protocol *decision*
+lives here.
+
+Ordering classes
+----------------
+:class:`FifoClass` materializes the checker's three FIFO schemes
+(per-location, per-pair, unordered) as a declared property of each
+message type; :func:`fifo_key_for` derives the concrete ``fifo_class``
+tuple the checker attaches to an in-flight message.  A new message type
+therefore cannot silently land in the wrong class — the PR 5 annotation
+bug shape, eliminated structurally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.processor import StallReason
+
+__all__ = [
+    "FifoClass",
+    "MessageSpec",
+    "Emit",
+    "IssueRule",
+    "FenceRule",
+    "DeliveryRule",
+    "DeliveryContext",
+    "ProtocolSpec",
+    "get_spec",
+    "spec_protocols",
+    "has_spec",
+    "fifo_key_for",
+    "ample_kinds",
+    "forwarding_kinds",
+    "cord_barrier_batch_reason",
+    "lint_spec",
+    "LintError",
+]
+
+
+# ---------------------------------------------------------------------------
+# Ordering classes
+# ---------------------------------------------------------------------------
+class FifoClass(enum.Enum):
+    """Network ordering class of a message type (model-checker semantics).
+
+    * ``PER_LOCATION`` — one core's messages to one *address* stay in
+      send order (``("addr", core, addr)``): per-location coherence for
+      store/atomic carriers.  Address-less instances (CORD barrier
+      Releases) degrade to unordered.
+    * ``PER_PAIR`` — FIFO per source-destination pair ``(core, dst_dir)``:
+      MP's posted-write channel (§3.2).
+    * ``NONE`` — adversarial/unordered: acks, notifications, responses.
+    """
+
+    PER_LOCATION = "per-location"
+    PER_PAIR = "per-pair"
+    NONE = "unordered"
+
+    def key(self, core: Optional[int] = None, addr: Optional[int] = None,
+            dst_dir: Optional[int] = None) -> Optional[Tuple[Any, ...]]:
+        """The concrete ``_Msg.fifo_class`` tuple for one send."""
+        if self is FifoClass.NONE:
+            return None
+        if self is FifoClass.PER_LOCATION:
+            if addr is None:        # address-less barrier Release
+                return None
+            return ("addr", core, addr)
+        return (core, dst_dir)
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MessageSpec:
+    """One message type: ordering class, wire class, bit-width, consumers.
+
+    ``name`` is the canonical (checker) kind; ``timed_name`` is the wire
+    ``msg_type`` the timed simulator uses when the two historically
+    differ (``so_ack``/``wt_ack``, ``atomic``/``atomic_req``,
+    ``atomic_resp``/``load_resp``).  ``bits`` maps a
+    :class:`~repro.config.CordConfig` to the metadata bit-width charged
+    on the wire (the traffic model); ``None`` charges no metadata.
+    ``ample``/``forwards_store`` feed the checker's derived POR and
+    read-own-write sets; ``timed_only`` marks messages with no checker
+    counterpart (the checker models SEQ flushes as issue-side blocking,
+    and loads read directory state directly).
+    """
+
+    name: str
+    fifo: FifoClass
+    control: bool
+    consumer: str                       # "directory" | "core"
+    timed_name: Optional[str] = None
+    bits: Optional[Callable[[Any], int]] = None
+    ample: bool = False
+    forwards_store: bool = False
+    timed_only: bool = False
+
+    @property
+    def wire_name(self) -> str:
+        return self.timed_name or self.name
+
+    def bit_width(self, cord_config: Any) -> int:
+        return self.bits(cord_config) if self.bits is not None else 0
+
+
+# ---------------------------------------------------------------------------
+# Issue side (processor)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Emit:
+    """One message emission produced by an issue effect.
+
+    ``fields`` holds only the *protocol* fields (metadata, sequence
+    numbers, flags); the interpreter adds its transport fields (address,
+    value, issuing core, program position, wire sizes)."""
+
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+    #: Destination directory when it differs from the op's home (CORD
+    #: requests-for-notification fan out to *pending* directories).
+    dst_dir: Optional[int] = None
+    #: Whether the emission carries the op's address/value payload (and
+    #: therefore its per-location FIFO key); ``False`` for side-channel
+    #: control messages like ``req_notify``.
+    carries_op: bool = True
+
+
+@dataclass(frozen=True)
+class IssueRule:
+    """One processor-side table row, keyed ``(op_class, ordered)``.
+
+    ``guard(ps, home)`` returns ``None`` when the op may issue, else the
+    reason (a :class:`~repro.core.processor.StallReason` or a plain
+    label).  ``escape`` says what a failing guard means:
+
+    * ``"wait"`` — the op blocks until other transitions clear the guard
+      (checker: the core action is disabled; timed: wait on the
+      protocol's ack signal, accounting ``stall_cause``);
+    * ``"barrier"`` — CORD's §4.4 hatch: inject an empty *barrier*
+      Release (via the ``("store", True)`` row) and retry;
+    * ``"flush"`` — SEQ's watermark flush protocol.  Timed-side only:
+      the checker's guard *is* the window bound, so the core action is
+      simply disabled until commits drain (``timed_guard`` carries the
+      watermark form the timed interpreter checks instead).
+
+    ``effects(ps, home, ordered, barrier)`` mutates the core's protocol
+    state and returns the ordered list of :class:`Emit`.
+    """
+
+    name: str
+    op_class: str                       # "store" | "atomic"
+    ordered: bool
+    guard: Callable[[Any, int], Optional[Any]]
+    escape: str                         # "wait" | "barrier" | "flush" | "none"
+    stall_cause: str
+    effects: Callable[..., List[Emit]]
+    #: Timed-interpreter guard override (SEQ's issued-since-flush
+    #: watermark vs the checker's uncommitted-window bound — both keep
+    #: the wire window unambiguous; the timed form matches the paper's
+    #: flush-every-2^k behaviour measured in Fig. 10).
+    timed_guard: Optional[Callable[[Any, int], Optional[Any]]] = None
+    #: For ``escape="barrier"`` rows only: the predicate that decides
+    #: whether the *escape itself* may fire.  CORD's barrier Release does
+    #: not source-order against outstanding SO-style stores (the barrier
+    #: carries no data), so its enabling condition is strictly the §4.3
+    #: Release-table bound — narrower than ``("store", True)``'s guard.
+    escape_guard: Optional[Callable[[Any, int], Optional[Any]]] = None
+    #: Write-combining: Relaxed stores route through the combining
+    #: buffer; ordered ops flush it first.
+    combining: bool = False
+
+
+@dataclass(frozen=True)
+class FenceRule:
+    """Release-fence semantics (acquire fences are free in the model).
+
+    ``done(ps)`` is the completion predicate both interpreters wait on.
+    ``barrier_broadcast`` selects CORD's two-phase §4.4 behaviour:
+    broadcast empty barrier Releases to every pending directory, then
+    wait for their acknowledgments.  ``timed_drain`` names the timed
+    interpreter's drain mechanism (``"acks"``: wait for the ack counter;
+    ``"barriers"``: CORD's broadcast; ``"flush"``: SEQ's flush protocol)
+    and ``timed_drain_on_acquire`` keeps the legacy timed conservatism of
+    draining on *any* fence (SO) — outcome-invariant, timing-visible.
+    """
+
+    done: Callable[[Any], bool]
+    barrier_broadcast: bool = False
+    timed_drain: str = "acks"
+    stall_cause: str = "fence_ack"
+    timed_drain_on_acquire: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Delivery side (directory / core)
+# ---------------------------------------------------------------------------
+class DeliveryContext:
+    """Adapter surface a delivery effect runs against.
+
+    The checker backs this with ``_State`` mutations (events list, value
+    maps, ``seq_committed``) and the timed interpreter with the live
+    actors (``commit_store``, network sends, the SEQ commit board) — the
+    *rule* decides what happens; the context only says how.
+    """
+
+    dir_state: Any = None               # CordDirectoryState or None
+    #: Core-side contexts: the protocol-state block of the *receiving*
+    #: core (``so_outstanding``/``cord``/``seq_watermark`` fields).
+    core: Any = None
+
+    def commit(self, fields: Mapping[str, Any]) -> None:
+        """Make the carried store visible (value map + history event)."""
+        raise NotImplementedError
+
+    def commit_barrier(self) -> None:
+        """An address-less barrier Release commits no value."""
+        raise NotImplementedError
+
+    def perform_atomic(self, fields: Mapping[str, Any]) -> None:
+        """RMW at the commit point; respond to the issuing core."""
+        raise NotImplementedError
+
+    def send_core(self, message: str, fields: Mapping[str, Any]) -> None:
+        """Reply to the issuing core."""
+        raise NotImplementedError
+
+    def send_dir(self, message: str, dst_dir: int,
+                 fields: Mapping[str, Any]) -> None:
+        """Forward to another directory (CORD notifications)."""
+        raise NotImplementedError
+
+    def ack_release(self, meta: Any) -> None:
+        """Acknowledge a committed Release to its issuing processor."""
+        raise NotImplementedError
+
+    def seq_committed(self, proc: int) -> int:
+        """SEQ: stores of ``proc`` committed *machine-wide* (global
+        across directories — the per-directory form deadlocks
+        cross-directory releases; see ``test_seq_divergence``)."""
+        raise NotImplementedError
+
+    def seq_commit(self, proc: int) -> None:
+        """SEQ: record one committed store for ``proc``."""
+        raise NotImplementedError
+
+    def complete_atomic(self, fields: Mapping[str, Any]) -> None:
+        """Core side: an RMW response arrived — write the register back
+        and unblock the issuing core."""
+        raise NotImplementedError
+
+    def wake(self) -> None:
+        """Core side: protocol state changed in a way blocked ops wait
+        on (checker: no-op — enabledness is re-evaluated per state)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DeliveryRule:
+    """One delivery-side table row.
+
+    ``guard(ctx, fields)`` returns ``True`` when the message may be
+    consumed now; a ``False`` guard buffers the message for retry (the
+    paper's "recycled" messages — Fig. 12's network-buffer storage).
+    ``effects(ctx, fields)`` applies the transition; emission order
+    inside an effect is semantic (it fixes message sequence numbers and
+    history order) and both interpreters preserve it.
+    """
+
+    message: str
+    effects: Callable[[DeliveryContext, Mapping[str, Any]], None]
+    guard: Optional[Callable[[DeliveryContext, Mapping[str, Any]], bool]] = None
+    #: Consumed at the issuing core, not a directory.
+    core_side: bool = False
+
+    def enabled(self, ctx: DeliveryContext,
+                fields: Mapping[str, Any]) -> bool:
+        return True if self.guard is None else self.guard(ctx, fields)
+
+
+# ---------------------------------------------------------------------------
+# The spec
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A protocol as one transition table, interpreted by both engines."""
+
+    name: str
+    #: Which core-state block the protocol mutates: "cord" | "so" | "seq".
+    core_state: str
+    messages: Mapping[str, MessageSpec]
+    issue: Mapping[Tuple[str, bool], IssueRule]
+    delivery: Mapping[str, DeliveryRule]
+    fence: Optional[FenceRule] = None
+    #: Directory retry-queue evaluation order (Alg. 2 "Retry later"):
+    #: within one progress sweep, queues are drained in this order until
+    #: a full sweep changes nothing.
+    retry_order: Tuple[str, ...] = ()
+    #: Directory-side message kinds whose arrival can un-gate a queued
+    #: retry (the timed interpreter sweeps the retry queues after these).
+    progress_on: Tuple[str, ...] = ()
+    #: SEQ-k wire width; None for non-SEQ protocols.
+    seq_bits: Optional[int] = None
+    #: Messages-only spec (MP): ordering metadata for the checker, no
+    #: interpreted rules — the actors stay on the legacy path.
+    rules_complete: bool = True
+
+    def issue_rule(self, op_class: str, ordered: bool) -> IssueRule:
+        return self.issue[(op_class, ordered)]
+
+
+# ---------------------------------------------------------------------------
+# Shared guard/effect functions
+# ---------------------------------------------------------------------------
+# --- SO ---------------------------------------------------------------------
+def _so_guard(ps: Any, home: int) -> Optional[str]:
+    """A Release-class store may not issue before all prior write-through
+    stores are acknowledged (Ordered Write Observation, §3.1)."""
+    return "wait_wt_ack" if ps.so_outstanding > 0 else None
+
+
+def _so_relaxed_guard(ps: Any, home: int) -> Optional[str]:
+    return None
+
+
+def _so_issue(ps: Any, home: int, ordered: bool,
+              barrier: bool = False) -> List[Emit]:
+    ps.so_outstanding += 1
+    return [Emit("wt_store")]
+
+
+def _so_issue_atomic(ps: Any, home: int, ordered: bool,
+                     barrier: bool = False) -> List[Emit]:
+    # The RMW round trip is synchronous: nothing stays outstanding.
+    return [Emit("atomic")]
+
+
+def _so_fence_done(ps: Any) -> bool:
+    return ps.so_outstanding == 0
+
+
+def _so_ack_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
+    ctx.core.so_outstanding -= 1
+    if ctx.core.so_outstanding == 0:
+        ctx.wake()
+
+
+def _wt_store_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
+    ctx.commit(fields)
+    ctx.send_core("so_ack", {})
+
+
+# --- CORD -------------------------------------------------------------------
+def _cord_release_guard(ps: Any, home: int) -> Optional[Any]:
+    """§4.3 Release stall conditions, plus source ordering of any
+    outstanding SO-style stores this core issued (mixed-mode, §4.5)."""
+    if ps.so_outstanding > 0:
+        return StallReason("so-outstanding",
+                           "source-ordered stores unacknowledged")
+    return ps.cord.release_stall_reason(home)
+
+
+def _cord_relaxed_guard(ps: Any, home: int) -> Optional[Any]:
+    return ps.cord.relaxed_stall_reason(home)
+
+
+def _cord_barrier_escape_guard(ps: Any, home: int) -> Optional[Any]:
+    """May the §4.4 barrier-Release escape fire towards ``home``?
+
+    A barrier carries no data, so it is *not* source-ordered behind
+    outstanding SO-style stores — only the Release-table bound applies.
+    """
+    return ps.cord.release_stall_reason(home)
+
+
+def _cord_issue_release(ps: Any, home: int, ordered: bool,
+                        barrier: bool = False) -> List[Emit]:
+    """Alg. 1 lines 5-13: requests-for-notification fan out to pending
+    directories *before* the Release itself goes to its home."""
+    issue = ps.cord.on_release_store(home, barrier=barrier)
+    emits = [
+        Emit("req_notify", {"meta": req_meta}, dst_dir=pending_dir,
+             carries_op=False)
+        for pending_dir, req_meta in issue.notifications
+    ]
+    emits.append(Emit("wt_rel", {"meta": issue.release}))
+    return emits
+
+
+def _cord_issue_relaxed(ps: Any, home: int, ordered: bool,
+                        barrier: bool = False) -> List[Emit]:
+    return [Emit("wt_rlx", {"meta": ps.cord.on_relaxed_store(home)})]
+
+
+def _cord_issue_atomic_release(ps: Any, home: int, ordered: bool,
+                               barrier: bool = False) -> List[Emit]:
+    issue = ps.cord.on_release_store(home)
+    emits = [
+        Emit("req_notify", {"meta": req_meta}, dst_dir=pending_dir,
+             carries_op=False)
+        for pending_dir, req_meta in issue.notifications
+    ]
+    emits.append(Emit("wt_rel", {"meta": issue.release}))
+    return emits
+
+
+def _cord_issue_atomic_relaxed(ps: Any, home: int, ordered: bool,
+                               barrier: bool = False) -> List[Emit]:
+    return [Emit("atomic", {"meta": ps.cord.on_relaxed_store(home)})]
+
+
+def _cord_fence_done(ps: Any) -> bool:
+    return ps.cord.total_unacked() == 0
+
+
+def cord_barrier_batch_reason(cord: Any) -> Optional[StallReason]:
+    """Why a CORD release fence cannot broadcast its barrier Releases yet.
+
+    A fence issues one empty Release per pending directory *atomically*
+    (the pending set is computed once — issuing the first barrier clears
+    the store counters, which would otherwise shrink the set mid-fence).
+    The legacy checker guarded only the first issue, so a batch of ``k``
+    barriers could blow through the unacked-epoch table or the epoch
+    window mid-step and crash exploration (``release store must stall``)
+    exactly in the under-provisioned §4.5 corner the checker exists to
+    probe.  This predicate bounds the *whole batch*: ``k`` free
+    unacked-table entries, ``k`` epoch advances inside the alias window,
+    and the destination tables' ``total_unacked + k + 1`` static bound.
+
+    If a batch can *never* fit (more pending directories than table
+    capacity with nothing left to acknowledge), the fence reports as a
+    deadlock witness rather than a crash; the timed interpreter drains
+    sequentially and is immune.
+    """
+    pending = cord.pending_directories()
+    batch = len(pending)
+    if batch == 0:
+        return None
+    first = cord.release_stall_reason(pending[0])
+    if first is not None:
+        return first
+    if not cord.unacked.has_room(batch):
+        return StallReason(
+            "unacked-table-full",
+            f"fence needs {batch} entries, "
+            f"{cord.unacked.capacity - len(cord.unacked)} free",
+        )
+    oldest = min(cord.oldest_outstanding_epoch(), cord.epoch.value)
+    if (cord.epoch.value + batch) - oldest >= cord.epoch.modulus:
+        return StallReason(
+            "epoch-wrap",
+            f"fence batch of {batch} would exceed modulus "
+            f"{cord.epoch.modulus}",
+        )
+    bound = cord.total_unacked() + batch + 1
+    if bound > cord.config.dir_store_counter_entries_per_proc:
+        return StallReason(
+            "dir-store-counter-full",
+            f"fence batch bound {bound} vs "
+            f"{cord.config.dir_store_counter_entries_per_proc} entries",
+        )
+    if bound > cord.config.dir_notification_entries_per_proc:
+        return StallReason(
+            "dir-notification-full",
+            f"fence batch bound {bound} vs "
+            f"{cord.config.dir_notification_entries_per_proc} entries",
+        )
+    return None
+
+
+def _wt_rlx_guard(ctx: DeliveryContext, fields: Mapping[str, Any]) -> bool:
+    return True
+
+
+def _wt_rlx_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
+    ctx.commit(fields)
+    ctx.dir_state.on_relaxed(fields["meta"])
+
+
+def _wt_rel_guard(ctx: DeliveryContext, fields: Mapping[str, Any]) -> bool:
+    return ctx.dir_state.release_block_reason(fields["meta"]) is None
+
+
+def _wt_rel_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
+    """Alg. 2 Release commit: order is semantic — the directory state
+    commits first, then the value/RMW becomes visible, then the epoch is
+    acknowledged back to the processor."""
+    meta = fields["meta"]
+    ctx.dir_state.commit_release(meta)
+    if "atomic" in fields:
+        ctx.perform_atomic(fields)
+    elif meta.barrier:
+        # The §4.4 escape hatch / fence barrier: no value to commit.
+        # (Branch on the metadata, not the fields — the timed wire pads
+        # barrier payloads with a zero address.)
+        ctx.commit_barrier()
+    else:
+        ctx.commit(fields)
+    ctx.ack_release(meta)
+
+
+def _req_notify_guard(ctx: DeliveryContext,
+                      fields: Mapping[str, Any]) -> bool:
+    return ctx.dir_state.req_notify_block_reason(fields["meta"]) is None
+
+
+def _req_notify_effect(ctx: DeliveryContext,
+                       fields: Mapping[str, Any]) -> None:
+    meta = fields["meta"]
+    notify = ctx.dir_state.consume_req_notify(meta)
+    ctx.send_dir("notify", meta.noti_dst, {"meta": notify})
+
+
+def _notify_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
+    ctx.dir_state.on_notify(fields["meta"])
+
+
+def _rel_ack_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
+    ctx.core.cord.on_release_ack(fields["dir"], fields["epoch"])
+    ctx.wake()
+
+
+# --- shared atomics ---------------------------------------------------------
+def _atomic_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
+    meta = fields.get("meta")
+    if meta is None:                     # timed wire name for the same field
+        meta = fields.get("cord_meta")
+    if meta is not None:                 # CORD Relaxed RMW carries metadata
+        ctx.dir_state.on_relaxed(meta)
+    ctx.perform_atomic(fields)
+
+
+def _atomic_resp_effect(ctx: DeliveryContext,
+                        fields: Mapping[str, Any]) -> None:
+    ctx.complete_atomic(fields)
+
+
+# --- SEQ --------------------------------------------------------------------
+def _make_seq_guard(bits: int):
+    def guard(ps: Any, home: int) -> Optional[str]:
+        # The wire window of *uncommitted* sequence numbers may not reach
+        # the modulus, or wrapped wire values become ambiguous (§4.1).
+        if ps.seq_outstanding + 1 < (1 << bits):
+            return None
+        return "seq-window-full"
+    return guard
+
+
+def _make_seq_timed_guard(bits: int):
+    def guard(ps: Any, home: int) -> Optional[str]:
+        # Timed form: issued-since-flush watermark (the processor cannot
+        # observe commits without acks, so it flushes every 2^k stores —
+        # the Fig. 10 behaviour).  Strictly more conservative than the
+        # checker's uncommitted-window bound, so timed executions stay a
+        # subset of checked ones.
+        if (ps.seq_next + 1) - ps.seq_watermark < (1 << bits):
+            return None
+        return "seq-window-full"
+    return guard
+
+
+def _seq_issue(ps: Any, home: int, ordered: bool,
+               barrier: bool = False) -> List[Emit]:
+    seq = ps.seq_next
+    ps.seq_next += 1
+    ps.seq_outstanding += 1
+    return [Emit("seq_store", {"seq": seq, "ordered": ordered})]
+
+
+def _seq_issue_atomic(ps: Any, home: int, ordered: bool,
+                      barrier: bool = False) -> List[Emit]:
+    # RMWs take the synchronous round trip outside the sequence stream.
+    return [Emit("atomic")]
+
+
+def _seq_fence_done(ps: Any) -> bool:
+    return ps.seq_outstanding == 0
+
+
+def _seq_store_guard(ctx: DeliveryContext, fields: Mapping[str, Any]) -> bool:
+    """A Release-like store commits only after *all* earlier sequence
+    numbers from the same processor have committed — machine-wide, not
+    per-directory (stores fan out across directories; the committed
+    count that gates seq ``n`` includes commits at every slice)."""
+    if not fields["ordered"]:
+        return True
+    return ctx.seq_committed(fields["core"]) >= fields["seq"]
+
+
+def _seq_store_effect(ctx: DeliveryContext,
+                      fields: Mapping[str, Any]) -> None:
+    ctx.commit(fields)
+    ctx.seq_commit(fields["core"])
+
+
+def _seq_flush_guard(ctx: DeliveryContext, fields: Mapping[str, Any]) -> bool:
+    return ctx.seq_committed(fields["core"]) >= fields["upto"]
+
+
+def _seq_flush_effect(ctx: DeliveryContext,
+                      fields: Mapping[str, Any]) -> None:
+    ctx.send_core("seq_flush_ack", {})
+
+
+def _seq_flush_ack_effect(ctx: DeliveryContext,
+                          fields: Mapping[str, Any]) -> None:
+    ctx.core.seq_watermark = ctx.core.seq_next
+    ctx.wake()
+
+
+# ---------------------------------------------------------------------------
+# Bit-width functions (the traffic model, formerly actor properties)
+# ---------------------------------------------------------------------------
+def _relaxed_bits(cord: Any) -> int:
+    return cord.epoch_bits
+
+
+def _release_bits(cord: Any) -> int:
+    # epoch + store counter + lastPrevEp + notification counter.
+    return (cord.epoch_bits + cord.counter_bits + cord.epoch_bits
+            + cord.notification_bits)
+
+
+def _req_notify_bits(cord: Any) -> int:
+    # pending counter + lastPrevEp + current epoch + NotiDst id.
+    return cord.counter_bits + 2 * cord.epoch_bits + 8
+
+
+def _notify_bits(cord: Any) -> int:
+    return cord.epoch_bits + 8
+
+
+def _rel_ack_bits(cord: Any) -> int:
+    return cord.epoch_bits
+
+
+# ---------------------------------------------------------------------------
+# Shared message blocks
+# ---------------------------------------------------------------------------
+_ATOMIC_MESSAGES = {
+    "atomic": MessageSpec(
+        name="atomic", fifo=FifoClass.PER_LOCATION, control=False,
+        consumer="directory", timed_name="atomic_req"),
+    "atomic_resp": MessageSpec(
+        name="atomic_resp", fifo=FifoClass.NONE, control=False,
+        consumer="core", timed_name="load_resp", ample=True),
+}
+
+_LOAD_MESSAGES = {
+    # The checker reads directory state directly (with in-flight
+    # read-own-write forwarding); loads exist only on the timed wire.
+    "load_req": MessageSpec(
+        name="load_req", fifo=FifoClass.NONE, control=True,
+        consumer="directory", timed_only=True),
+    "load_resp": MessageSpec(
+        name="load_resp", fifo=FifoClass.NONE, control=False,
+        consumer="core", timed_only=True),
+}
+
+_SHARED_DELIVERY = {
+    "atomic": DeliveryRule(message="atomic", effects=_atomic_effect),
+    "atomic_resp": DeliveryRule(message="atomic_resp",
+                                effects=_atomic_resp_effect,
+                                core_side=True),
+}
+
+
+# ---------------------------------------------------------------------------
+# The shipped tables
+# ---------------------------------------------------------------------------
+SO_SPEC = ProtocolSpec(
+    name="so",
+    core_state="so",
+    messages={
+        "wt_store": MessageSpec(
+            name="wt_store", fifo=FifoClass.PER_LOCATION, control=False,
+            consumer="directory", forwards_store=True),
+        "so_ack": MessageSpec(
+            name="so_ack", fifo=FifoClass.NONE, control=True,
+            consumer="core", timed_name="wt_ack", ample=True),
+        **_ATOMIC_MESSAGES,
+        **_LOAD_MESSAGES,
+    },
+    issue={
+        ("store", True): IssueRule(
+            name="so-ordered-store", op_class="store", ordered=True,
+            guard=_so_guard, escape="wait", stall_cause="wait_wt_ack",
+            effects=_so_issue),
+        ("store", False): IssueRule(
+            name="so-relaxed-store", op_class="store", ordered=False,
+            guard=_so_relaxed_guard, escape="none", stall_cause="",
+            effects=_so_issue, combining=True),
+        ("atomic", True): IssueRule(
+            name="so-ordered-atomic", op_class="atomic", ordered=True,
+            guard=_so_guard, escape="wait", stall_cause="wait_wt_ack",
+            effects=_so_issue_atomic),
+        ("atomic", False): IssueRule(
+            name="so-relaxed-atomic", op_class="atomic", ordered=False,
+            guard=_so_relaxed_guard, escape="none", stall_cause="",
+            effects=_so_issue_atomic),
+    },
+    delivery={
+        "wt_store": DeliveryRule(message="wt_store",
+                                 effects=_wt_store_effect),
+        "so_ack": DeliveryRule(message="so_ack", effects=_so_ack_effect,
+                               core_side=True),
+        **_SHARED_DELIVERY,
+    },
+    fence=FenceRule(done=_so_fence_done, timed_drain="acks",
+                    stall_cause="wait_drain",
+                    timed_drain_on_acquire=True),
+)
+
+
+CORD_SPEC = ProtocolSpec(
+    name="cord",
+    core_state="cord",
+    messages={
+        "wt_rlx": MessageSpec(
+            name="wt_rlx", fifo=FifoClass.PER_LOCATION, control=False,
+            consumer="directory", bits=_relaxed_bits, forwards_store=True),
+        "wt_rel": MessageSpec(
+            name="wt_rel", fifo=FifoClass.PER_LOCATION, control=False,
+            consumer="directory", bits=_release_bits, forwards_store=True),
+        "req_notify": MessageSpec(
+            name="req_notify", fifo=FifoClass.NONE, control=True,
+            consumer="directory", bits=_req_notify_bits),
+        "notify": MessageSpec(
+            name="notify", fifo=FifoClass.NONE, control=True,
+            consumer="directory", bits=_notify_bits, ample=True),
+        "rel_ack": MessageSpec(
+            name="rel_ack", fifo=FifoClass.NONE, control=True,
+            consumer="core", bits=_rel_ack_bits),
+        **_ATOMIC_MESSAGES,
+        **_LOAD_MESSAGES,
+    },
+    issue={
+        ("store", True): IssueRule(
+            name="cord-release-store", op_class="store", ordered=True,
+            guard=_cord_release_guard, escape="wait",
+            stall_cause="release_table", effects=_cord_issue_release),
+        ("store", False): IssueRule(
+            name="cord-relaxed-store", op_class="store", ordered=False,
+            guard=_cord_relaxed_guard, escape="barrier", stall_cause="",
+            effects=_cord_issue_relaxed, combining=True,
+            escape_guard=_cord_barrier_escape_guard),
+        ("atomic", True): IssueRule(
+            name="cord-release-atomic", op_class="atomic", ordered=True,
+            guard=_cord_release_guard, escape="wait",
+            stall_cause="release_table",
+            effects=_cord_issue_atomic_release),
+        ("atomic", False): IssueRule(
+            name="cord-relaxed-atomic", op_class="atomic", ordered=False,
+            guard=_cord_relaxed_guard, escape="barrier", stall_cause="",
+            effects=_cord_issue_atomic_relaxed,
+            escape_guard=_cord_barrier_escape_guard),
+    },
+    delivery={
+        "wt_rlx": DeliveryRule(message="wt_rlx", guard=_wt_rlx_guard,
+                               effects=_wt_rlx_effect),
+        "wt_rel": DeliveryRule(message="wt_rel", guard=_wt_rel_guard,
+                               effects=_wt_rel_effect),
+        "req_notify": DeliveryRule(message="req_notify",
+                                   guard=_req_notify_guard,
+                                   effects=_req_notify_effect),
+        "notify": DeliveryRule(message="notify", effects=_notify_effect),
+        "rel_ack": DeliveryRule(message="rel_ack", effects=_rel_ack_effect,
+                                core_side=True),
+        **_SHARED_DELIVERY,
+    },
+    fence=FenceRule(done=_cord_fence_done, barrier_broadcast=True,
+                    timed_drain="barriers", stall_cause="fence_ack"),
+    retry_order=("req_notify", "wt_rel"),
+    progress_on=("wt_rlx", "atomic", "wt_rel", "req_notify", "notify"),
+)
+
+
+#: MP stays on the legacy actor/checker path (ISSUE 7 scope), but its
+#: message *ordering metadata* lives in the table so the checker's FIFO
+#: classes are derived — not hand-maintained — for every protocol.
+MP_SPEC = ProtocolSpec(
+    name="mp",
+    core_state="so",
+    messages={
+        "posted": MessageSpec(
+            name="posted", fifo=FifoClass.PER_PAIR, control=False,
+            consumer="directory", forwards_store=True),
+        "atomic": MessageSpec(
+            name="atomic", fifo=FifoClass.PER_PAIR, control=False,
+            consumer="directory", timed_name="atomic_req"),
+        "atomic_resp": _ATOMIC_MESSAGES["atomic_resp"],
+        **_LOAD_MESSAGES,
+    },
+    issue={},
+    delivery={},
+    rules_complete=False,
+)
+
+
+def _make_seq_spec(bits: int) -> ProtocolSpec:
+    seq_guard = _make_seq_guard(bits)
+    seq_timed_guard = _make_seq_timed_guard(bits)
+
+    def seq_bits_fn(cord: Any, _bits: int = bits) -> int:
+        return _bits
+
+    return ProtocolSpec(
+        name=f"seq{bits}",
+        core_state="seq",
+        messages={
+            "seq_store": MessageSpec(
+                name="seq_store", fifo=FifoClass.PER_LOCATION,
+                control=False, consumer="directory", bits=seq_bits_fn,
+                forwards_store=True),
+            "seq_flush": MessageSpec(
+                name="seq_flush", fifo=FifoClass.NONE, control=True,
+                consumer="directory", bits=seq_bits_fn, timed_only=True),
+            "seq_flush_ack": MessageSpec(
+                name="seq_flush_ack", fifo=FifoClass.NONE, control=True,
+                consumer="core", timed_only=True),
+            **_ATOMIC_MESSAGES,
+            **_LOAD_MESSAGES,
+        },
+        issue={
+            ("store", True): IssueRule(
+                name="seq-ordered-store", op_class="store", ordered=True,
+                guard=seq_guard, escape="flush",
+                stall_cause="seq_overflow", effects=_seq_issue,
+                timed_guard=seq_timed_guard),
+            ("store", False): IssueRule(
+                name="seq-relaxed-store", op_class="store", ordered=False,
+                guard=seq_guard, escape="flush",
+                stall_cause="seq_overflow", effects=_seq_issue,
+                timed_guard=seq_timed_guard),
+            ("atomic", True): IssueRule(
+                name="seq-ordered-atomic", op_class="atomic", ordered=True,
+                guard=seq_guard, escape="flush",
+                stall_cause="seq_overflow", effects=_seq_issue_atomic,
+                timed_guard=seq_timed_guard),
+            ("atomic", False): IssueRule(
+                name="seq-relaxed-atomic", op_class="atomic",
+                ordered=False, guard=seq_guard, escape="flush",
+                stall_cause="seq_overflow", effects=_seq_issue_atomic,
+                timed_guard=seq_timed_guard),
+        },
+        delivery={
+            "seq_store": DeliveryRule(message="seq_store",
+                                      guard=_seq_store_guard,
+                                      effects=_seq_store_effect),
+            "seq_flush": DeliveryRule(message="seq_flush",
+                                      guard=_seq_flush_guard,
+                                      effects=_seq_flush_effect),
+            "seq_flush_ack": DeliveryRule(message="seq_flush_ack",
+                                          effects=_seq_flush_ack_effect,
+                                          core_side=True),
+            **_SHARED_DELIVERY,
+        },
+        fence=FenceRule(done=_seq_fence_done, timed_drain="flush",
+                        stall_cause="seq_drain"),
+        retry_order=("seq_store", "seq_flush"),
+        progress_on=("seq_store", "seq_flush"),
+        seq_bits=bits,
+    )
+
+
+_SPECS: Dict[str, ProtocolSpec] = {
+    "so": SO_SPEC,
+    "cord": CORD_SPEC,
+    "mp": MP_SPEC,
+}
+
+
+def get_spec(protocol: str) -> ProtocolSpec:
+    """The transition table for ``protocol`` (``KeyError`` if none)."""
+    spec = _SPECS.get(protocol)
+    if spec is not None:
+        return spec
+    if protocol.startswith("seq") and protocol[3:].isdigit():
+        bits = int(protocol[3:])
+        spec = _SPECS[protocol] = _make_seq_spec(bits)
+        return spec
+    raise KeyError(f"no transition table for protocol {protocol!r}")
+
+
+def has_spec(protocol: str, rules: bool = True) -> bool:
+    """Whether ``protocol`` has a table (optionally: with full rules)."""
+    try:
+        spec = get_spec(protocol)
+    except KeyError:
+        return False
+    return spec.rules_complete or not rules
+
+
+def spec_protocols() -> Tuple[str, ...]:
+    """Protocols with fully rule-complete tables."""
+    return ("so", "cord", "seq<k>")
+
+
+# ---------------------------------------------------------------------------
+# Derived checker metadata (satellite: no hand-maintained FIFO/POR sets)
+# ---------------------------------------------------------------------------
+def _registry_specs() -> List[ProtocolSpec]:
+    return [SO_SPEC, CORD_SPEC, MP_SPEC, get_spec("seq8")]
+
+
+def fifo_class_for(kind: str,
+                   protocol: Optional[str] = None) -> FifoClass:
+    """The ordering class of message ``kind``, from the tables.
+
+    ``protocol`` is the *issuing* protocol and matters: ``atomic`` rides
+    MP's per-pair posted channel but per-location coherence everywhere
+    else.  SEQ-k variants share one ordering table regardless of ``k``.
+    Pass ``None`` only for reply/forward kinds that exist in a single
+    table (mixed-mode ``via: so`` carriers, directory replies) — the
+    registry is searched in declaration order.
+    """
+    if protocol is not None:
+        if protocol.startswith("seq"):
+            protocol = "seq8"
+        message = get_spec(protocol).messages.get(kind)
+        if message is not None:
+            return message.fifo
+    for other in _registry_specs():
+        message = other.messages.get(kind)
+        if message is not None:
+            return message.fifo
+    raise KeyError(f"no table declares message kind {kind!r}")
+
+
+def fifo_key_for(kind: str, protocol: Optional[str] = None,
+                 core: Optional[int] = None,
+                 addr: Optional[int] = None,
+                 dst_dir: Optional[int] = None) -> Optional[Tuple[Any, ...]]:
+    """The ``_Msg.fifo_class`` for one send, derived from the tables."""
+    return fifo_class_for(kind, protocol).key(core=core, addr=addr,
+                                              dst_dir=dst_dir)
+
+
+def ample_kinds() -> frozenset:
+    """Message kinds safe as singleton ample sets (POR), from the tables."""
+    kinds = set()
+    for spec in _registry_specs():
+        kinds.update(m.name for m in spec.messages.values() if m.ample)
+    return frozenset(kinds)
+
+
+def forwarding_kinds() -> frozenset:
+    """In-flight store carriers visible to the issuing core's own later
+    loads (read-own-write forwarding), from the tables."""
+    kinds = set()
+    for spec in _registry_specs():
+        kinds.update(
+            m.name for m in spec.messages.values() if m.forwards_store)
+    return frozenset(kinds)
+
+
+# ---------------------------------------------------------------------------
+# Structural linter (run by tests/protocols/test_spec_linter.py)
+# ---------------------------------------------------------------------------
+class LintError(ValueError):
+    """A shipped table violates a structural invariant."""
+
+
+#: Message field names the checker's symmetry permutation understands
+#: (see ``ModelChecker._perm_msg``); emitting any other field would make
+#: orbit canonicalization silently identity-blind to it.
+_PERMUTABLE_FIELDS = frozenset({
+    "core", "addr", "value", "old", "compare", "dir", "register", "meta",
+    "pc", "ordering", "seq", "ordered", "atomic", "upto", "proc", "epoch",
+})
+
+
+def lint_spec(spec: ProtocolSpec) -> List[str]:
+    """Structural problems in one table (empty list = clean).
+
+    Checks, per the ISSUE-7 satellite:
+
+    * every issue rule's guard is exercisable (rows exist for both the
+      ordered and relaxed class of stores and atomics) and names a valid
+      escape;
+    * every emitted message type has a :class:`MessageSpec` (an ordering
+      class) and a consumer :class:`DeliveryRule` on the side its
+      ``consumer`` declares;
+    * no two rows share a key (enforced by the mapping) and rows that
+      share a guard do not disagree on escape (overlapping guards with
+      conflicting actions);
+    * delivery rules only reference declared messages.
+    """
+    problems: List[str] = []
+    if not spec.rules_complete:
+        return problems
+
+    for op_class in ("store", "atomic"):
+        for ordered in (True, False):
+            if (op_class, ordered) not in spec.issue:
+                problems.append(
+                    f"{spec.name}: no ({op_class}, ordered={ordered}) row")
+
+    by_guard: Dict[Any, IssueRule] = {}
+    for key, rule in spec.issue.items():
+        if rule.escape not in ("wait", "barrier", "flush", "none"):
+            problems.append(
+                f"{spec.name}/{rule.name}: unknown escape {rule.escape!r}")
+        if rule.escape == "barrier" and ("store", True) not in spec.issue:
+            problems.append(
+                f"{spec.name}/{rule.name}: barrier escape without an "
+                f"ordered store row to issue it through")
+        prior = by_guard.get((rule.guard, rule.op_class))
+        if prior is not None and prior.escape != rule.escape:
+            problems.append(
+                f"{spec.name}: rows {prior.name!r} and {rule.name!r} share "
+                f"a guard but disagree on escape")
+        by_guard[(rule.guard, rule.op_class)] = rule
+
+    emitted, fields_by_message = _emitted_messages(spec)
+    for name, fields in sorted(fields_by_message.items()):
+        stray = fields - _PERMUTABLE_FIELDS
+        if stray:
+            problems.append(
+                f"{spec.name}: {name!r} emits fields {sorted(stray)} the "
+                f"symmetry permutation does not understand")
+    for name in emitted:
+        message = spec.messages.get(name)
+        if message is None:
+            problems.append(
+                f"{spec.name}: emits {name!r} with no MessageSpec "
+                f"(no ordering class)")
+            continue
+        rule = spec.delivery.get(name)
+        if rule is None:
+            problems.append(
+                f"{spec.name}: emitted message {name!r} has no consumer "
+                f"DeliveryRule")
+        elif rule.core_side != (message.consumer == "core"):
+            problems.append(
+                f"{spec.name}: {name!r} consumer side mismatch "
+                f"(spec says {message.consumer}, rule core_side="
+                f"{rule.core_side})")
+    for name, rule in spec.delivery.items():
+        if name not in spec.messages:
+            problems.append(
+                f"{spec.name}: delivery rule for undeclared message "
+                f"{name!r}")
+        if rule.message != name:
+            problems.append(
+                f"{spec.name}: delivery rule keyed {name!r} claims message "
+                f"{rule.message!r}")
+    for name in spec.retry_order:
+        if name not in spec.delivery:
+            problems.append(
+                f"{spec.name}: retry_order references {name!r} with no "
+                f"delivery rule")
+    return problems
+
+
+def _emitted_messages(spec: ProtocolSpec):
+    """Message names the spec's issue rules can emit (discovered by
+    driving the rules against scratch state) plus the delivery-side
+    replies, and the protocol field names each emission carried."""
+    from repro.config import CordConfig
+    from repro.core.processor import CordProcessorState
+
+    emitted = set()
+    fields_by_message: Dict[str, set] = {}
+
+    class _Scratch:
+        def __init__(self) -> None:
+            self.cord = CordProcessorState(0, CordConfig())
+            self.so_outstanding = 0
+            self.seq_next = 0
+            self.seq_outstanding = 0
+            self.seq_watermark = 0
+
+    for (op_class, ordered), rule in spec.issue.items():
+        ps = _Scratch()
+        if spec.core_state == "cord":
+            # Give the core pending state at another directory so the
+            # Release path also exercises its notification fan-out.
+            ps.cord.on_relaxed_store(1)
+        for emit in rule.effects(ps, 0, ordered):
+            emitted.add(emit.message)
+            fields_by_message.setdefault(emit.message, set()).update(
+                emit.fields)
+    # Delivery replies (acks, notifications, responses) are emissions too.
+    reply_of = {
+        "wt_store": ["so_ack"],
+        "wt_rel": ["rel_ack", "atomic_resp"],
+        "req_notify": ["notify"],
+        "seq_flush": ["seq_flush_ack"],
+        "atomic": ["atomic_resp"],
+    }
+    for name in list(emitted) + list(spec.delivery):
+        for reply in reply_of.get(name, ()):
+            if name in spec.delivery or name in emitted:
+                emitted.add(reply)
+    return sorted(emitted), fields_by_message

@@ -1,0 +1,681 @@
+"""Timed interpreter for :mod:`repro.protocols.spec` transition tables.
+
+One generic core-port class and one generic directory class run any
+rule-complete :class:`~repro.protocols.spec.ProtocolSpec` — the same
+table object the model checker interprets — replacing the hand-written
+``so``/``cord``/``seq`` actors and their per-message ``on_<type>``
+handler-lookup chains with flat table dispatch.
+
+What lives here is strictly *interpreter scaffolding*: the event-loop
+plumbing (signals, generators, stall accounting), the wire transport
+(payload assembly, message sizes) and the retry queues.  Every protocol
+*decision* — when an op may issue, what it emits, when a message may
+commit, what a commit does — is executed straight from the table, so the
+timed simulator and the checker cannot diverge on them.
+
+The interpretation is behaviour-preserving with respect to the legacy
+actors for ``so`` and ``cord`` (pinned byte-identical by the PR 4
+final-state-hash basket) and fixes two real divergences for ``seq<k>``
+(machine-global commit gating and release-fence draining; see
+``tests/protocols/test_seq_divergence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Mapping, Optional, Tuple, Type
+
+from repro.consistency.ops import MemOp, Ordering
+from repro.core.directory import CordDirectoryState
+from repro.core.processor import CordProcessorState
+from repro.interconnect.message import Message
+from repro.protocols.base import CorePort, DirectoryNode
+from repro.protocols.spec import (
+    DeliveryContext,
+    Emit,
+    IssueRule,
+    ProtocolSpec,
+    get_spec,
+)
+
+__all__ = ["TableCorePort", "TableDirectory", "make_table_protocol",
+           "table_protocol_classes"]
+
+
+# ---------------------------------------------------------------------------
+# Static table introspection (which emissions carry what transport fields)
+# ---------------------------------------------------------------------------
+class _Scratch:
+    """Throwaway core state used to drive issue effects once at class-build
+    time, discovering each rule's emitted carrier messages."""
+
+    def __init__(self) -> None:
+        from repro.config import CordConfig
+        self.cord = CordProcessorState(0, CordConfig())
+        self.so_outstanding = 0
+        self.seq_next = 0
+        self.seq_outstanding = 0
+        self.seq_watermark = 0
+
+
+def _carrier_info(spec: ProtocolSpec) -> Tuple[frozenset, Optional[str]]:
+    """(messages that carry a write-combining ``values`` map, the barrier
+    Release carrier or None) — derived by driving the rules, not named."""
+    values_carriers = set()
+    for rule in spec.issue.values():
+        if not rule.combining:
+            continue
+        for emit in rule.effects(_Scratch(), 0, rule.ordered):
+            values_carriers.add(emit.message)
+    barrier_carrier = None
+    if spec.fence is not None and spec.fence.barrier_broadcast:
+        emits = spec.issue_rule("store", True).effects(
+            _Scratch(), 0, True, barrier=True)
+        barrier_carrier = emits[-1].message
+    return frozenset(values_carriers), barrier_carrier
+
+
+# ---------------------------------------------------------------------------
+# Delivery contexts (the spec's adapter surface, timed flavour)
+# ---------------------------------------------------------------------------
+class _TimedCoreCtx(DeliveryContext):
+    """Core-side context: ``core`` is the port itself (it exposes the
+    ``_CoreState``-shaped protocol fields the effects mutate)."""
+
+    def __init__(self, port: "TableCorePort") -> None:
+        self.core = port
+
+    def wake(self) -> None:
+        self.core._wake()
+
+
+class _TimedDirCtx(DeliveryContext):
+    """Directory-side context bound to one in-flight message."""
+
+    __slots__ = ("node", "message", "dir_state", "core")
+
+    def __init__(self, node: "TableDirectory", message: Message) -> None:
+        self.node = node
+        self.message = message
+        self.dir_state = node.state
+        self.core = None
+
+    def commit(self, fields: Mapping[str, Any]) -> None:
+        self.node.commit_store(self.message)
+
+    def commit_barrier(self) -> None:
+        self.node.llc.write_through_commits += 1
+
+    def perform_atomic(self, fields: Mapping[str, Any]) -> None:
+        old = self.node.perform_atomic(self.message)
+        self.node.respond_atomic(self.message, old)
+
+    def send_core(self, message: str, fields: Mapping[str, Any]) -> None:
+        node = self.node
+        mspec = node.SPEC.messages[message]
+        payload = dict(fields)
+        if message == "so_ack":
+            # The wire ack names the acknowledged address (transport
+            # detail; the table effect carries no protocol fields).
+            payload["addr"] = self.message.payload["addr"]
+        node.network.send(Message(
+            src=node.node_id,
+            dst=self.message.src,
+            msg_type=mspec.wire_name,
+            size_bytes=node.sizes.control_bytes(
+                mspec.bit_width(node.machine.config.cord)),
+            control=True,
+            payload=payload,
+        ))
+
+    def send_dir(self, message: str, dst_dir: int,
+                 fields: Mapping[str, Any]) -> None:
+        node = self.node
+        mspec = node.SPEC.messages[message]
+        node.network.send(Message(
+            src=node.node_id,
+            dst=node.machine.directory_id(dst_dir),
+            msg_type=mspec.wire_name,
+            size_bytes=node.sizes.control_bytes(
+                mspec.bit_width(node.machine.config.cord)),
+            control=True,
+            payload=dict(fields),
+        ))
+
+    def ack_release(self, meta: Any) -> None:
+        node = self.node
+        trace = node.machine.trace
+        if trace:
+            trace.counter(str(node.node_id),
+                          f"committed_epoch.p{meta.proc}",
+                          meta.epoch, node.sim.now)
+        mspec = node.SPEC.messages["rel_ack"]
+        node.network.send(Message(
+            src=node.node_id,
+            dst=self.message.src,
+            msg_type=mspec.wire_name,
+            size_bytes=node.sizes.control_bytes(
+                mspec.bit_width(node.machine.config.cord)),
+            control=True,
+            payload={"meta": meta},
+        ))
+
+    def seq_committed(self, proc: int) -> int:
+        return self.node.board.count(proc)
+
+    def seq_commit(self, proc: int) -> None:
+        self.node.board.commit(proc, origin=self.node)
+
+
+# ---------------------------------------------------------------------------
+# The core port
+# ---------------------------------------------------------------------------
+class TableCorePort(CorePort):
+    """Processor side of any rule-complete table.
+
+    The port *is* the protocol-state object the table's guards and
+    effects run against: it carries every ``_CoreState``-shaped field
+    (``cord``, ``so_outstanding``, ``seq_next``/``seq_watermark``/
+    ``seq_outstanding``), exactly like the checker's per-core state."""
+
+    SPEC: ProtocolSpec = None           # bound by make_table_protocol
+    SEQ_BITS: Optional[int] = None
+
+    def __init__(self, core) -> None:
+        super().__init__(core)
+        spec = self.SPEC
+        self.cord: Optional[CordProcessorState] = None
+        self.so_outstanding = 0
+        self.seq_next = 0
+        self.seq_watermark = 0
+        self.seq_outstanding = 0
+        if spec.core_state == "cord":
+            self.cord = CordProcessorState(core.core_id, self.config.cord)
+            self.state = self.cord      # storage/diagnostics surface
+            self.ack_signal = self.sim.signal(f"cord_ack@core{core.core_id}")
+            trace = self.machine.trace
+            if trace:
+                actor, sim = str(self.node), self.sim
+                self.cord.on_transition = (
+                    lambda name, value: trace.counter(actor, name, value,
+                                                      sim.now)
+                )
+        elif spec.core_state == "so":
+            self.ack_signal = self.sim.signal(f"so_ack@core{core.core_id}")
+        else:                           # seq
+            self.flush_signal = self.sim.signal(
+                f"seq_flush@core{core.core_id}")
+            self._flush_pending = False
+            self._seen_dirs = set()
+        # Flat rule dispatch, hoisted off the hot path.
+        self._rule_store_t = spec.issue.get(("store", True))
+        self._rule_store_f = spec.issue.get(("store", False))
+        self._rule_atomic_t = spec.issue.get(("atomic", True))
+        self._rule_atomic_f = spec.issue.get(("atomic", False))
+        self._values_carriers, self._barrier_carrier = _carrier_info(spec)
+        self._core_ctx = _TimedCoreCtx(self)
+        # wire msg_type -> (canonical name, core-side rule); the shared
+        # load/atomic response path stays with the base class.
+        self._core_rules: Dict[str, Tuple[str, Any]] = {}
+        for name, rule in spec.delivery.items():
+            if not rule.core_side:
+                continue
+            wire = spec.messages[name].wire_name
+            if wire == "load_resp":
+                continue
+            self._core_rules[wire] = (name, rule)
+
+    # -- diagnostics surface (machine watchdog reads this by name) --------
+    @property
+    def outstanding_acks(self) -> int:
+        return self.so_outstanding
+
+    @outstanding_acks.setter
+    def outstanding_acks(self, value: int) -> None:
+        self.so_outstanding = value
+
+    def _wake(self) -> None:
+        if self.SPEC.core_state == "seq":
+            self._flush_pending = False
+            self.flush_signal.trigger()
+        else:
+            self.ack_signal.trigger()
+
+    # ------------------------------------------------------------------
+    # Issue-side interpretation
+    # ------------------------------------------------------------------
+    def _ordered(self, op: MemOp) -> bool:
+        return (op.ordering.is_release
+                or self.machine.consistency in ("tso", "sc"))
+
+    def _wait_guard(self, rule: IssueRule, dir_index: int) -> Generator:
+        """``escape="wait"``: block on the ack signal until the guard
+        clears, attributing the stall to the rule's cause."""
+        started = self.sim.now
+        while True:
+            reason = rule.guard(self, dir_index)
+            if reason is None:
+                break
+            if self.cord is not None:
+                self.cord.record_stall(reason)
+            yield self.ack_signal
+        self.stall(rule.stall_cause, self.sim.now - started)
+
+    def _send_emit(self, emit: Emit, *, addr: int, size: int, value,
+                   program_index: int, home_index: int, ordering,
+                   values=None, barrier: bool = False) -> None:
+        """Wrap one table emission in its wire transport."""
+        mspec = self.SPEC.messages[emit.message]
+        bits = mspec.bit_width(self.config.cord)
+        dst_index = emit.dst_dir if emit.dst_dir is not None else home_index
+        if not emit.carries_op:
+            self.network.send(Message(
+                src=self.node,
+                dst=self.machine.directory_id(dst_index),
+                msg_type=mspec.wire_name,
+                size_bytes=self.sizes.control_bytes(bits),
+                control=True,
+                payload=dict(emit.fields),
+            ))
+            return
+        payload = {"addr": addr, "value": value, "size": size}
+        if emit.message in self._values_carriers:
+            payload["values"] = values
+        payload["proc"] = self.core.core_id
+        payload["program_index"] = program_index
+        payload["ordering"] = ordering
+        payload.update(emit.fields)
+        if emit.message == self._barrier_carrier:
+            payload["barrier"] = barrier
+        if barrier:
+            # §4.4 empty barrier Release: control-class, no data payload.
+            size_bytes = self.sizes.control_bytes(bits)
+            control = True
+        else:
+            size_bytes = self.sizes.data_bytes(size, bits)
+            control = mspec.control
+        self.network.send(Message(
+            src=self.node,
+            dst=self.machine.directory_id(dst_index),
+            msg_type=mspec.wire_name,
+            size_bytes=size_bytes,
+            control=control,
+            payload=payload,
+        ))
+
+    def _issue_and_send(self, rule: IssueRule, addr: int, size: int, value,
+                        program_index: int, dir_index: int, ordering,
+                        values=None, barrier: bool = False) -> None:
+        for emit in rule.effects(self, dir_index, rule.ordered,
+                                 barrier=barrier):
+            self._send_emit(emit, addr=addr, size=size, value=value,
+                            program_index=program_index,
+                            home_index=dir_index, ordering=ordering,
+                            values=values, barrier=barrier)
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+    def store(self, op: MemOp, program_index: int) -> Generator:
+        ordered = self._ordered(op)
+        rule = self._rule_store_t if ordered else self._rule_store_f
+        home_index = self.home(op.addr).index
+        if rule.escape == "flush":          # SEQ: one path for both classes
+            yield from self._seq_store(rule, op, program_index, home_index)
+        elif ordered:
+            yield from self._release_to(op, program_index, home_index)
+        elif rule.combining and self.wc.enabled:
+            yield from self.wc_store(op, program_index)
+        elif rule.escape == "barrier":
+            yield from self._emit_relaxed_to(
+                op.addr, op.size, op.value, program_index, home_index)
+        else:
+            self._issue_and_send(rule, op.addr, op.size, op.value,
+                                 program_index, home_index, op.ordering)
+
+    def _release_to(self, op: MemOp, program_index: int, dir_index: int,
+                    barrier: bool = False) -> Generator:
+        """The ordered-store row: guard-wait, then emit (fire-and-forget)."""
+        rule = self._rule_store_t
+        if not barrier:
+            yield from self.wc_flush()      # a Release orders buffered stores
+        yield from self._wait_guard(rule, dir_index)
+        self._issue_and_send(rule, op.addr, op.size, op.value, program_index,
+                             dir_index, op.ordering, barrier=barrier)
+
+    def _emit_relaxed_to(self, addr: int, size: int, value,
+                         program_index: int, dir_index: int,
+                         values=None) -> Generator:
+        """Relaxed row with the ``"barrier"`` escape (CORD §4.4): clear the
+        rare stall conditions by injecting empty barrier Releases."""
+        rule = self._rule_store_f
+        while True:
+            reason = rule.guard(self, dir_index)
+            if reason is None:
+                break
+            self.cord.record_stall(reason)
+            yield from self._barrier_release(dir_index, program_index)
+        self._issue_and_send(rule, addr, size, value, program_index,
+                             dir_index, Ordering.RELAXED, values=values)
+
+    def _emit_relaxed(self, write, program_index: int) -> Generator:
+        rule = self._rule_store_f
+        dir_index = self.home(write.addr).index
+        if rule.escape == "barrier":
+            yield from self._emit_relaxed_to(
+                write.addr, write.size, write.value, program_index,
+                dir_index, values=write.values)
+        else:
+            self._issue_and_send(rule, write.addr, write.size, write.value,
+                                 program_index, dir_index, Ordering.RELAXED,
+                                 values=write.values)
+
+    def _barrier_release(self, dir_index: int,
+                         program_index: int) -> Generator:
+        """An empty directory-ordered Release (§4.4), then wait for its
+        acknowledgment so the stall condition is guaranteed to clear."""
+        epoch = self.cord.epoch.value
+        fake = MemOp.release_store(addr=0, value=None, size=0)
+        yield from self._release_to(fake, program_index, dir_index,
+                                    barrier=True)
+        started = self.sim.now
+        while (dir_index, epoch) in self.cord.unacked:
+            yield self.ack_signal
+        self.stall("barrier_ack", self.sim.now - started)
+
+    # ------------------------------------------------------------------
+    # SEQ issue path (escape="flush")
+    # ------------------------------------------------------------------
+    def _seq_store(self, rule: IssueRule, op: MemOp, program_index: int,
+                   home_index: int) -> Generator:
+        self._seen_dirs.add(home_index)
+        guard = rule.timed_guard or rule.guard
+        if guard(self, home_index) is not None:
+            yield from self._flush(rule.stall_cause)
+        self._issue_and_send(rule, op.addr, op.size, op.value,
+                             program_index, home_index, op.ordering)
+
+    def _flush(self, cause: str) -> Generator:
+        """Stall until the directories confirm all prior seqs committed."""
+        started = self.sim.now
+        self._flush_pending = True
+        bits = self.SPEC.seq_bits
+        for dir_index in sorted(self._seen_dirs):
+            self.network.send(Message(
+                src=self.node,
+                dst=self.machine.directory_id(dir_index),
+                msg_type="seq_flush",
+                size_bytes=self.sizes.control_bytes(bits),
+                control=True,
+                payload={"proc": self.core.core_id, "upto": self.seq_next},
+            ))
+        while self._flush_pending:
+            yield self.flush_signal
+        self.stall(cause, self.sim.now - started)
+
+    # ------------------------------------------------------------------
+    # Atomics
+    # ------------------------------------------------------------------
+    def atomic(self, op: MemOp, program_index: int) -> Generator:
+        yield from self.wc_flush()          # RMWs never bypass buffered stores
+        ordered = self._ordered(op)
+        rule = self._rule_atomic_t if ordered else self._rule_atomic_f
+        home_index = self.home(op.addr).index
+        if rule.escape == "wait" and ordered:
+            yield from self._wait_guard(rule, home_index)
+        elif rule.escape == "barrier":
+            while True:
+                reason = rule.guard(self, home_index)
+                if reason is None:
+                    break
+                self.cord.record_stall(reason)
+                yield from self._barrier_release(home_index, program_index)
+        # escape="flush" (SEQ): RMWs ride the synchronous round trip
+        # outside the sequence stream — the checker's window gating is a
+        # checker-only conservatism.
+        emits = rule.effects(self, home_index, ordered)
+        last = emits[-1]
+        if last.message == "atomic":
+            meta = last.fields.get("meta")
+            if meta is not None:            # CORD Relaxed RMW metadata
+                op.meta["cord_meta"] = meta
+            old = yield from self._atomic_round_trip(op, program_index)
+            return old
+        # Release-ordered RMW through the ordered-store carrier (CORD):
+        # the directory performs the RMW when the Release commits and
+        # returns the old value with the acknowledgment.
+        for emit in emits[:-1]:
+            self._send_emit(emit, addr=op.addr, size=op.size, value=op.value,
+                            program_index=program_index,
+                            home_index=home_index, ordering=op.ordering)
+        mspec = self.SPEC.messages[last.message]
+        req_id = self._next_req
+        self._next_req += 1
+        signal = self.sim.signal(f"rel_atomic{req_id}@core{self.core.core_id}")
+        self._load_waiters[req_id] = signal
+        payload = {
+            "addr": op.addr,
+            "value": op.value,
+            "size": op.size,
+            "proc": self.core.core_id,
+            "program_index": program_index,
+            "ordering": op.ordering,
+        }
+        payload.update(last.fields)
+        payload["atomic"] = op.meta["atomic"]
+        payload["compare"] = op.meta.get("compare")
+        payload["req_id"] = req_id
+        self.network.send(Message(
+            src=self.node,
+            dst=self.machine.directory_id(home_index),
+            msg_type=mspec.wire_name,
+            size_bytes=self.sizes.data_bytes(
+                op.size, mspec.bit_width(self.config.cord)),
+            control=False,
+            payload=payload,
+        ))
+        old = yield signal
+        return old
+
+    # ------------------------------------------------------------------
+    # Fences / drains
+    # ------------------------------------------------------------------
+    def fence(self, op: MemOp, program_index: int) -> Generator:
+        fr = self.SPEC.fence
+        if not op.ordering.is_release and not fr.timed_drain_on_acquire:
+            return                          # acquire barriers are free (§4.4)
+        yield from self._drain(program_index)
+
+    def drain(self) -> Generator:
+        yield from self._drain(-1)
+
+    def _drain(self, program_index: int) -> Generator:
+        fr = self.SPEC.fence
+        if fr.timed_drain == "barriers":
+            # CORD §4.4: broadcast empty barrier Releases to every pending
+            # directory, then wait for their acknowledgments.
+            yield from self.wc_flush()
+            pending = self.cord.pending_directories()
+            issued: List[Tuple[int, int]] = []
+            for dir_index in pending:
+                epoch = self.cord.epoch.value
+                fake = MemOp.release_store(addr=0, value=None, size=0)
+                yield from self._release_to(fake, program_index, dir_index,
+                                            barrier=True)
+                issued.append((dir_index, epoch))
+            started = self.sim.now
+            while any(key in self.cord.unacked for key in issued):
+                yield self.ack_signal
+            self.stall(fr.stall_cause, self.sim.now - started)
+        elif fr.timed_drain == "flush":
+            # SEQ: a release fence must not complete with uncommitted
+            # sequence numbers outstanding (divergence fix — the legacy
+            # actor inherited the no-op drain and let releases fence
+            # nothing; the checker always gated on seq_outstanding == 0).
+            if self.seq_next > self.seq_watermark:
+                yield from self._flush(fr.stall_cause)
+        else:                               # "acks"
+            yield from self.wc_flush()
+            started = self.sim.now
+            while not fr.done(self):
+                yield self.ack_signal
+            self.stall(fr.stall_cause, self.sim.now - started)
+
+    def sc_load_barrier(self) -> Generator:
+        fr = self.SPEC.fence
+        if fr.barrier_broadcast:
+            # SC store->load ordering under CORD: every store is already
+            # Release-ordered and acknowledged, so a load only waits for
+            # the epoch table to drain — no extra messages.
+            started = self.sim.now
+            while not fr.done(self):
+                yield self.ack_signal
+            self.stall("sc_load_order", self.sim.now - started)
+        else:
+            yield from self.drain()
+
+    # ------------------------------------------------------------------
+    # Responses (flat table dispatch)
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        entry = self._core_rules.get(message.msg_type)
+        if entry is None:
+            super().on_message(message)
+            return
+        name, rule = entry
+        if name == "rel_ack":
+            fields = {"dir": message.src.index,
+                      "epoch": message.payload["meta"].epoch}
+        elif name == "seq_flush_ack":
+            if not self._flush_pending:
+                return  # stale ack from a multi-directory flush broadcast
+            fields = message.payload
+        else:
+            fields = message.payload
+        rule.effects(self._core_ctx, fields)
+
+
+# ---------------------------------------------------------------------------
+# The directory
+# ---------------------------------------------------------------------------
+class TableDirectory(DirectoryNode):
+    """Directory side of any rule-complete table.
+
+    Messages with a delivery guard and a retry queue are buffered
+    ("recycled", Alg. 2) and re-evaluated by :meth:`_progress` — the
+    generic form of the legacy CORD/SEQ retry loops; everything else is
+    applied immediately through the table's effect."""
+
+    SPEC: ProtocolSpec = None           # bound by make_table_protocol
+
+    def __init__(self, machine, node_id) -> None:
+        super().__init__(machine, node_id)
+        spec = self.SPEC
+        self.state: Optional[CordDirectoryState] = None
+        if spec.core_state == "cord":
+            self.state = CordDirectoryState(
+                node_id.index, machine.config.total_cores,
+                machine.config.cord)
+        self.board = None
+        if spec.core_state == "seq":
+            # Machine-global committed counts (divergence fix: the legacy
+            # per-directory counts deadlock cross-directory releases).
+            self.board = machine.seq_board()
+            self.board.subscribe(self, self._progress)
+            self.committed_count = self.board.committed
+        self._retry: Dict[str, List[Message]] = {
+            name: [] for name in spec.retry_order
+        }
+        # Legacy attribute names, read by the machine's deadlock
+        # diagnostics and existing tests.
+        if "wt_rel" in self._retry:
+            self._pending_releases = self._retry["wt_rel"]
+            self._pending_reqs = self._retry["req_notify"]
+        if "seq_store" in self._retry:
+            self._pending = self._retry["seq_store"]
+            self._pending_flushes = self._retry["seq_flush"]
+        self._wire_rules: Dict[str, Tuple[str, Any]] = {}
+        for name, rule in spec.delivery.items():
+            if rule.core_side:
+                continue
+            self._wire_rules[spec.messages[name].wire_name] = (name, rule)
+        self._progress_kinds = frozenset(spec.progress_on)
+
+    def _fields(self, name: str, message: Message) -> Mapping[str, Any]:
+        payload = message.payload
+        if name in ("seq_store", "seq_flush"):
+            # The wire names the issuing core "proc"; the table reads the
+            # checker's canonical "core".
+            fields = dict(payload)
+            fields["core"] = payload["proc"]
+            return fields
+        return payload
+
+    def _process(self, message: Message) -> None:
+        entry = self._wire_rules.get(message.msg_type)
+        if entry is None:
+            super()._process(message)   # shared load path
+            return
+        name, rule = entry
+        if name in self._retry:
+            self._retry[name].append(message)
+            self._progress()
+            return
+        rule.effects(_TimedDirCtx(self, message),
+                     self._fields(name, message))
+        if name in self._progress_kinds and self._retry:
+            self._progress()
+
+    def _progress(self) -> None:
+        """Re-evaluate the retry queues until a full sweep changes
+        nothing (Alg. 2 "Retry later")."""
+        spec = self.SPEC
+        changed = True
+        while changed:
+            changed = False
+            for name in spec.retry_order:
+                queue = self._retry[name]
+                if not queue:
+                    continue
+                rule = spec.delivery[name]
+                for message in list(queue):
+                    ctx = _TimedDirCtx(self, message)
+                    fields = self._fields(name, message)
+                    if rule.enabled(ctx, fields):
+                        queue.remove(message)
+                        rule.effects(ctx, fields)
+                        changed = True
+        self.track_buffered(sum(len(q) for q in self._retry.values()))
+
+
+# ---------------------------------------------------------------------------
+# Class factory
+# ---------------------------------------------------------------------------
+_CLASS_CACHE: Dict[str, Tuple[Type[TableCorePort], Type[TableDirectory]]] = {}
+
+
+def make_table_protocol(
+    spec: ProtocolSpec,
+) -> Tuple[Type[TableCorePort], Type[TableDirectory]]:
+    """Build (core port, directory) classes interpreting ``spec``."""
+    cached = _CLASS_CACHE.get(spec.name)
+    if cached is not None:
+        return cached
+    if not spec.rules_complete:
+        raise ValueError(
+            f"protocol {spec.name!r} has a messages-only table; "
+            f"its actors stay on the legacy path"
+        )
+    title = spec.name.replace("-", " ").title().replace(" ", "")
+    port_cls = type(f"Table{title}CorePort", (TableCorePort,),
+                    {"SPEC": spec, "SEQ_BITS": spec.seq_bits})
+    dir_cls = type(f"Table{title}Directory", (TableDirectory,),
+                   {"SPEC": spec})
+    _CLASS_CACHE[spec.name] = (port_cls, dir_cls)
+    return port_cls, dir_cls
+
+
+def table_protocol_classes(
+    name: str,
+) -> Tuple[Type[TableCorePort], Type[TableDirectory]]:
+    """Resolve a protocol name to its table-driven actor classes."""
+    return make_table_protocol(get_spec(name))

@@ -1,0 +1,151 @@
+"""Checker table-vs-legacy equivalence, plus the fence-batch regression.
+
+The model checker can interpret each protocol either through its legacy
+hand-written transition code or through the shared transition table
+(:mod:`repro.protocols.spec`).  Both must explore the *same state graph*:
+identical state counts, transition counts, deadlock counts and final
+outcome sets — anything less means the table is not the protocol.
+"""
+
+import pytest
+
+from repro.config import CordConfig
+from repro.litmus.dsl import (
+    LitmusTest,
+    fence_rel,
+    ld,
+    ld_acq,
+    st,
+    st_rel,
+)
+from repro.litmus.model_checker import ModelChecker
+from repro.litmus.suite import classic_tests
+
+PROTOCOLS = ("so", "cord", "mp", "seq2")
+
+
+def _signature(test, protocol, **kwargs):
+    result = ModelChecker(test, protocol, max_states=200_000,
+                          **kwargs).run()
+    outcomes = sorted(
+        tuple(sorted(final.outcome.items())) for final in result.finals
+    )
+    return (result.states_explored, result.stats["transitions"],
+            result.deadlocks, outcomes)
+
+
+class TestCheckerEquivalence:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_classic_suite_identical_state_graphs(self, protocol):
+        for test in classic_tests():
+            table = _signature(test, protocol, use_tables=True)
+            legacy = _signature(test, protocol, use_tables=False)
+            assert table == legacy, (
+                f"{test.name} under {protocol}: table-driven exploration "
+                f"diverged from the legacy transition code"
+            )
+
+    def test_tso_mode_identical(self):
+        test = classic_tests()[0]
+        for protocol in ("so", "cord"):
+            assert (_signature(test, protocol, use_tables=True, tso=True)
+                    == _signature(test, protocol, use_tables=False, tso=True))
+
+
+#: Relaxed stores to two homes, then a release fence: the fence must
+#: broadcast one barrier Release per pending directory in a single step.
+FENCE_BATCH = LitmusTest(
+    name="fence-batch",
+    locations={"x": 0, "y": 1, "flag": 1},
+    programs=[
+        [st("x", 1), st("y", 1), fence_rel(), st("flag", 1)],
+        [ld_acq("flag", "r0"), ld("x", "r1"), ld("y", "r2")],
+    ],
+    forbidden=[{"P1:r0": 1, "P1:r1": 0}, {"P1:r0": 1, "P1:r2": 0}],
+)
+
+#: Starved tables: a 2-entry unacked-epoch table and 3-entry directory
+#: partitions make the 2-barrier fence batch brush every capacity bound.
+TINY_CORD = CordConfig(
+    epoch_bits=2,
+    proc_unacked_epoch_entries=2,
+    proc_store_counter_entries=2,
+    dir_store_counter_entries_per_proc=3,
+    dir_notification_entries_per_proc=3,
+)
+
+
+class TestCordFenceBatch:
+    """Divergence fix: a release fence issues its barrier batch atomically,
+    so the whole batch — not just the first barrier — must fit the
+    unacked-epoch table, the epoch window and the directory partitions.
+    The legacy checker guarded only the first issue and crashed
+    (``release store must stall``) on under-provisioned configs."""
+
+    @pytest.mark.parametrize("use_tables", [True, False],
+                             ids=["table", "legacy"])
+    def test_starved_tables_explore_without_crashing(self, use_tables):
+        result = ModelChecker(FENCE_BATCH, "cord", cord_config=TINY_CORD,
+                              max_states=200_000,
+                              use_tables=use_tables).run()
+        assert result.states_explored > 0
+        for final in result.finals:
+            assert FENCE_BATCH.matches_forbidden(final.outcome) is None
+
+    def test_both_paths_agree_on_starved_tables(self):
+        assert (_signature(FENCE_BATCH, "cord", cord_config=TINY_CORD,
+                           use_tables=True)
+                == _signature(FENCE_BATCH, "cord", cord_config=TINY_CORD,
+                              use_tables=False))
+
+    def test_batch_reason_bounds_whole_batch(self):
+        from repro.core.processor import CordProcessorState
+        from repro.protocols.spec import cord_barrier_batch_reason
+
+        config = CordConfig(proc_unacked_epoch_entries=2,
+                            proc_store_counter_entries=8)
+
+        # No pending directories: nothing to broadcast, nothing to stall.
+        idle = CordProcessorState(0, config)
+        assert cord_barrier_batch_reason(idle) is None
+
+        # Three pending directories vs a 2-entry unacked table: the first
+        # barrier alone would fit (the legacy guard passed), the batch
+        # cannot.
+        cord = CordProcessorState(0, config)
+        for directory in (0, 1, 2):
+            cord.on_relaxed_store(directory)
+        reason = cord_barrier_batch_reason(cord)
+        assert reason is not None
+        assert cord.release_stall_reason(0) is None  # legacy guard blind
+
+        # Two pending directories fit the 2-entry table: the batch clears.
+        cord = CordProcessorState(0, config)
+        cord.on_relaxed_store(0)
+        cord.on_relaxed_store(1)
+        assert cord_barrier_batch_reason(cord) is None
+
+
+class TestStoresDrainedGate:
+    """Divergence fix: terminal states must drain *every* protocol's
+    in-flight stores — the gate ignored SEQ's outstanding sequence
+    numbers, so exploration could declare a state final (or deadlocked)
+    with seq stores still buffered at a directory."""
+
+    @pytest.mark.parametrize("use_tables", [True, False],
+                             ids=["table", "legacy"])
+    def test_seq_message_passing_is_clean(self, use_tables):
+        test = LitmusTest(
+            name="seq-mp",
+            locations={"x": 0, "flag": 1},
+            programs=[
+                [st("x", 1), st_rel("flag", 1)],
+                [ld_acq("flag", "r0"), ld("x", "r1")],
+            ],
+            forbidden=[{"P1:r0": 1, "P1:r1": 0}],
+        )
+        result = ModelChecker(test, "seq2", max_states=200_000,
+                              use_tables=use_tables).run()
+        assert result.deadlocks == 0
+        for final in result.finals:
+            assert test.matches_forbidden(final.outcome) is None

@@ -1,0 +1,97 @@
+"""Factory-time validation and the legacy/table toggle.
+
+Unknown protocol names and uncheckable combinations must fail at the
+factory with errors that name the valid choices — not as attribute
+errors deep inside actor construction or state exploration.
+"""
+
+import pytest
+
+from repro import Machine, SystemConfig
+from repro.litmus.dsl import LitmusTest, ld, st
+from repro.litmus.model_checker import ModelChecker
+from repro.protocols.factory import (
+    LEGACY_ENV,
+    available_protocols,
+    checkable_protocols,
+    legacy_protocols_enabled,
+    protocol_classes,
+    validate_checkable_protocol,
+)
+
+SMOKE = LitmusTest(
+    name="smoke",
+    locations={"x": 0},
+    programs=[[st("x", 1)], [ld("x", "r0")]],
+)
+
+
+class TestFactoryValidation:
+    def test_unknown_name_names_the_choices(self):
+        with pytest.raises(ValueError) as err:
+            protocol_classes("mesi")
+        message = str(err.value)
+        assert "mesi" in message
+        for name in available_protocols():
+            assert name in message
+
+    def test_machine_rejects_unknown_protocol_at_construction(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            Machine(SystemConfig().scaled(hosts=2, cores_per_host=1),
+                    protocol="mesi")
+
+    @pytest.mark.parametrize("name", ["seq0", "seq65", "seq999"])
+    def test_seq_width_bounds(self, name):
+        with pytest.raises(ValueError, match="bit-width"):
+            protocol_classes(name)
+
+    @pytest.mark.parametrize("name", ["wb", "cord-nonotify"])
+    def test_timed_only_protocols_rejected_by_checker(self, name):
+        with pytest.raises(ValueError, match="timed-only"):
+            ModelChecker(SMOKE, name)
+
+    def test_unknown_protocol_rejected_by_checker(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ModelChecker(SMOKE, "mesi")
+
+    def test_checkable_set(self):
+        assert checkable_protocols() == ("so", "cord", "mp", "seq<k>")
+        for name in ("so", "cord", "mp", "seq2", "seq40"):
+            validate_checkable_protocol(name)  # must not raise
+
+
+class TestLegacyToggle:
+    def test_env_values(self, monkeypatch):
+        for value in ("1", "true", "YES", "on"):
+            monkeypatch.setenv(LEGACY_ENV, value)
+            assert legacy_protocols_enabled()
+        for value in ("", "0", "false", "off"):
+            monkeypatch.setenv(LEGACY_ENV, value)
+            assert not legacy_protocols_enabled()
+
+    def test_default_is_table_driven(self, monkeypatch):
+        monkeypatch.delenv(LEGACY_ENV, raising=False)
+        for name in ("so", "cord", "seq8"):
+            port_cls, dir_cls = protocol_classes(name)
+            assert port_cls.__name__.startswith("Table")
+            assert dir_cls.__name__.startswith("Table")
+
+    def test_env_selects_legacy_actors(self, monkeypatch):
+        monkeypatch.setenv(LEGACY_ENV, "1")
+        for name in ("so", "cord", "seq8"):
+            port_cls, _ = protocol_classes(name)
+            assert not port_cls.__name__.startswith("Table")
+
+    def test_explicit_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(LEGACY_ENV, "1")
+        port_cls, _ = protocol_classes("cord", legacy=False)
+        assert port_cls.__name__ == "TableCordCorePort"
+        monkeypatch.delenv(LEGACY_ENV, raising=False)
+        port_cls, _ = protocol_classes("cord", legacy=True)
+        assert port_cls.__name__ == "CordCorePort"
+
+    def test_legacy_only_protocols_unaffected_by_toggle(self, monkeypatch):
+        monkeypatch.delenv(LEGACY_ENV, raising=False)
+        for name in ("mp", "wb", "cord-nonotify"):
+            port_cls, _ = protocol_classes(name)
+            assert not port_cls.__name__.startswith("Table")
