@@ -192,9 +192,10 @@ def code_version() -> str:
 
     Part of every cache key, so editing any simulator/protocol source
     invalidates previously cached runs.  The ``--legacy-protocols``
-    toggle selects different actor implementations from the *same*
-    sources, so it is mixed in too (never memoized: the environment can
-    change between calls, e.g. under test monkeypatching).
+    toggle and the ``REPRO_INTERPRETED_TABLES`` differential seam select
+    different execution paths from the *same* sources, so both are mixed
+    in too (never memoized: the environment can change between calls,
+    e.g. under test monkeypatching).
     """
     global _CODE_VERSION
     if _CODE_VERSION is None:
@@ -206,9 +207,13 @@ def code_version() -> str:
             digest.update(path.read_bytes())
         _CODE_VERSION = digest.hexdigest()
     from repro.protocols.factory import legacy_protocols_enabled
+    from repro.protocols.table import interpreted_tables_enabled
+    version = _CODE_VERSION
     if legacy_protocols_enabled():
-        return _CODE_VERSION + "+legacy-protocols"
-    return _CODE_VERSION
+        version += "+legacy-protocols"
+    if interpreted_tables_enabled():
+        version += "+interpreted-tables"
+    return version
 
 
 def spec_key(spec: Any, version: Optional[str] = None) -> str:

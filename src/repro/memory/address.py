@@ -21,6 +21,10 @@ class AddressMap:
         self.config = config
         self.line_bytes = config.llc_slice.line_bytes
         self.host_region_bytes = config.memory.size_bytes
+        # addr -> NodeId.  Workloads touch a bounded working set but resolve
+        # the home directory on every store issue; memoizing avoids a NodeId
+        # allocation per message on the hot path.
+        self._home_cache: dict = {}
 
     def line_address(self, addr: int) -> int:
         return addr - (addr % self.line_bytes)
@@ -39,9 +43,12 @@ class AddressMap:
         return line % self.config.slices_per_host
 
     def home_directory(self, addr: int) -> NodeId:
-        host = self.host_of(addr)
-        global_slice = host * self.config.slices_per_host + self.slice_of(addr)
-        return NodeId.directory(global_slice, host)
+        node = self._home_cache.get(addr)
+        if node is None:
+            host = self.host_of(addr)
+            global_slice = host * self.config.slices_per_host + self.slice_of(addr)
+            node = self._home_cache[addr] = NodeId.directory(global_slice, host)
+        return node
 
     def address_in_host(self, host: int, offset: int) -> int:
         """Physical address at byte ``offset`` into ``host``'s memory region."""

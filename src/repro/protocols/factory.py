@@ -11,13 +11,13 @@ helpers):
 * ``"wb"``   — source-ordered write-back MESI
 * ``"seq<k>"`` — monolithic k-bit sequence numbers (e.g. ``seq8``, ``seq40``)
 
-``so``, ``cord`` and ``seq<k>`` resolve to the *table-driven* interpreter
-(:mod:`repro.protocols.table` running the :mod:`repro.protocols.spec`
-transition tables — the same tables the model checker executes) unless the
-``REPRO_LEGACY_PROTOCOLS`` environment variable is set (CLI:
-``--legacy-protocols``), which restores the hand-written coroutine actors.
-``mp``, ``wb`` and the ``cord-nonotify`` ablation always use the legacy
-actors (no table yet).
+``so``, ``cord``, ``mp`` and ``seq<k>`` resolve to the *table-driven*
+interpreter (:mod:`repro.protocols.table` running the compiled
+:mod:`repro.protocols.spec` transition tables — the same tables the model
+checker executes) and ``wb`` resolves through its spec's declared actor
+pair, unless the ``REPRO_LEGACY_PROTOCOLS`` environment variable is set
+(CLI: ``--legacy-protocols``), which restores the hand-written coroutine
+actors.  Only the ``cord-nonotify`` ablation remains legacy-only.
 """
 
 from __future__ import annotations
@@ -84,12 +84,16 @@ def protocol_classes(name: str,
     if legacy is None:
         legacy = legacy_protocols_enabled()
     if not legacy:
-        from repro.protocols.spec import has_spec
+        from repro.protocols.spec import get_spec, has_spec
 
-        if has_spec(name):
-            from repro.protocols.table import table_protocol_classes
+        if has_spec(name, rules=False):
+            spec = get_spec(name)
+            if spec.rules_complete:
+                from repro.protocols.table import table_protocol_classes
 
-            return table_protocol_classes(name)
+                return table_protocol_classes(name)
+            if spec.actors is not None:
+                return spec.actors()
     if match:
         return make_seq_protocol(bits)
     return _STATIC[name]

@@ -144,6 +144,12 @@ class MessageSpec:
     ample: bool = False
     forwards_store: bool = False
     timed_only: bool = False
+    #: This message is the carrier of barrier (address-less) Releases.
+    #: Exactly one message per barrier-broadcasting spec declares it; the
+    #: timed interpreter derives its control-sized barrier wire class from
+    #: this flag instead of assuming the ordered-store row's *last* emit
+    #: (an unenforced ordering assumption — see ``lint_spec``).
+    barrier_carrier: bool = False
 
     @property
     def wire_name(self) -> str:
@@ -350,9 +356,15 @@ class ProtocolSpec:
     progress_on: Tuple[str, ...] = ()
     #: SEQ-k wire width; None for non-SEQ protocols.
     seq_bits: Optional[int] = None
-    #: Messages-only spec (MP): ordering metadata for the checker, no
-    #: interpreted rules — the actors stay on the legacy path.
+    #: Messages-only spec: ordering metadata for the checker, no
+    #: interpreted rules.
     rules_complete: bool = True
+    #: For messages-only specs that still route through the default
+    #: (non-legacy) factory path: a zero-argument callable returning the
+    #: ``(CorePortClass, DirectoryClass)`` actor pair.  WB's MESI state
+    #: machine is request/response-shaped rather than guard/action-shaped,
+    #: so its spec declares messages plus actors instead of rules.
+    actors: Optional[Callable[[], Tuple[Any, Any]]] = None
 
     def issue_rule(self, op_class: str, ordered: bool) -> IssueRule:
         return self.issue[(op_class, ordered)]
@@ -397,6 +409,37 @@ def _so_ack_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
 def _wt_store_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
     ctx.commit(fields)
     ctx.send_core("so_ack", {})
+
+
+# --- MP ---------------------------------------------------------------------
+# Posted write-through (§3.2): stores ride a per-pair FIFO channel with no
+# acknowledgments.  Nothing is ever outstanding on the issuing core, so
+# every guard passes and the release fence completes immediately — ordering
+# comes entirely from the channel FIFO.
+def _mp_ordered_guard(ps: Any, home: int) -> Optional[str]:
+    return None
+
+
+def _mp_relaxed_guard(ps: Any, home: int) -> Optional[str]:
+    return None
+
+
+def _mp_issue(ps: Any, home: int, ordered: bool,
+              barrier: bool = False) -> List[Emit]:
+    return [Emit("posted")]
+
+
+def _mp_issue_atomic(ps: Any, home: int, ordered: bool,
+                     barrier: bool = False) -> List[Emit]:
+    return [Emit("atomic")]
+
+
+def _mp_fence_done(ps: Any) -> bool:
+    return True
+
+
+def _posted_effect(ctx: DeliveryContext, fields: Mapping[str, Any]) -> None:
+    ctx.commit(fields)
 
 
 # --- CORD -------------------------------------------------------------------
@@ -770,7 +813,8 @@ CORD_SPEC = ProtocolSpec(
             consumer="directory", bits=_relaxed_bits, forwards_store=True),
         "wt_rel": MessageSpec(
             name="wt_rel", fifo=FifoClass.PER_LOCATION, control=False,
-            consumer="directory", bits=_release_bits, forwards_store=True),
+            consumer="directory", bits=_release_bits, forwards_store=True,
+            barrier_carrier=True),
         "req_notify": MessageSpec(
             name="req_notify", fifo=FifoClass.NONE, control=True,
             consumer="directory", bits=_req_notify_bits),
@@ -824,25 +868,82 @@ CORD_SPEC = ProtocolSpec(
 )
 
 
-#: MP stays on the legacy actor/checker path (ISSUE 7 scope), but its
-#: message *ordering metadata* lives in the table so the checker's FIFO
-#: classes are derived — not hand-maintained — for every protocol.
 MP_SPEC = ProtocolSpec(
     name="mp",
     core_state="so",
     messages={
         "posted": MessageSpec(
             name="posted", fifo=FifoClass.PER_PAIR, control=False,
-            consumer="directory", forwards_store=True),
+            consumer="directory", timed_name="wt_store",
+            forwards_store=True),
         "atomic": MessageSpec(
             name="atomic", fifo=FifoClass.PER_PAIR, control=False,
             consumer="directory", timed_name="atomic_req"),
         "atomic_resp": _ATOMIC_MESSAGES["atomic_resp"],
         **_LOAD_MESSAGES,
     },
+    issue={
+        ("store", True): IssueRule(
+            name="mp-ordered-store", op_class="store", ordered=True,
+            guard=_mp_ordered_guard, escape="wait", stall_cause="posted",
+            effects=_mp_issue),
+        ("store", False): IssueRule(
+            name="mp-relaxed-store", op_class="store", ordered=False,
+            guard=_mp_relaxed_guard, escape="none", stall_cause="",
+            effects=_mp_issue, combining=True),
+        ("atomic", True): IssueRule(
+            name="mp-ordered-atomic", op_class="atomic", ordered=True,
+            guard=_mp_ordered_guard, escape="wait", stall_cause="posted",
+            effects=_mp_issue_atomic),
+        ("atomic", False): IssueRule(
+            name="mp-relaxed-atomic", op_class="atomic", ordered=False,
+            guard=_mp_relaxed_guard, escape="none", stall_cause="",
+            effects=_mp_issue_atomic),
+    },
+    delivery={
+        "posted": DeliveryRule(message="posted", effects=_posted_effect),
+        **_SHARED_DELIVERY,
+    },
+    fence=FenceRule(done=_mp_fence_done, timed_drain="none",
+                    stall_cause=""),
+)
+
+
+def _wb_actors() -> Tuple[Any, Any]:
+    from repro.protocols.wb import WbCorePort, WbDirectory
+    return WbCorePort, WbDirectory
+
+
+#: WB's MESI writeback machine is request/response-shaped (GetS/GetM,
+#: invalidation fan-out, data responses) rather than guard/action-shaped,
+#: so the spec declares the wire vocabulary plus the actor pair; the
+#: factory routes ``wb`` through :func:`ProtocolSpec.actors`.  Kept out of
+#: ``_registry_specs()``: the checker does not model WB, and its wire
+#: names would otherwise shadow other tables in declaration-order lookup.
+WB_SPEC = ProtocolSpec(
+    name="wb",
+    core_state="so",
+    messages={
+        name: MessageSpec(name=name, fifo=FifoClass.NONE, control=control,
+                          consumer=consumer, timed_only=True)
+        for name, control, consumer in (
+            ("gets", True, "directory"),
+            ("getm", True, "directory"),
+            ("wb_data", False, "directory"),
+            ("wt_store", False, "directory"),
+            ("inv_ack", True, "directory"),
+            ("fetch_resp", False, "directory"),
+            ("data_resp", False, "core"),
+            ("inv", True, "core"),
+            ("fetch", True, "core"),
+            ("wb_ack", True, "core"),
+            ("wt_ack", True, "core"),
+        )
+    },
     issue={},
     delivery={},
     rules_complete=False,
+    actors=_wb_actors,
 )
 
 
@@ -916,6 +1017,7 @@ _SPECS: Dict[str, ProtocolSpec] = {
     "so": SO_SPEC,
     "cord": CORD_SPEC,
     "mp": MP_SPEC,
+    "wb": WB_SPEC,
 }
 
 
@@ -942,7 +1044,7 @@ def has_spec(protocol: str, rules: bool = True) -> bool:
 
 def spec_protocols() -> Tuple[str, ...]:
     """Protocols with fully rule-complete tables."""
-    return ("so", "cord", "seq<k>")
+    return ("so", "cord", "mp", "seq<k>")
 
 
 # ---------------------------------------------------------------------------
@@ -1099,18 +1201,66 @@ def lint_spec(spec: ProtocolSpec) -> List[str]:
             problems.append(
                 f"{spec.name}: retry_order references {name!r} with no "
                 f"delivery rule")
+    problems.extend(_lint_barrier_carrier(spec))
     return problems
 
 
-def _emitted_messages(spec: ProtocolSpec):
-    """Message names the spec's issue rules can emit (discovered by
-    driving the rules against scratch state) plus the delivery-side
-    replies, and the protocol field names each emission carried."""
+def _lint_barrier_carrier(spec: ProtocolSpec) -> List[str]:
+    """Barrier-Release carrier checks (ISSUE-8 satellite).
+
+    A spec with barrier semantics (a broadcasting fence, or a
+    ``"barrier"`` issue escape) must *declare* exactly one
+    ``barrier_carrier`` message, and the ordered-store row driven with
+    ``barrier=True`` must emit that carrier as its only op-carrying and
+    final emission.  The timed interpreter used to guess the carrier as
+    ``emits[-1].message`` — a spec emitting the barrier first would have
+    silently mis-tagged carriers; now the guess is gone and ambiguous
+    emit orders are rejected here.
+    """
+    problems: List[str] = []
+    needs_barrier = (
+        (spec.fence is not None and spec.fence.barrier_broadcast)
+        or any(rule.escape == "barrier" for rule in spec.issue.values()))
+    declared = sorted(
+        name for name, message in spec.messages.items()
+        if message.barrier_carrier)
+    if not needs_barrier:
+        if declared:
+            problems.append(
+                f"{spec.name}: declares barrier carrier(s) {declared} but "
+                f"has no barrier semantics (no broadcasting fence or "
+                f"barrier escape)")
+        return problems
+    if len(declared) != 1:
+        problems.append(
+            f"{spec.name}: barrier semantics require exactly one "
+            f"barrier_carrier message, found {declared or 'none'}")
+        return problems
+    carrier = declared[0]
+    rule = spec.issue.get(("store", True))
+    if rule is None:        # already reported by the row-coverage check
+        return problems
+    emits = rule.effects(_scratch_core_state(spec), 0, True, barrier=True)
+    carrying = [emit.message for emit in emits if emit.carries_op]
+    if carrying != [carrier]:
+        problems.append(
+            f"{spec.name}: barrier Release must ride exactly "
+            f"[{carrier!r}], ordered-store row emits carriers {carrying}")
+    elif emits[-1].message != carrier:
+        problems.append(
+            f"{spec.name}: ambiguous emit order — barrier carrier "
+            f"{carrier!r} must be the final emission, got "
+            f"{[emit.message for emit in emits]}")
+    return problems
+
+
+def _scratch_core_state(spec: ProtocolSpec) -> Any:
+    """A throwaway core-state block for driving rules off-line (linting,
+    emit-template discovery).  For CORD cores, pending state at another
+    directory is seeded so the Release path also exercises its
+    notification fan-out."""
     from repro.config import CordConfig
     from repro.core.processor import CordProcessorState
-
-    emitted = set()
-    fields_by_message: Dict[str, set] = {}
 
     class _Scratch:
         def __init__(self) -> None:
@@ -1120,12 +1270,21 @@ def _emitted_messages(spec: ProtocolSpec):
             self.seq_outstanding = 0
             self.seq_watermark = 0
 
+    ps = _Scratch()
+    if spec.core_state == "cord":
+        ps.cord.on_relaxed_store(1)
+    return ps
+
+
+def _emitted_messages(spec: ProtocolSpec):
+    """Message names the spec's issue rules can emit (discovered by
+    driving the rules against scratch state) plus the delivery-side
+    replies, and the protocol field names each emission carried."""
+    emitted = set()
+    fields_by_message: Dict[str, set] = {}
+
     for (op_class, ordered), rule in spec.issue.items():
-        ps = _Scratch()
-        if spec.core_state == "cord":
-            # Give the core pending state at another directory so the
-            # Release path also exercises its notification fan-out.
-            ps.cord.on_relaxed_store(1)
+        ps = _scratch_core_state(spec)
         for emit in rule.effects(ps, 0, ordered):
             emitted.add(emit.message)
             fields_by_message.setdefault(emit.message, set()).update(

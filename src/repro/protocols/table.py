@@ -22,6 +22,7 @@ final-state-hash basket) and fixes two real divergences for ``seq<k>``
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Generator, List, Mapping, Optional, Tuple, Type
 
 from repro.consistency.ops import MemOp, Ordering
@@ -29,49 +30,52 @@ from repro.core.directory import CordDirectoryState
 from repro.core.processor import CordProcessorState
 from repro.interconnect.message import Message
 from repro.protocols.base import CorePort, DirectoryNode
+from repro.protocols.compile import (
+    A_CALL,
+    A_CORD_RELAXED,
+    A_CORD_RELEASE,
+    A_MP_POSTED,
+    A_SEQ_STORE,
+    A_SO_STORE,
+    CompiledIssue,
+    D_CALL,
+    D_NOTIFY,
+    D_POSTED,
+    D_REL_ACK,
+    D_REQ_NOTIFY,
+    D_SEQ_FLUSH,
+    D_SEQ_FLUSH_ACK,
+    D_SEQ_STORE,
+    D_SO_ACK,
+    D_WT_REL,
+    D_WT_RLX,
+    D_WT_STORE,
+    compile_spec,
+)
 from repro.protocols.spec import (
     DeliveryContext,
     Emit,
-    IssueRule,
     ProtocolSpec,
     get_spec,
 )
 
 __all__ = ["TableCorePort", "TableDirectory", "make_table_protocol",
-           "table_protocol_classes"]
+           "table_protocol_classes", "interpreted_tables_enabled",
+           "INTERPRETED_ENV"]
 
 
-# ---------------------------------------------------------------------------
-# Static table introspection (which emissions carry what transport fields)
-# ---------------------------------------------------------------------------
-class _Scratch:
-    """Throwaway core state used to drive issue effects once at class-build
-    time, discovering each rule's emitted carrier messages."""
-
-    def __init__(self) -> None:
-        from repro.config import CordConfig
-        self.cord = CordProcessorState(0, CordConfig())
-        self.so_outstanding = 0
-        self.seq_next = 0
-        self.seq_outstanding = 0
-        self.seq_watermark = 0
+#: Environment toggle: run the compiled tables through the original
+#: guard/action closures instead of the int-coded fast paths (the
+#: compiled-vs-interpreted differential seam; also mixed into the
+#: executor's cache key like ``REPRO_LEGACY_PROTOCOLS``).
+INTERPRETED_ENV = "REPRO_INTERPRETED_TABLES"
 
 
-def _carrier_info(spec: ProtocolSpec) -> Tuple[frozenset, Optional[str]]:
-    """(messages that carry a write-combining ``values`` map, the barrier
-    Release carrier or None) — derived by driving the rules, not named."""
-    values_carriers = set()
-    for rule in spec.issue.values():
-        if not rule.combining:
-            continue
-        for emit in rule.effects(_Scratch(), 0, rule.ordered):
-            values_carriers.add(emit.message)
-    barrier_carrier = None
-    if spec.fence is not None and spec.fence.barrier_broadcast:
-        emits = spec.issue_rule("store", True).effects(
-            _Scratch(), 0, True, barrier=True)
-        barrier_carrier = emits[-1].message
-    return frozenset(values_carriers), barrier_carrier
+def interpreted_tables_enabled() -> bool:
+    """Whether ``REPRO_INTERPRETED_TABLES`` disables compiled dispatch."""
+    return os.environ.get(INTERPRETED_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -206,23 +210,47 @@ class TableCorePort(CorePort):
                 f"seq_flush@core{core.core_id}")
             self._flush_pending = False
             self._seen_dirs = set()
-        # Flat rule dispatch, hoisted off the hot path.
-        self._rule_store_t = spec.issue.get(("store", True))
-        self._rule_store_f = spec.issue.get(("store", False))
-        self._rule_atomic_t = spec.issue.get(("atomic", True))
-        self._rule_atomic_f = spec.issue.get(("atomic", False))
-        self._values_carriers, self._barrier_carrier = _carrier_info(spec)
+        # Compiled dispatch: int-coded rows, interned message ids, and
+        # per-mid wire constants hoisted off the per-event hot path.
+        compiled = compile_spec(spec)
+        self._compiled = compiled
+        fast = not interpreted_tables_enabled()
+        self._fast = fast
+        cord_cfg = self.config.cord
+        msgs = compiled.messages
+        self._wire_names = tuple(m.wire_name for m in msgs)
+        self._msg_bits = tuple(m.bit_width(cord_cfg) for m in msgs)
+        self._msg_control = tuple(m.control for m in msgs)
+        self._ctl_bytes = tuple(
+            self.sizes.control_bytes(b) for b in self._msg_bits)
+        # Per-mid {store size -> wire bytes} (sizes repeat heavily).
+        self._data_bytes_cache = tuple({} for _ in msgs)
+        self._dir_ids = tuple(d.node_id for d in self.machine.directories)
+        self._cid = core.core_id
+        self._always_ordered = self.machine.consistency in ("tso", "sc")
+        # Flat rule dispatch (compiled rows mirror IssueRule's surface).
+        self._rule_store_t = compiled.issue.get(("store", True))
+        self._rule_store_f = compiled.issue.get(("store", False))
+        self._rule_atomic_t = compiled.issue.get(("atomic", True))
+        self._rule_atomic_f = compiled.issue.get(("atomic", False))
+        self._values_carriers = compiled.values_carriers
+        self._barrier_carrier = compiled.barrier_carrier
+        mid_of = compiled.msg_id.get
+        self._mid_req_notify = mid_of("req_notify")
+        self._mid_wt_rel = mid_of("wt_rel")
+        self._store_escape_flush = self._rule_store_t.escape == "flush"
+        self._relaxed_combining = self._rule_store_f.combining
+        self._relaxed_barrier = self._rule_store_f.escape == "barrier"
+        self._wc_enabled = self.wc.enabled
         self._core_ctx = _TimedCoreCtx(self)
-        # wire msg_type -> (canonical name, core-side rule); the shared
-        # load/atomic response path stays with the base class.
-        self._core_rules: Dict[str, Tuple[str, Any]] = {}
-        for name, rule in spec.delivery.items():
-            if not rule.core_side:
-                continue
-            wire = spec.messages[name].wire_name
-            if wire == "load_resp":
-                continue
-            self._core_rules[wire] = (name, rule)
+        # wire msg_type -> (canonical name, core-side rule, delivery
+        # opcode); the shared load/atomic response path stays with the
+        # base class.
+        self._core_rules: Dict[str, Tuple[str, Any, int]] = {}
+        for row in compiled.core_wire.values():
+            wire = self._wire_names[row.mid]
+            self._core_rules[wire] = (
+                row.name, row.rule, row.op if fast else D_CALL)
 
     # -- diagnostics surface (machine watchdog reads this by name) --------
     @property
@@ -247,7 +275,7 @@ class TableCorePort(CorePort):
         return (op.ordering.is_release
                 or self.machine.consistency in ("tso", "sc"))
 
-    def _wait_guard(self, rule: IssueRule, dir_index: int) -> Generator:
+    def _wait_guard(self, rule: CompiledIssue, dir_index: int) -> Generator:
         """``escape="wait"``: block on the ack signal until the guard
         clears, attributing the stall to the rule's cause."""
         started = self.sim.now
@@ -260,19 +288,26 @@ class TableCorePort(CorePort):
             yield self.ack_signal
         self.stall(rule.stall_cause, self.sim.now - started)
 
+    def _data_bytes(self, mid: int, size: int) -> int:
+        cache = self._data_bytes_cache[mid]
+        nbytes = cache.get(size)
+        if nbytes is None:
+            nbytes = cache[size] = self.sizes.data_bytes(
+                size, self._msg_bits[mid])
+        return nbytes
+
     def _send_emit(self, emit: Emit, *, addr: int, size: int, value,
                    program_index: int, home_index: int, ordering,
                    values=None, barrier: bool = False) -> None:
         """Wrap one table emission in its wire transport."""
-        mspec = self.SPEC.messages[emit.message]
-        bits = mspec.bit_width(self.config.cord)
+        mid = self._compiled.msg_id[emit.message]
         dst_index = emit.dst_dir if emit.dst_dir is not None else home_index
         if not emit.carries_op:
             self.network.send(Message(
                 src=self.node,
-                dst=self.machine.directory_id(dst_index),
-                msg_type=mspec.wire_name,
-                size_bytes=self.sizes.control_bytes(bits),
+                dst=self._dir_ids[dst_index],
+                msg_type=self._wire_names[mid],
+                size_bytes=self._ctl_bytes[mid],
                 control=True,
                 payload=dict(emit.fields),
             ))
@@ -280,7 +315,7 @@ class TableCorePort(CorePort):
         payload = {"addr": addr, "value": value, "size": size}
         if emit.message in self._values_carriers:
             payload["values"] = values
-        payload["proc"] = self.core.core_id
+        payload["proc"] = self._cid
         payload["program_index"] = program_index
         payload["ordering"] = ordering
         payload.update(emit.fields)
@@ -288,23 +323,114 @@ class TableCorePort(CorePort):
             payload["barrier"] = barrier
         if barrier:
             # §4.4 empty barrier Release: control-class, no data payload.
-            size_bytes = self.sizes.control_bytes(bits)
+            size_bytes = self._ctl_bytes[mid]
             control = True
         else:
-            size_bytes = self.sizes.data_bytes(size, bits)
-            control = mspec.control
+            size_bytes = self._data_bytes(mid, size)
+            control = self._msg_control[mid]
         self.network.send(Message(
             src=self.node,
-            dst=self.machine.directory_id(dst_index),
-            msg_type=mspec.wire_name,
+            dst=self._dir_ids[dst_index],
+            msg_type=self._wire_names[mid],
             size_bytes=size_bytes,
             control=control,
             payload=payload,
         ))
 
-    def _issue_and_send(self, rule: IssueRule, addr: int, size: int, value,
-                        program_index: int, dir_index: int, ordering,
+    def _issue_and_send(self, rule: CompiledIssue, addr: int, size: int,
+                        value, program_index: int, dir_index: int, ordering,
                         values=None, barrier: bool = False) -> None:
+        """Run one issue row: mutate protocol state, emit onto the wire.
+
+        The compiled action opcode selects an inline expansion of the
+        row's effect (state mutation + payload assembly, byte-identical
+        to the closure path); ``A_CALL`` — and interpreted mode — fall
+        back to driving ``rule.effects`` through :meth:`_send_emit`.
+        """
+        aop = rule.action_op if self._fast else A_CALL
+        if aop == A_CORD_RELAXED:
+            mid = rule.emit_mids[0]
+            self.network.send(Message(
+                src=self.node,
+                dst=self._dir_ids[dir_index],
+                msg_type=self._wire_names[mid],
+                size_bytes=self._data_bytes(mid, size),
+                control=self._msg_control[mid],
+                payload={"addr": addr, "value": value, "size": size,
+                         "values": values, "proc": self._cid,
+                         "program_index": program_index,
+                         "ordering": ordering,
+                         "meta": self.cord.on_relaxed_store(dir_index)},
+            ))
+            return
+        if aop == A_SO_STORE or aop == A_MP_POSTED:
+            if aop == A_SO_STORE:
+                self.so_outstanding += 1
+            mid = rule.emit_mids[0]
+            self.network.send(Message(
+                src=self.node,
+                dst=self._dir_ids[dir_index],
+                msg_type=self._wire_names[mid],
+                size_bytes=self._data_bytes(mid, size),
+                control=self._msg_control[mid],
+                payload={"addr": addr, "value": value, "size": size,
+                         "values": values, "proc": self._cid,
+                         "program_index": program_index,
+                         "ordering": ordering},
+            ))
+            return
+        if aop == A_SEQ_STORE:
+            seq = self.seq_next
+            self.seq_next = seq + 1
+            self.seq_outstanding += 1
+            mid = rule.emit_mids[0]
+            self.network.send(Message(
+                src=self.node,
+                dst=self._dir_ids[dir_index],
+                msg_type=self._wire_names[mid],
+                size_bytes=self._data_bytes(mid, size),
+                control=self._msg_control[mid],
+                payload={"addr": addr, "value": value, "size": size,
+                         "proc": self._cid,
+                         "program_index": program_index,
+                         "ordering": ordering,
+                         "seq": seq, "ordered": rule.ordered},
+            ))
+            return
+        if aop == A_CORD_RELEASE:
+            # Alg. 1 lines 5-13: requests-for-notification fan out to
+            # pending directories before the Release goes to its home.
+            issue = self.cord.on_release_store(dir_index, barrier=barrier)
+            rmid = self._mid_req_notify
+            for pending_dir, req_meta in issue.notifications:
+                self.network.send(Message(
+                    src=self.node,
+                    dst=self._dir_ids[pending_dir],
+                    msg_type=self._wire_names[rmid],
+                    size_bytes=self._ctl_bytes[rmid],
+                    control=True,
+                    payload={"meta": req_meta},
+                ))
+            mid = self._mid_wt_rel
+            if barrier:
+                size_bytes = self._ctl_bytes[mid]
+                control = True
+            else:
+                size_bytes = self._data_bytes(mid, size)
+                control = self._msg_control[mid]
+            self.network.send(Message(
+                src=self.node,
+                dst=self._dir_ids[dir_index],
+                msg_type=self._wire_names[mid],
+                size_bytes=size_bytes,
+                control=control,
+                payload={"addr": addr, "value": value, "size": size,
+                         "proc": self._cid,
+                         "program_index": program_index,
+                         "ordering": ordering,
+                         "meta": issue.release, "barrier": barrier},
+            ))
+            return
         for emit in rule.effects(self, dir_index, rule.ordered,
                                  barrier=barrier):
             self._send_emit(emit, addr=addr, size=size, value=value,
@@ -316,21 +442,31 @@ class TableCorePort(CorePort):
     # Stores
     # ------------------------------------------------------------------
     def store(self, op: MemOp, program_index: int) -> Generator:
-        ordered = self._ordered(op)
-        rule = self._rule_store_t if ordered else self._rule_store_f
+        ordered = op.ordering.is_release or self._always_ordered
         home_index = self.home(op.addr).index
-        if rule.escape == "flush":          # SEQ: one path for both classes
+        if self._store_escape_flush:        # SEQ: one path for both classes
+            rule = self._rule_store_t if ordered else self._rule_store_f
             yield from self._seq_store(rule, op, program_index, home_index)
         elif ordered:
             yield from self._release_to(op, program_index, home_index)
-        elif rule.combining and self.wc.enabled:
+        elif self._relaxed_combining and self._wc_enabled:
             yield from self.wc_store(op, program_index)
-        elif rule.escape == "barrier":
-            yield from self._emit_relaxed_to(
-                op.addr, op.size, op.value, program_index, home_index)
+        elif self._relaxed_barrier:
+            # Common case first: the guard is pure, so probing it costs
+            # nothing and the non-stalling store (the overwhelming
+            # majority) skips a nested generator per issue.
+            rule = self._rule_store_f
+            if rule.guard(self, home_index) is None:
+                self._issue_and_send(rule, op.addr, op.size, op.value,
+                                     program_index, home_index,
+                                     Ordering.RELAXED)
+            else:
+                yield from self._emit_relaxed_to(
+                    op.addr, op.size, op.value, program_index, home_index)
         else:
-            self._issue_and_send(rule, op.addr, op.size, op.value,
-                                 program_index, home_index, op.ordering)
+            self._issue_and_send(self._rule_store_f, op.addr, op.size,
+                                 op.value, program_index, home_index,
+                                 op.ordering)
 
     def _release_to(self, op: MemOp, program_index: int, dir_index: int,
                     barrier: bool = False) -> Generator:
@@ -385,7 +521,7 @@ class TableCorePort(CorePort):
     # ------------------------------------------------------------------
     # SEQ issue path (escape="flush")
     # ------------------------------------------------------------------
-    def _seq_store(self, rule: IssueRule, op: MemOp, program_index: int,
+    def _seq_store(self, rule: CompiledIssue, op: MemOp, program_index: int,
                    home_index: int) -> Generator:
         self._seen_dirs.add(home_index)
         guard = rule.timed_guard or rule.guard
@@ -513,6 +649,13 @@ class TableCorePort(CorePort):
             # nothing; the checker always gated on seq_outstanding == 0).
             if self.seq_next > self.seq_watermark:
                 yield from self._flush(fr.stall_cause)
+        elif fr.timed_drain == "none":
+            # MP posted writes: nothing is ever outstanding and ordering
+            # comes entirely from the channel FIFO, so a release fence is
+            # a pure no-op — matching the legacy actor's inherited empty
+            # drain, which does not flush the write-combining buffer
+            # either.
+            return
         else:                               # "acks"
             yield from self.wc_flush()
             started = self.sim.now
@@ -541,7 +684,24 @@ class TableCorePort(CorePort):
         if entry is None:
             super().on_message(message)
             return
-        name, rule = entry
+        name, rule, dop = entry
+        if dop == D_REL_ACK:
+            self.cord.on_release_ack(message.src.index,
+                                     message.payload["meta"].epoch)
+            self.ack_signal.trigger()
+            return
+        if dop == D_SO_ACK:
+            self.so_outstanding -= 1
+            if self.so_outstanding == 0:
+                self.ack_signal.trigger()
+            return
+        if dop == D_SEQ_FLUSH_ACK:
+            if not self._flush_pending:
+                return  # stale ack from a multi-directory flush broadcast
+            self.seq_watermark = self.seq_next
+            self._flush_pending = False
+            self.flush_signal.trigger()
+            return
         if name == "rel_ack":
             fields = {"dir": message.src.index,
                       "epoch": message.payload["meta"].epoch}
@@ -585,6 +745,7 @@ class TableDirectory(DirectoryNode):
         self._retry: Dict[str, List[Message]] = {
             name: [] for name in spec.retry_order
         }
+        self._buffered_total = 0
         # Legacy attribute names, read by the machine's deadlock
         # diagnostics and existing tests.
         if "wt_rel" in self._retry:
@@ -593,11 +754,39 @@ class TableDirectory(DirectoryNode):
         if "seq_store" in self._retry:
             self._pending = self._retry["seq_store"]
             self._pending_flushes = self._retry["seq_flush"]
-        self._wire_rules: Dict[str, Tuple[str, Any]] = {}
-        for name, rule in spec.delivery.items():
-            if rule.core_side:
-                continue
-            self._wire_rules[spec.messages[name].wire_name] = (name, rule)
+        # Compiled dispatch mirrors the core port: per-mid wire constants
+        # and delivery opcodes replace the per-message name lookups.
+        compiled = compile_spec(spec)
+        self._compiled = compiled
+        fast = not interpreted_tables_enabled()
+        cord_cfg = machine.config.cord
+        msgs = compiled.messages
+        self._wire_names = tuple(m.wire_name for m in msgs)
+        self._dir_ctl_bytes = tuple(
+            self.sizes.control_bytes(m.bit_width(cord_cfg)) for m in msgs)
+        self._wire_rules: Dict[str, Tuple[str, Any, int]] = {}
+        for row in compiled.dir_wire.values():
+            self._wire_rules[self._wire_names[row.mid]] = (
+                row.name, row.rule, row.op if fast else D_CALL)
+        self._retry_rows: Tuple[Tuple[str, Any, int], ...] = tuple(
+            (name,
+             spec.delivery[name],
+             compiled.dir_wire[
+                 self._wire_names[compiled.msg_id[name]]].op
+             if fast else D_CALL)
+            for name in spec.retry_order
+        )
+
+        def _reply_wire(name: str):
+            mid = compiled.msg_id.get(name)
+            if mid is None:
+                return None
+            return (self._wire_names[mid], self._dir_ctl_bytes[mid])
+
+        self._so_ack_wire = _reply_wire("so_ack")
+        self._rel_ack_wire = _reply_wire("rel_ack")
+        self._notify_wire = _reply_wire("notify")
+        self._flush_ack_wire = _reply_wire("seq_flush_ack")
         self._progress_kinds = frozenset(spec.progress_on)
 
     def _fields(self, name: str, message: Message) -> Mapping[str, Any]:
@@ -615,36 +804,147 @@ class TableDirectory(DirectoryNode):
         if entry is None:
             super()._process(message)   # shared load path
             return
-        name, rule = entry
+        name, rule, dop = entry
         if name in self._retry:
             self._retry[name].append(message)
+            self._buffered_total += 1
             self._progress()
             return
-        rule.effects(_TimedDirCtx(self, message),
-                     self._fields(name, message))
+        if dop == D_WT_RLX:
+            self.commit_store(message)
+            self.state.on_relaxed(message.payload["meta"])
+        elif dop == D_WT_STORE:
+            self.commit_store(message)
+            wire, nbytes = self._so_ack_wire
+            self.network.send(Message(
+                src=self.node_id,
+                dst=message.src,
+                msg_type=wire,
+                size_bytes=nbytes,
+                control=True,
+                payload={"addr": message.payload["addr"]},
+            ))
+        elif dop == D_POSTED:
+            self.commit_store(message)
+        elif dop == D_NOTIFY:
+            self.state.on_notify(message.payload["meta"])
+        else:
+            rule.effects(_TimedDirCtx(self, message),
+                         self._fields(name, message))
         if name in self._progress_kinds and self._retry:
             self._progress()
 
     def _progress(self) -> None:
         """Re-evaluate the retry queues until a full sweep changes
-        nothing (Alg. 2 "Retry later")."""
-        spec = self.SPEC
+        nothing (Alg. 2 "Retry later").
+
+        Retry rows run through their delivery opcodes (guard + effect
+        inlined, byte-identical to the closure path); ``D_CALL`` rows and
+        interpreted mode take the generic context path.  When nothing is
+        buffered and no trace is attached the sweep is skipped outright —
+        the overwhelmingly common case on commit-heavy workloads.
+        """
+        if self._buffered_total == 0 and self.machine.trace is None:
+            return
+        retry = self._retry
         changed = True
         while changed:
             changed = False
-            for name in spec.retry_order:
-                queue = self._retry[name]
+            for name, rule, dop in self._retry_rows:
+                queue = retry[name]
                 if not queue:
                     continue
-                rule = spec.delivery[name]
-                for message in list(queue):
-                    ctx = _TimedDirCtx(self, message)
-                    fields = self._fields(name, message)
-                    if rule.enabled(ctx, fields):
+                if dop == D_WT_REL:
+                    state = self.state
+                    for message in list(queue):
+                        meta = message.payload["meta"]
+                        if state.release_block_reason(meta) is not None:
+                            continue
                         queue.remove(message)
-                        rule.effects(ctx, fields)
+                        state.commit_release(meta)
+                        if "atomic" in message.payload:
+                            old = self.perform_atomic(message)
+                            self.respond_atomic(message, old)
+                        elif meta.barrier:
+                            # §4.4 escape / fence barrier: no value.
+                            self.llc.write_through_commits += 1
+                        else:
+                            self.commit_store(message)
+                        trace = self.machine.trace
+                        if trace:
+                            trace.counter(str(self.node_id),
+                                          f"committed_epoch.p{meta.proc}",
+                                          meta.epoch, self.sim.now)
+                        wire, nbytes = self._rel_ack_wire
+                        self.network.send(Message(
+                            src=self.node_id,
+                            dst=message.src,
+                            msg_type=wire,
+                            size_bytes=nbytes,
+                            control=True,
+                            payload={"meta": meta},
+                        ))
                         changed = True
-        self.track_buffered(sum(len(q) for q in self._retry.values()))
+                elif dop == D_REQ_NOTIFY:
+                    state = self.state
+                    for message in list(queue):
+                        meta = message.payload["meta"]
+                        if state.req_notify_block_reason(meta) is not None:
+                            continue
+                        queue.remove(message)
+                        notify = state.consume_req_notify(meta)
+                        wire, nbytes = self._notify_wire
+                        self.network.send(Message(
+                            src=self.node_id,
+                            dst=self.machine.directory_id(meta.noti_dst),
+                            msg_type=wire,
+                            size_bytes=nbytes,
+                            control=True,
+                            payload={"meta": notify},
+                        ))
+                        changed = True
+                elif dop == D_SEQ_STORE:
+                    board = self.board
+                    for message in list(queue):
+                        payload = message.payload
+                        proc = payload["proc"]
+                        if (payload["ordered"]
+                                and board.count(proc) < payload["seq"]):
+                            continue
+                        queue.remove(message)
+                        self.commit_store(message)
+                        board.commit(proc, origin=self)
+                        changed = True
+                elif dop == D_SEQ_FLUSH:
+                    board = self.board
+                    for message in list(queue):
+                        payload = message.payload
+                        if board.count(payload["proc"]) < payload["upto"]:
+                            continue
+                        queue.remove(message)
+                        wire, nbytes = self._flush_ack_wire
+                        self.network.send(Message(
+                            src=self.node_id,
+                            dst=message.src,
+                            msg_type=wire,
+                            size_bytes=nbytes,
+                            control=True,
+                            payload={},
+                        ))
+                        changed = True
+                else:
+                    for message in list(queue):
+                        ctx = _TimedDirCtx(self, message)
+                        fields = self._fields(name, message)
+                        if rule.enabled(ctx, fields):
+                            queue.remove(message)
+                            rule.effects(ctx, fields)
+                            changed = True
+        total = 0
+        for q in retry.values():
+            total += len(q)
+        self._buffered_total = total
+        self.track_buffered(total)
 
 
 # ---------------------------------------------------------------------------
@@ -661,6 +961,11 @@ def make_table_protocol(
     if cached is not None:
         return cached
     if not spec.rules_complete:
+        if spec.actors is not None:
+            # Messages-only spec with a declared actor pair (wb): the
+            # table cannot interpret it, but the spec still names the
+            # implementation.
+            return spec.actors()
         raise ValueError(
             f"protocol {spec.name!r} has a messages-only table; "
             f"its actors stay on the legacy path"

@@ -36,6 +36,19 @@ class SimulationError(RuntimeError):
     """Raised when the simulation reaches an invalid state (e.g. deadlock)."""
 
 
+def _fmt_ns(value: Any) -> str:
+    """Format a timestamp for diagnostics without assuming its type.
+
+    Batched runs hand diagnostics batch-boundary times that may be plain
+    ``int``s (and hooks occasionally contribute ``None`` for "never") —
+    rendering a diagnostic must never raise over a formatting detail.
+    """
+    try:
+        return f"{float(value):.1f}"
+    except (TypeError, ValueError):
+        return str(value)
+
+
 @dataclass
 class DeadlockDiagnostic:
     """Structured description of a stuck simulation.
@@ -43,9 +56,11 @@ class DeadlockDiagnostic:
     ``reason`` is ``"deadlock"`` (event queue drained with unfinished
     processes) or ``"livelock"`` (event budget exhausted).  ``stuck`` lists
     every watched-but-unfinished process with its last-progress time;
-    ``pending`` samples the earliest queued events (empty on deadlock);
-    ``state`` carries whatever the simulator's ``diagnostic_hooks``
-    contributed (e.g. the machine's unacked-table snapshots).
+    ``pending`` samples the earliest pending events — queued *and* any
+    not-yet-dispatched remainder of the kernel's current same-timestamp
+    batch (usually but not necessarily empty on deadlock); ``state``
+    carries whatever the simulator's ``diagnostic_hooks`` contributed
+    (e.g. the machine's unacked-table snapshots).
     """
 
     reason: str
@@ -59,22 +74,22 @@ class DeadlockDiagnostic:
     def render(self) -> str:
         if self.reason == "livelock":
             head = (f"livelock: exceeded max_events={self.max_events} at "
-                    f"t={self.time_ns:.1f}ns with unfinished processes")
+                    f"t={_fmt_ns(self.time_ns)}ns with unfinished processes")
         else:
-            head = (f"deadlock: event queue empty at t={self.time_ns:.1f}ns "
-                    f"with unfinished processes")
+            head = (f"deadlock: event queue empty at "
+                    f"t={_fmt_ns(self.time_ns)}ns with unfinished processes")
         lines = [head]
         for proc in self.stuck:
             lines.append(
                 f"  stuck {proc['process']!r}: last progress at "
-                f"{proc['last_progress_ns']:.1f}ns"
+                f"{_fmt_ns(proc.get('last_progress_ns'))}ns"
             )
         if self.pending:
             lines.append(f"  next {len(self.pending)} pending events:")
             for event in self.pending:
                 lines.append(
-                    f"    t={event['at_ns']:.1f}ns {event['callback']}"
-                    f"({event['args']})"
+                    f"    t={_fmt_ns(event.get('at_ns'))}ns "
+                    f"{event['callback']}({event['args']})"
                 )
         for name, value in sorted(self.state.items()):
             lines.append(f"  {name}: {value}")
@@ -266,6 +281,12 @@ class Simulator:
         self._sequence = 0
         self.processed_events = 0
         self._processes: List[Process] = []
+        #: Same-timestamp batch being dispatched by
+        #: :meth:`run_until_processes_finish`; ``_batch[_batch_pos:]`` is
+        #: the not-yet-executed remainder, which diagnostics and
+        #: :attr:`pending_events` count alongside the heap.
+        self._batch: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._batch_pos = 0
         #: Optional :class:`repro.trace.TraceCollector`.  The kernel never
         #: records into it itself; it is the well-known place actors reach
         #: their run's collector (``self.sim.trace``), and ``None`` — the
@@ -373,11 +394,16 @@ class Simulator:
         """
         watched = list(processes)
         # Hot loop: a finish-callback counter replaces the per-event
-        # ``all(p.finished ...)`` scan, and :meth:`step` is inlined with
-        # the queue/heappop hoisted to locals — this loop processes every
-        # event of every simulation, so call overhead here is global
-        # overhead.  Semantics are identical to ``while not all(...):
-        # step()`` (same pop order, same bookkeeping, same errors).
+        # ``all(p.finished ...)`` scan, and the queue is drained in
+        # *same-timestamp batches* — one heappop run per distinct
+        # timestamp instead of a pop/compare/clock-write per event.  This
+        # loop processes every event of every simulation, so overhead
+        # here is global overhead.  Dispatch order is identical to the
+        # per-event loop: a batch holds one timestamp's events in
+        # sequence order, and anything a callback schedules at the *same*
+        # timestamp receives a larger sequence number, so it sorts after
+        # the drained run and is picked up by the next batch — FIFO
+        # within a timestamp is preserved (DESIGN.md decision 13).
         remaining = [0]
 
         def _one_finished(_proc: Process) -> None:
@@ -389,23 +415,59 @@ class Simulator:
                 proc.on_finish(_one_finished)
         queue = self._queue
         pop = heapq.heappop
+        push = heapq.heappush
+        batch = self._batch
         events = 0
+        budget = float("inf") if max_events is None else max_events
         while remaining[0]:
-            if max_events is not None and events >= max_events:
+            if events >= budget:
+                # Checked before popping so the clock stays at the last
+                # processed event (matching the per-event loop); the
+                # mid-batch check below covers exhaustion inside a run.
                 raise DeadlockError(
                     self.diagnose("livelock", watched, max_events=max_events)
                 )
             if not queue:
                 raise DeadlockError(self.diagnose("deadlock", watched))
-            when, _seq, callback, args = pop(queue)
+            entry = pop(queue)
+            when = entry[0]
             if when < self.now:
                 raise SimulationError(
                     "event queue corrupted: time went backwards"
                 )
             self.now = when
-            self.processed_events += 1
-            callback(*args)
-            events += 1
+            del batch[:]
+            batch.append(entry)
+            while queue and queue[0][0] == when:
+                batch.append(pop(queue))
+            i = 0
+            n = len(batch)
+            self._batch_pos = 0
+            try:
+                while i < n:
+                    if events >= budget:
+                        # The budget died mid-batch: the remainder is
+                        # still pending work — diagnose() and
+                        # pending_events see it via _batch_pos.
+                        raise DeadlockError(self.diagnose(
+                            "livelock", watched, max_events=max_events))
+                    _w, _seq, callback, args = batch[i]
+                    i += 1
+                    self._batch_pos = i
+                    self.processed_events += 1
+                    callback(*args)
+                    events += 1
+                    if not remaining[0]:
+                        break
+            finally:
+                # Watched processes finished (or a callback raised)
+                # mid-batch: restore the unexecuted remainder so the
+                # queue stays consistent for callers and later runs.
+                if self._batch_pos < n:
+                    for entry in batch[self._batch_pos:]:
+                        push(queue, entry)
+                del batch[:]
+                self._batch_pos = 0
         return self.now
 
     def diagnose(
@@ -421,7 +483,13 @@ class Simulator:
             for p in watched if not p.finished
         ]
         pending = []
-        for when, _seq, callback, args in sorted(self._queue)[:pending_sample]:
+        source = list(self._queue)
+        if self._batch_pos < len(self._batch):
+            # Mid-batch diagnosis (budget exhausted while dispatching a
+            # same-timestamp run): the unexecuted remainder is pending
+            # work even though it is not on the heap right now.
+            source.extend(self._batch[self._batch_pos:])
+        for when, _seq, callback, args in sorted(source)[:pending_sample]:
             pending.append({
                 "at_ns": when,
                 "callback": getattr(callback, "__qualname__", repr(callback)),
@@ -445,4 +513,4 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + max(0, len(self._batch) - self._batch_pos)

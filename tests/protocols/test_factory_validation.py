@@ -71,14 +71,14 @@ class TestLegacyToggle:
 
     def test_default_is_table_driven(self, monkeypatch):
         monkeypatch.delenv(LEGACY_ENV, raising=False)
-        for name in ("so", "cord", "seq8"):
+        for name in ("so", "cord", "mp", "seq8"):
             port_cls, dir_cls = protocol_classes(name)
             assert port_cls.__name__.startswith("Table")
             assert dir_cls.__name__.startswith("Table")
 
     def test_env_selects_legacy_actors(self, monkeypatch):
         monkeypatch.setenv(LEGACY_ENV, "1")
-        for name in ("so", "cord", "seq8"):
+        for name in ("so", "cord", "mp", "seq8"):
             port_cls, _ = protocol_classes(name)
             assert not port_cls.__name__.startswith("Table")
 
@@ -90,8 +90,17 @@ class TestLegacyToggle:
         port_cls, _ = protocol_classes("cord", legacy=True)
         assert port_cls.__name__ == "CordCorePort"
 
+    def test_wb_routes_through_spec_actors(self, monkeypatch):
+        # wb has a messages-only spec with a declared actor pair: the
+        # default path resolves through the spec, not the _STATIC map,
+        # but lands on the same classes either way.
+        monkeypatch.delenv(LEGACY_ENV, raising=False)
+        port_cls, dir_cls = protocol_classes("wb")
+        assert port_cls.__name__ == "WbCorePort"
+        assert dir_cls.__name__ == "WbDirectory"
+
     def test_legacy_only_protocols_unaffected_by_toggle(self, monkeypatch):
         monkeypatch.delenv(LEGACY_ENV, raising=False)
-        for name in ("mp", "wb", "cord-nonotify"):
+        for name in ("wb", "cord-nonotify"):
             port_cls, _ = protocol_classes(name)
             assert not port_cls.__name__.startswith("Table")

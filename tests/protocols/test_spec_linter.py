@@ -27,7 +27,7 @@ class TestLinter:
         assert lint_spec(get_spec(name)) == []
 
     def test_rule_complete_set_matches_factory_default(self):
-        assert spec_protocols() == ("so", "cord", "seq<k>")
+        assert spec_protocols() == ("so", "cord", "mp", "seq<k>")
 
     @pytest.mark.parametrize("name", ALL_TABLES)
     def test_every_message_names_a_fifo_class(self, name):
