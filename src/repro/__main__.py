@@ -17,6 +17,8 @@ Usage::
     python -m repro breakdown CR    # per-message-type traffic for one app
     python -m repro energy CR       # §5.4 energy comparison for one app
     python -m repro resilience      # time/traffic under injected faults
+    python -m repro scale           # open-loop protocol x topology x load
+                                    # sweep -> run_table.csv + crossover
     python -m repro bench           # engine throughput on a fixed basket
     python -m repro all             # everything (slow)
 
@@ -68,6 +70,15 @@ Modelcheck options (``modelcheck`` only; see ``repro.harness.modelcheck``):
                       bounds for the 'generated' suite (defaults:
                       32/0/2/2/2/3); --gen-atomics adds fetch-and-adds
     plus --jobs/--cache-dir/--no-cache/--run-log as above
+
+Scale options (``scale`` only; see ``repro.harness.scale``):
+
+    --quick           CI grid: 3 sizes x 2 protocols x 2 loads, short
+                      horizons (the full grid reaches 64 hosts / 8 pods)
+    --out DIR         artifact directory for run_table.csv +
+                      run_table.columns.md (default: scale-out)
+    --reps N          repetitions per grid point (default 2)
+    plus the executor flags as above
 """
 
 from __future__ import annotations
@@ -239,6 +250,12 @@ def main(argv=None) -> int:
         # --no-por) interleaved with the executor ones; it parses both.
         from repro.harness.modelcheck import run_modelcheck_cli
         return run_modelcheck_cli(args[1:])
+
+    if args[0] == "scale":
+        # The open-loop scaling sweep has its own flags (--quick/--out/
+        # --reps) interleaved with the executor ones; it parses both.
+        from repro.harness.scale import run_scale_cli
+        return run_scale_cli(args[1:])
 
     args, executor = _parse_executor_flags(args)
     if args is None or executor is None:

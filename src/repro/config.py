@@ -14,7 +14,7 @@ the paper's figures report, is preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 __all__ = [
     "CacheConfig",
@@ -178,6 +178,13 @@ class SystemConfig:
     #: of the normal inter-host latency.  1 = the paper's single switch.
     pods: int = 1
     inter_pod_extra_ns: float = 150.0
+    #: Bandwidth of each pod switch's uplink into the inter-pod tier
+    #: (GB/s).  Cross-pod messages serialize on the source pod's uplink
+    #: and the destination pod's downlink in addition to the host egress
+    #: port.  ``None`` = same as ``interconnect.link_bandwidth_gbps``, so
+    #: the shared uplink becomes the scaling bottleneck once a pod holds
+    #: more than one host.  Ignored when ``pods == 1``.
+    pod_uplink_gbps: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mesh_dims[0] * self.mesh_dims[1] < self.cores_per_host:
@@ -225,15 +232,33 @@ class SystemConfig:
         return replace(self, write_combining_lines=lines)
 
     def with_pods(self, pods: int,
-                  inter_pod_extra_ns: float = 150.0) -> "SystemConfig":
-        return replace(self, pods=pods, inter_pod_extra_ns=inter_pod_extra_ns)
+                  inter_pod_extra_ns: float = 150.0,
+                  uplink_gbps: Optional[float] = None) -> "SystemConfig":
+        return replace(self, pods=pods, inter_pod_extra_ns=inter_pod_extra_ns,
+                       pod_uplink_gbps=uplink_gbps)
 
     def pod_of_host(self, host: int) -> int:
         return host // (self.hosts // self.pods)
 
     def scaled(self, hosts: int, cores_per_host: int = 1) -> "SystemConfig":
-        """A scaled-down instance (for fast experiment runs)."""
-        mesh = (1, max(1, cores_per_host))
+        """A scaled-down instance (for fast experiment runs).
+
+        The mesh is kept near-square (the largest divisor pair of
+        ``cores_per_host``), matching how real tiled meshes are laid out;
+        a 1xN row would make intra-host edge walks — and therefore every
+        inter-host message's on-mesh latency — grow linearly with core
+        count, skewing scaled-host comparisons.
+        """
         return replace(
-            self, hosts=hosts, cores_per_host=cores_per_host, mesh_dims=mesh
+            self, hosts=hosts, cores_per_host=cores_per_host,
+            mesh_dims=_near_square_mesh(max(1, cores_per_host)),
         )
+
+
+def _near_square_mesh(tiles: int) -> Tuple[int, int]:
+    """``(rows, cols)`` with ``rows * cols == tiles``, as square as possible."""
+    rows = 1
+    for candidate in range(2, int(tiles ** 0.5) + 1):
+        if tiles % candidate == 0:
+            rows = candidate
+    return (rows, tiles // rows)

@@ -53,10 +53,22 @@ class Core:
         assert self.port is not None, "core has no protocol port"
         # Hot loop: hoist the per-op attribute chains to locals.
         port = self.port
+        sim = self.machine.sim
+        stats = self.machine.stats
         cycle_ns = self.machine.config.cycle_ns
         for index, op in enumerate(self.program.ops):
             if op.kind is OpKind.COMPUTE:
-                if op.duration_ns > 0:
+                if op.meta and "until_ns" in op.meta:
+                    # Open-loop arrival: idle until an *absolute* simulation
+                    # time (a request's scheduled arrival), regardless of
+                    # how long earlier requests took.  Never waits backwards
+                    # — a core running behind its arrival schedule starts
+                    # the request immediately (queueing shows up in the
+                    # sampled latency, as open-loop load generators intend).
+                    delay = op.meta["until_ns"] - sim.now
+                    if delay > 0:
+                        yield delay
+                elif op.duration_ns > 0:
                     yield op.duration_ns
             elif op.kind is OpKind.STORE:
                 # Issue bandwidth: one store per core cycle, uniform across
@@ -74,6 +86,13 @@ class Core:
                 yield from self.port.fence(op, index)
             else:  # pragma: no cover - exhaustive over OpKind
                 raise RuntimeError(f"unhandled op kind {op.kind}")
+            if op.meta and "sample_ns" in op.meta:
+                # Per-request latency sampling (open-loop workloads): the
+                # op completing at sim.now was triggered by a request that
+                # arrived at t0; record the elapsed time into a
+                # sample-keeping accumulator so runs export percentiles.
+                name, t0 = op.meta["sample_ns"]
+                stats.accumulator(name, keep_samples=True).add(sim.now - t0)
         yield from self.port.finish()
         self.finish_time_ns = self.machine.sim.now
         for register, value in self.registers.items():

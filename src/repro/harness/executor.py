@@ -57,6 +57,7 @@ from repro.sim import SimulationError
 from repro.workloads.ata import AtaSpec, build_ata_programs
 from repro.workloads.base import WorkloadSpec, build_workload_programs
 from repro.workloads.micro import MicroSpec, build_micro_programs
+from repro.workloads.openloop import OpenLoopSpec, build_openloop_programs
 
 __all__ = [
     "RunSpec",
@@ -72,13 +73,14 @@ __all__ = [
     "read_run_log",
 ]
 
-Workload = Union[WorkloadSpec, MicroSpec, AtaSpec]
+Workload = Union[WorkloadSpec, MicroSpec, AtaSpec, OpenLoopSpec]
 
 #: Workload kinds an executor knows how to build programs for.
 _BUILDERS = {
     "app": build_workload_programs,
     "micro": build_micro_programs,
     "ata": build_ata_programs,
+    "openloop": build_openloop_programs,
 }
 
 
@@ -89,7 +91,7 @@ _BUILDERS = {
 class RunSpec:
     """One independent simulation: protocol x workload x config point."""
 
-    kind: str                              # "app" | "micro" | "ata"
+    kind: str                              # "app" | "micro" | "ata" | "openloop"
     protocol: str
     workload: Workload
     config: SystemConfig
@@ -127,6 +129,10 @@ class RunSpec:
             w = self.workload
             return (f"micro.g{w.store_granularity}.s{w.sync_granularity}"
                     f".f{w.fanout}")
+        if isinstance(self.workload, OpenLoopSpec):
+            w = self.workload
+            return (f"openloop.{w.arrival}.i{w.interarrival_ns:g}"
+                    f".r{w.requests}.f{w.fanout}")
         return f"ata.r{self.workload.rounds}"
 
     @property
@@ -295,6 +301,13 @@ class RunRecord:
     events: int
     final_state_hash: str
     wall_time_s: float
+    #: §5.4 energy estimate (``link_nj``/``llc_nj``/``table_nj``/
+    #: ``total_nj``), computed by the worker while the machine is live —
+    #: :func:`repro.overheads.energy.estimate_energy` needs directory
+    #: state a cached record no longer has.  Kept out of ``stats`` so the
+    #: pinned final-state hashes (which digest the stats dict) are
+    #: untouched.
+    energy: Dict[str, float] = field(default_factory=dict)
     cached: bool = False
     #: Traced runs only: exported Chrome-trace path (None when the run
     #: was untraced or no trace directory was configured), per-actor
@@ -367,6 +380,7 @@ class RunRecord:
     def from_dict(cls, data: Dict[str, Any], cached: bool = False
                   ) -> "RunRecord":
         data = dict(data)
+        data.setdefault("energy", {})
         data["core_finish_ns"] = {
             int(k): v for k, v in data["core_finish_ns"].items()
         }
@@ -392,6 +406,7 @@ def _final_state_hash(result, stats: Dict[str, float]) -> str:
 def _execute_spec(spec: RunSpec,
                   trace_dir: Optional[str] = None) -> RunRecord:
     """Worker entry point: build the machine, run it, harvest a record."""
+    from repro.overheads.energy import estimate_energy
     from repro.overheads.storage import collect_storage
     from repro.protocols.machine import Machine
 
@@ -406,6 +421,13 @@ def _execute_spec(spec: RunSpec,
     result = machine.run(programs, max_events=spec.max_events)
     storage = collect_storage(result)
     stats = result.stats.as_dict()
+    energy_report = estimate_energy(result)
+    energy = {
+        "link_nj": energy_report.link_nj,
+        "llc_nj": energy_report.llc_nj,
+        "table_nj": energy_report.table_nj,
+        "total_nj": energy_report.total_nj,
+    }
     key = spec_key(spec)
 
     trace_path: Optional[str] = None
@@ -440,6 +462,7 @@ def _execute_spec(spec: RunSpec,
         events=machine.sim.processed_events,
         final_state_hash=_final_state_hash(result, stats),
         wall_time_s=time.perf_counter() - started,
+        energy=energy,
         trace_path=trace_path,
         trace_stalls=trace_stalls,
         trace_events=trace_events,

@@ -10,6 +10,16 @@ models contention at each host's switch port (the shared inter-host link is
 the bottleneck resource in these systems; the intra-host mesh is treated as
 latency-only).
 
+On multi-pod configs (``config.pods > 1``) cross-pod messages additionally
+serialize on two shared tier resources: the source pod's uplink into the
+inter-pod spine and the destination pod's downlink out of it, each at
+``config.pod_uplink_gbps`` (defaulting to the host-link bandwidth, so the
+shared uplink becomes the scaling bottleneck once pods hold several
+hosts).  Queue time and bytes are accounted under ``traffic.pod_uplink.*``
+and ``traffic.inter_pod.*``; for ``pods == 1`` configs none of this code
+runs and results are byte-identical to the single-switch fabric (pinned by
+the state-hash basket).
+
 Delivery between a fixed (src-node, dst-node) pair is FIFO — messages
 between the same two endpoints arrive in send order — which matches real
 load/store interconnects and is the point-to-point ordering the MP
@@ -25,8 +35,10 @@ cause: time queued behind a busy egress port is ``egress_queue``; any
 further fault-induced hold (a link flap/down window) is ``fault.link_down``.
 
 Fault-injected duplicates re-traverse the fabric like real retransmissions:
-a duplicate occupies the egress port, pays serialization, and is accounted
-as a second message (endpoints later suppress it by wire sequence number).
+a duplicate occupies the egress port, pays serialization, passes through
+the same fault holds as any first transmission (retry latency, per-node
+stall windows), and is accounted as a second message (endpoints later
+suppress it by wire sequence number).
 """
 
 from __future__ import annotations
@@ -76,6 +88,23 @@ class Network:
         self._counter_cache: Dict[tuple, tuple] = {}
         # Next time each host's switch egress port is free.
         self._egress_free: Dict[int, float] = {}
+        # Two-level fabric (pods > 1 only): next time each pod's uplink
+        # into the inter-pod spine / downlink out of it is free, plus the
+        # cached accounting handles.  Never touched on pods == 1 configs,
+        # keeping the single-switch fast path byte-identical.
+        if config.pods > 1:
+            uplink_gbps = (config.pod_uplink_gbps
+                           if config.pod_uplink_gbps is not None
+                           else config.interconnect.link_bandwidth_gbps)
+            self._uplink_bytes_per_ns = uplink_gbps  # GB/s == B/ns
+            self._uplink_free: Dict[int, float] = {}
+            self._downlink_free: Dict[int, float] = {}
+            self._pod_counters = (
+                self.stats.counter("traffic.pod_uplink.bytes"),
+                self.stats.counter("traffic.pod_uplink.queue_ns"),
+                self.stats.counter("traffic.inter_pod.bytes"),
+                self.stats.counter("traffic.inter_pod.queue_ns"),
+            )
         # FIFO guarantee: last arrival time per (src, dst) *node* pair.
         # Keying on hosts would serialize disjoint same-host mesh paths
         # against each other (all intra-host traffic shares one (h, h)
@@ -106,7 +135,9 @@ class Network:
             raise KeyError(f"no handler registered for {message.dst}")
 
         faults = self.faults
-        latency, hops, cross = self.topology.route(message.src, message.dst)
+        latency, hops, cross, cross_pod = self.topology.route(
+            message.src, message.dst
+        )
         if self.latency_jitter > 0:
             factor = 1.0 + self.latency_jitter * (2.0 * self._rng.random() - 1.0)
             latency *= factor
@@ -124,6 +155,8 @@ class Network:
                 depart = port_free if port_free > now else now
                 finish = depart + self._serialize(message.size_bytes)
                 self._egress_free[host] = finish
+                if cross_pod:
+                    finish = self._pod_transit(message, finish)
                 arrival = finish + latency
             else:
                 arrival = now + latency
@@ -153,6 +186,8 @@ class Network:
                 serialization *= faults.serialization_factor(message, depart)
             finish = depart + serialization
             self._egress_free[message.src.host] = finish
+            if cross_pod:
+                finish = self._pod_transit(message, finish)
             arrival = finish + latency
         else:
             arrival = self.sim.now + latency
@@ -195,11 +230,23 @@ class Network:
                     dup_depart = self._egress_free.get(message.src.host, 0.0)
                     dup_finish = dup_depart + serialization
                     self._egress_free[message.src.host] = dup_finish
+                    if cross_pod:
+                        dup_finish = self._pod_transit(message, dup_finish)
                     dup_arrival = max(dup_finish + latency,
                                       arrival + dup_delay)
                 else:
                     dup_depart = arrival
                     dup_arrival = arrival + dup_delay
+                # A duplicate is a real second transmission: it is exposed
+                # to the same transient loss (retry latency) and must
+                # respect the destination's stall windows.  Skipping these
+                # holds let a duplicate arrive *inside* a window its
+                # original was held out of.
+                dup_arrival += faults.retry_delay_ns(message, cross)
+                dup_arrival = faults.release_ns(message, dup_arrival)
+                # FIFO: never before the original (the holds only add
+                # delay, but retry applies to the dup alone, so re-clamp).
+                dup_arrival = max(dup_arrival, self._last_arrival[pair])
                 self._last_arrival[pair] = dup_arrival
                 self._account(message, cross)
                 if self.trace:
@@ -213,6 +260,48 @@ class Network:
         if self.trace:
             self.trace.message_deliver(message, self.sim.now)
         self._handlers[message.dst](message)
+
+    # ------------------------------------------------------------------
+    # Two-level fabric (pods > 1 only)
+    # ------------------------------------------------------------------
+    def _pod_transit(self, message: Message, finish: float) -> float:
+        """Serialize a cross-pod message on the source pod's uplink and
+        the destination pod's downlink; returns the new link-exit time.
+
+        Both are shared, contended resources (every host in a pod funnels
+        through them), modelled exactly like the host egress port: a
+        busy-until time per pod, FIFO occupancy, queue time accounted.
+        """
+        config = self.config
+        src_pod = config.pod_of_host(message.src.host)
+        dst_pod = config.pod_of_host(message.dst.host)
+        serialization = message.size_bytes / self._uplink_bytes_per_ns
+        up_bytes, up_queue, spine_bytes, spine_queue = self._pod_counters
+
+        up_depart = self._uplink_free.get(src_pod, 0.0)
+        if up_depart < finish:
+            up_depart = finish
+        up_finish = up_depart + serialization
+        self._uplink_free[src_pod] = up_finish
+        up_bytes.add(message.size_bytes)
+        if up_depart > finish:
+            up_queue.add(up_depart - finish)
+            if self.trace:
+                self.trace.stall(f"pod{src_pod}", "pod_uplink_queue",
+                                 finish, up_depart)
+
+        down_depart = self._downlink_free.get(dst_pod, 0.0)
+        if down_depart < up_finish:
+            down_depart = up_finish
+        down_finish = down_depart + serialization
+        self._downlink_free[dst_pod] = down_finish
+        spine_bytes.add(message.size_bytes)
+        if down_depart > up_finish:
+            spine_queue.add(down_depart - up_finish)
+            if self.trace:
+                self.trace.stall(f"pod{dst_pod}", "inter_pod_queue",
+                                 up_finish, down_depart)
+        return down_finish
 
     # ------------------------------------------------------------------
     # Accounting

@@ -29,14 +29,18 @@ class Topology:
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
-        # (src, dst) -> (latency_ns, hop_count, crosses_hosts); lazy.
-        self._routes: Dict[Tuple[NodeId, NodeId], Tuple[float, int, bool]] = {}
+        # (src, dst) -> (latency_ns, hop_count, crosses_hosts, crosses_pods);
+        # lazy.
+        self._routes: Dict[
+            Tuple[NodeId, NodeId], Tuple[float, int, bool, bool]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Memoized per-pair route
     # ------------------------------------------------------------------
-    def route(self, src: NodeId, dst: NodeId) -> Tuple[float, int, bool]:
-        """``(latency_ns, hop_count, crosses_hosts)`` for one pair, cached."""
+    def route(self, src: NodeId, dst: NodeId
+              ) -> Tuple[float, int, bool, bool]:
+        """``(latency_ns, hop_count, crosses_hosts, crosses_pods)``, cached."""
         key = (src, dst)
         entry = self._routes.get(key)
         if entry is None:
@@ -44,6 +48,7 @@ class Topology:
                 self._latency_ns(src, dst),
                 self._hop_count(src, dst),
                 src.host != dst.host,
+                self.crosses_pods(src, dst),
             )
             self._routes[key] = entry
         return entry
@@ -71,7 +76,8 @@ class Topology:
         return abs(ra - rb) + abs(ca - cb)
 
     def edge_hops(self, tile: int) -> int:
-        """Hops from a tile to the host's switch port (column 0 edge)."""
+        """Hops from a tile to the host's switch port at the (0, 0) corner
+        (Manhattan distance: row walk plus column walk)."""
         row, col = self.tile_position(tile)
         return col + row
 
@@ -80,8 +86,10 @@ class Topology:
 
         Same host: mesh Manhattan distance (minimum 1, matching
         :meth:`latency_ns`).  Cross host: both edge walks plus the
-        central switch, plus one more tier when the hosts sit in
-        different pods.
+        host-level switch, plus two more hops when the hosts sit in
+        different pods (the inter-pod spine and the remote pod's switch —
+        the full extra tier :meth:`latency_ns` charges
+        ``inter_pod_extra_ns`` for).
         """
         return self.route(src, dst)[1]
 
@@ -91,9 +99,12 @@ class Topology:
         hops = self.edge_hops(self.tile_of(src)) + 1 + self.edge_hops(
             self.tile_of(dst)
         )
-        cfg = self.config
-        if cfg.pods > 1 and cfg.pod_of_host(src.host) != cfg.pod_of_host(dst.host):
-            hops += 1
+        if self.crosses_pods(src, dst):
+            # A cross-pod route traverses a whole extra switch tier: up
+            # through the inter-pod spine, then down through the remote
+            # pod's switch.  A single +1 here used to undercount what
+            # _latency_ns already prices as a full tier.
+            hops += 2
         return hops
 
     # ------------------------------------------------------------------
@@ -101,6 +112,11 @@ class Topology:
     # ------------------------------------------------------------------
     def crosses_hosts(self, src: NodeId, dst: NodeId) -> bool:
         return src.host != dst.host
+
+    def crosses_pods(self, src: NodeId, dst: NodeId) -> bool:
+        cfg = self.config
+        return (cfg.pods > 1 and src.host != dst.host
+                and cfg.pod_of_host(src.host) != cfg.pod_of_host(dst.host))
 
     def latency_ns(self, src: NodeId, dst: NodeId) -> float:
         """Zero-load one-way latency from ``src`` to ``dst``."""
@@ -115,7 +131,7 @@ class Topology:
         local = self.edge_hops(self.tile_of(src)) * hop_ns
         remote = self.edge_hops(self.tile_of(dst)) * hop_ns
         latency = local + cfg.interconnect.inter_host_latency_ns + remote
-        if cfg.pods > 1 and cfg.pod_of_host(src.host) != cfg.pod_of_host(dst.host):
+        if self.crosses_pods(src, dst):
             # Two-level fabric: an extra switch tier between pods.
             latency += cfg.inter_pod_extra_ns
         return latency

@@ -83,6 +83,37 @@ class Accumulator:
     def samples(self) -> List[float]:
         return list(self._samples)
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the kept samples.
+
+        Linear interpolation between closest ranks (numpy's default
+        method).  Requires ``keep_samples``; returns 0.0 when no samples
+        were kept — matching the 0.0 the other exported aggregates report
+        for untouched accumulators.
+        """
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
 
 class StatRegistry:
     """Named statistics, grouped by dotted paths like ``traffic.inter_host.ctrl``."""
@@ -144,6 +175,13 @@ class StatRegistry:
             # a live RunResult can report (0.0 when no samples were added).
             result[f"{name}.min"] = acc.minimum if acc.minimum is not None else 0.0
             result[f"{name}.max"] = acc.maximum if acc.maximum is not None else 0.0
+            if acc.keep_samples:
+                # Percentiles need the raw samples, so only sample-keeping
+                # accumulators export them (cached records then carry the
+                # tail latencies the scale experiment reports).
+                result[f"{name}.p50"] = acc.p50
+                result[f"{name}.p95"] = acc.p95
+                result[f"{name}.p99"] = acc.p99
         return result
 
     def grouped(self) -> Dict[str, Dict[str, float]]:

@@ -10,6 +10,7 @@ from repro.workloads.base import (
 from repro.workloads.doe import DOE_MPI_APPS, build_doe_programs
 from repro.workloads.micro import MicroSpec, build_micro_programs
 from repro.workloads.mpi import MpiWorld
+from repro.workloads.openloop import OpenLoopSpec, build_openloop_programs
 from repro.workloads.table2 import APPLICATIONS, CHAI, DOE, PANNOTIA, app, app_names
 
 __all__ = [
@@ -19,6 +20,8 @@ __all__ = [
     "consumer_core",
     "MicroSpec",
     "build_micro_programs",
+    "OpenLoopSpec",
+    "build_openloop_programs",
     "MpiWorld",
     "DOE_MPI_APPS",
     "build_doe_programs",

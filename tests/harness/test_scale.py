@@ -1,0 +1,134 @@
+"""Tests for the open-loop scale experiment and its run-table artifact."""
+
+import pytest
+
+from repro.harness import Executor
+from repro.harness.scale import (
+    QUICK_LOADS,
+    QUICK_PROTOCOLS,
+    QUICK_SIZES,
+    RUN_TABLE_COLUMNS,
+    crossover_report,
+    read_run_table,
+    scale_sweep,
+    validate_run_table,
+    write_run_table,
+)
+
+
+def _tiny_sweep(executor, **overrides):
+    kwargs = dict(
+        protocols=("cord",), sizes=((2, 1),), loads_ns=(4_000.0,),
+        repetitions=1, requests=6, warmup=1, executor=executor,
+    )
+    kwargs.update(overrides)
+    return scale_sweep(**kwargs)
+
+
+class TestRows:
+    def test_rows_match_the_documented_column_contract(self):
+        rows = _tiny_sweep(Executor())
+        assert len(rows) == 1
+        assert list(rows[0]) == list(RUN_TABLE_COLUMNS)
+
+    def test_percentiles_and_throughput_are_populated(self):
+        (row,) = _tiny_sweep(Executor())
+        assert row["sampled"] == 2 * 5        # hosts x (requests - warmup)
+        assert (row["delivery_latency_p99_ns"]
+                >= row["delivery_latency_p95_ns"]
+                >= row["delivery_latency_p50_ns"] > 0)
+        assert row["throughput_rps"] > 0
+        assert row["bytes_per_request"] > 0
+        assert row["energy_total_nj"] > row["energy_link_nj"] > 0
+
+    def test_multi_pod_point_reports_pod_tier_traffic(self):
+        (row,) = _tiny_sweep(Executor(), sizes=((4, 2),))
+        assert row["pods"] == 2
+        assert row["pod_uplink_bytes"] > 0
+        assert row["inter_pod_bytes"] > 0
+
+    def test_single_pod_point_reports_zero_pod_traffic(self):
+        (row,) = _tiny_sweep(Executor())
+        assert row["pod_uplink_bytes"] == 0.0
+        assert row["inter_pod_bytes"] == 0.0
+
+    def test_rows_are_identical_across_jobs(self):
+        """The acceptance bar: byte-identical tables no matter how the
+        runs were scheduled."""
+        kwargs = dict(protocols=("cord", "so"), repetitions=2)
+        inline = _tiny_sweep(Executor(jobs=1), **kwargs)
+        pooled = _tiny_sweep(Executor(jobs=2), **kwargs)
+        assert inline == pooled
+
+    def test_quick_grid_covers_the_acceptance_floor(self):
+        assert len(QUICK_SIZES) >= 3
+        assert len(QUICK_PROTOCOLS) >= 2
+        assert len(QUICK_LOADS) >= 2
+        assert any(pods > 1 for _hosts, pods in QUICK_SIZES)
+
+
+class TestRunTable:
+    def test_write_validate_read_round_trip(self, tmp_path):
+        rows = _tiny_sweep(Executor(), protocols=("cord", "so"))
+        csv_path, columns_path = write_run_table(rows, tmp_path)
+        assert validate_run_table(csv_path) == len(rows)
+        parsed = read_run_table(csv_path)
+        assert [row["protocol"] for row in parsed] == ["cord", "so"]
+        assert parsed[0]["hosts"] == 2                  # typed back
+        assert isinstance(parsed[0]["throughput_rps"], float)
+        contract = columns_path.read_text()
+        assert all(f"`{name}`" in contract for name in RUN_TABLE_COLUMNS)
+
+    def test_validate_rejects_a_drifted_header(self, tmp_path):
+        rows = _tiny_sweep(Executor())
+        csv_path, _ = write_run_table(rows, tmp_path)
+        lines = csv_path.read_text().splitlines()
+        lines[0] = lines[0].replace("protocol", "proto", 1)
+        csv_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="header drifted"):
+            validate_run_table(csv_path)
+
+    def test_validate_rejects_empty_percentiles(self, tmp_path):
+        rows = _tiny_sweep(Executor())
+        rows[0]["delivery_latency_p95_ns"] = 0.0
+        csv_path, _ = write_run_table(rows, tmp_path)
+        with pytest.raises(ValueError, match="percentiles"):
+            validate_run_table(csv_path)
+
+
+def _synthetic_row(protocol, hosts, p99, load=2_000.0, rep=0):
+    return {"protocol": protocol, "hosts": hosts, "pods": 1,
+            "interarrival_ns": load, "rep": rep,
+            "delivery_latency_p99_ns": p99}
+
+
+class TestCrossover:
+    def test_reports_first_size_where_baseline_wins(self):
+        rows = [
+            _synthetic_row("cord", 2, 100.0), _synthetic_row("so", 2, 90.0),
+            _synthetic_row("cord", 4, 100.0), _synthetic_row("so", 4, 150.0),
+            _synthetic_row("cord", 8, 100.0), _synthetic_row("so", 8, 400.0),
+        ]
+        (entry,) = crossover_report(rows)
+        assert entry["protocol"] == "so"
+        assert entry["crossover_hosts"] == 4
+        assert entry["ratio_at_2_hosts"] == pytest.approx(0.9)
+        assert entry["ratio_at_8_hosts"] == pytest.approx(4.0)
+
+    def test_repetitions_are_averaged_per_point(self):
+        rows = [
+            _synthetic_row("cord", 2, 100.0, rep=0),
+            _synthetic_row("cord", 2, 300.0, rep=1),
+            _synthetic_row("so", 2, 400.0, rep=0),
+            _synthetic_row("so", 2, 400.0, rep=1),
+        ]
+        (entry,) = crossover_report(rows)
+        assert entry["ratio_at_2_hosts"] == pytest.approx(2.0)
+
+    def test_curves_that_never_cross_report_empty(self):
+        rows = [
+            _synthetic_row("cord", 2, 100.0), _synthetic_row("so", 2, 50.0),
+            _synthetic_row("cord", 4, 100.0), _synthetic_row("so", 4, 60.0),
+        ]
+        (entry,) = crossover_report(rows)
+        assert entry["crossover_hosts"] == ""

@@ -4,6 +4,9 @@ import pytest
 
 from repro import Machine, ProgramBuilder, SystemConfig
 from repro.interconnect import NodeId, Topology
+from repro.interconnect.message import Message
+from repro.interconnect.network import Network
+from repro.sim import Simulator, StatRegistry
 
 
 class TestConfig:
@@ -21,6 +24,112 @@ class TestConfig:
     def test_zero_pods_rejected(self):
         with pytest.raises(ValueError):
             SystemConfig().scaled(hosts=4).with_pods(0)
+
+    def test_uplink_bandwidth_defaults_to_link(self):
+        config = SystemConfig().scaled(hosts=4).with_pods(2)
+        assert config.pod_uplink_gbps is None  # None = link bandwidth
+        config = SystemConfig().scaled(hosts=4).with_pods(2, uplink_gbps=32.0)
+        assert config.pod_uplink_gbps == 32.0
+
+
+class TestHops:
+    def test_cross_pod_route_adds_a_full_switch_tier(self):
+        """+2 hops (inter-pod spine up, remote pod switch down) — matching
+        the full-tier latency charge, not a single +1."""
+        flat = Topology(SystemConfig().scaled(hosts=4))
+        podded = Topology(SystemConfig().scaled(hosts=4).with_pods(2))
+        src = NodeId.core(0, 0)
+        same_pod = NodeId.directory(1, 1)
+        cross_pod = NodeId.directory(2, 2)
+        assert podded.hop_count(src, same_pod) == flat.hop_count(src, same_pod)
+        assert (podded.hop_count(src, cross_pod)
+                == flat.hop_count(src, cross_pod) + 2)
+
+    def test_route_exposes_pod_crossing(self):
+        topology = Topology(SystemConfig().scaled(hosts=4).with_pods(2))
+        src = NodeId.core(0, 0)
+        assert topology.route(src, NodeId.directory(2, 2))[3]
+        assert not topology.route(src, NodeId.directory(1, 1))[3]
+        assert not topology.crosses_pods(src, NodeId.directory(1, 1))
+
+
+# ---------------------------------------------------------------------------
+# Pod uplink/downlink contention on the fabric
+# ---------------------------------------------------------------------------
+def _pod_fabric(pods=2, uplink_gbps=None, trace=None):
+    sim, stats = Simulator(), StatRegistry()
+    config = SystemConfig().scaled(hosts=4, cores_per_host=1)
+    if pods > 1:
+        config = config.with_pods(pods, uplink_gbps=uplink_gbps)
+    network = Network(sim, config, stats, trace=trace)
+    for host in range(4):
+        network.register(NodeId.directory(host, host), lambda message: None)
+    return network, stats
+
+
+def _msg(src_host, dst_host, size=640):
+    src = NodeId.core(src_host, src_host)
+    dst = NodeId.directory(dst_host, dst_host)
+    return Message(src=src, dst=dst, msg_type="wt_rlx", size_bytes=size,
+                   control=False)
+
+
+class TestPodContention:
+    def test_cross_pod_send_serializes_on_uplink_and_downlink(self):
+        network, stats = _pod_fabric()
+        message = _msg(0, 2)
+        ser = network.config.interconnect.serialization_ns(640)
+        latency = network.topology.latency_ns(message.src, message.dst)
+        arrival = network.send(message)
+        # Host egress + pod uplink + pod downlink, each at link bandwidth.
+        assert arrival == pytest.approx(3 * ser + latency)
+        assert stats.value("traffic.pod_uplink.bytes") == 640
+        assert stats.value("traffic.inter_pod.bytes") == 640
+        assert stats.value("traffic.pod_uplink.queue_ns") == 0.0
+        assert stats.value("traffic.inter_pod.queue_ns") == 0.0
+
+    def test_slower_uplink_stretches_the_pod_tier(self):
+        fast, _ = _pod_fabric()
+        slow, _ = _pod_fabric(uplink_gbps=32.0)   # half the 64 GB/s link
+        message = _msg(0, 2)
+        pod_ser = 640 / 32.0
+        assert slow.send(message) == pytest.approx(
+            fast.send(_msg(0, 2)) + 2 * (pod_ser - 640 / 64.0)
+        )
+
+    def test_same_pod_uplink_is_a_shared_contended_resource(self):
+        """Two hosts of one pod have separate egress ports but funnel
+        through one uplink: the second message queues on it."""
+        network, stats = _pod_fabric()
+        ser = network.config.interconnect.serialization_ns(640)
+        network.send(_msg(0, 2))
+        network.send(_msg(1, 3))   # distinct egress port, same pod-0 uplink
+        assert stats.value("traffic.pod_uplink.queue_ns") == \
+            pytest.approx(ser)
+        assert stats.value("traffic.pod_uplink.bytes") == 2 * 640
+
+    def test_same_pod_traffic_never_touches_the_pod_tier(self):
+        network, stats = _pod_fabric()
+        network.send(_msg(0, 1))   # cross-host, same pod
+        assert stats.value("traffic.pod_uplink.bytes") == 0.0
+        assert stats.value("traffic.inter_pod.bytes") == 0.0
+
+    def test_single_pod_config_has_no_pod_counters(self):
+        network, stats = _pod_fabric(pods=1)
+        network.send(_msg(0, 2))
+        assert "traffic.pod_uplink.bytes" not in stats.as_dict()
+        assert "traffic.inter_pod.bytes" not in stats.as_dict()
+
+    def test_uplink_queue_time_is_traced(self):
+        from repro.trace import TraceCollector
+        trace = TraceCollector()
+        network, _stats = _pod_fabric(trace=trace)
+        ser = network.config.interconnect.serialization_ns(640)
+        network.send(_msg(0, 2))
+        network.send(_msg(1, 3))
+        spans = [(e.name, e.ts_ns, e.ts_ns + e.dur_ns)
+                 for e in trace if e.kind == "stall"]
+        assert ("pod_uplink_queue", ser, 2 * ser) in spans
 
 
 class TestLatency:

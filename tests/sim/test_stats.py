@@ -1,5 +1,7 @@
 """Tests for the statistics registry."""
 
+import pytest
+
 from repro.sim import StatRegistry
 
 
@@ -84,6 +86,44 @@ class TestAccumulator:
         drop = stats.accumulator("drop")
         drop.add(1.0)
         assert drop.samples == []
+
+
+class TestPercentiles:
+    def _acc(self, *values):
+        acc = StatRegistry().accumulator("lat", keep_samples=True)
+        for value in values:
+            acc.add(value)
+        return acc
+
+    def test_empty_percentile_is_zero(self):
+        assert self._acc().percentile(99.0) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        acc = self._acc(7.0)
+        assert acc.p50 == acc.p95 == acc.p99 == 7.0
+
+    def test_linear_interpolation_between_closest_ranks(self):
+        # numpy's default method: rank = q/100 * (n-1), interpolated.
+        acc = self._acc(40.0, 10.0, 30.0, 20.0)   # order must not matter
+        assert acc.percentile(0.0) == 10.0
+        assert acc.percentile(100.0) == 40.0
+        assert acc.p50 == pytest.approx(25.0)
+        assert acc.percentile(25.0) == pytest.approx(17.5)
+
+    def test_tail_orders_correctly(self):
+        acc = self._acc(*[1.0] * 99, 1000.0)
+        assert acc.p50 == 1.0
+        assert acc.p99 > acc.p95 >= acc.p50
+
+    def test_as_dict_exports_percentiles_only_with_samples(self):
+        stats = StatRegistry()
+        stats.accumulator("kept", keep_samples=True).add(2.0)
+        stats.accumulator("dropped").add(2.0)
+        flattened = stats.as_dict()
+        assert flattened["kept.p50"] == 2.0
+        assert flattened["kept.p95"] == 2.0
+        assert flattened["kept.p99"] == 2.0
+        assert "dropped.p50" not in flattened
 
 
 class TestViews:

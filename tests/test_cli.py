@@ -39,6 +39,33 @@ class TestCli:
         assert "fanout" in out
 
 
+class TestScaleCli:
+    def test_quick_sweep_writes_a_valid_run_table(self, tmp_path, capsys):
+        from repro.harness import validate_run_table
+        out = tmp_path / "scale"
+        assert main(["scale", "--quick", "--reps", "1", "--no-cache",
+                     "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "crossover" in stdout
+        assert "run_table.csv" in stdout
+        # 2 protocols x 3 sizes x 2 loads x 1 rep, all schema-valid.
+        assert validate_run_table(out / "run_table.csv") == 12
+        assert (out / "run_table.columns.md").exists()
+
+    def test_bad_reps_value_fails(self, capsys):
+        assert main(["scale", "--reps", "zero"]) == 2
+        assert "--reps" in capsys.readouterr().out
+
+    def test_rejects_positional_arguments(self, capsys):
+        assert main(["scale", "--quick", "bogus"]) == 2
+        assert "positional" in capsys.readouterr().out
+
+    def test_help_documents_scale_options(self, capsys):
+        main(["--help"])
+        out = capsys.readouterr().out
+        assert "scale" in out and "--reps" in out
+
+
 class TestExecutorFlags:
     def test_bad_jobs_value_fails(self, capsys):
         assert main(["--jobs", "zero", "fig9"]) == 2

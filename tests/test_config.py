@@ -66,6 +66,24 @@ class TestSystemConfig:
         with pytest.raises(ValueError):
             SystemConfig(cores_per_host=10, mesh_dims=(2, 4))
 
+    def test_scaled_mesh_is_near_square(self):
+        """Regression: ``scaled()`` used to force a 1xN row mesh, making
+        edge walks — and every inter-host message's on-mesh latency — grow
+        linearly with core count instead of with sqrt(cores)."""
+        dims = {c: SystemConfig().scaled(2, c).mesh_dims
+                for c in (1, 2, 4, 8, 12, 16)}
+        assert dims == {1: (1, 1), 2: (1, 2), 4: (2, 2), 8: (2, 4),
+                        12: (3, 4), 16: (4, 4)}
+
+    def test_scaled_mesh_of_prime_core_count_stays_a_row(self):
+        assert SystemConfig().scaled(2, 7).mesh_dims == (1, 7)
+
+    def test_scaled_mesh_always_fits_cores(self):
+        for cores in range(1, 20):
+            config = SystemConfig().scaled(2, cores)
+            rows, cols = config.mesh_dims
+            assert rows * cols == cores
+
 
 class TestCordConfig:
     def test_moduli(self):

@@ -242,6 +242,76 @@ class TestFaultWaitAccounting:
 
 
 # ---------------------------------------------------------------------------
+# Duplicates pass through the same fault holds as first transmissions
+# ---------------------------------------------------------------------------
+def _delivery_times(plan):
+    """A two-host fabric that records every delivery time at ``dst``."""
+    sim, stats = Simulator(), StatRegistry()
+    config = default_config(CXL, hosts=2, cores_per_host=1)
+    injector = FaultInjector(plan, sim, stats)
+    network = Network(sim, config, stats, faults=injector)
+    src = NodeId.core(0, 0)
+    dst = NodeId.directory(1, 1)
+    times = []
+    network.register(dst, lambda message: times.append(sim.now))
+    return network, src, dst, times
+
+
+class TestDuplicateFaultHolds:
+    def test_duplicate_respects_straddling_stall_window(self):
+        """Regression: a fault-injected duplicate used to bypass the
+        destination's stall windows entirely — with a window opening after
+        the original's arrival but before the duplicate's, the duplicate
+        was delivered *inside* the window its original would have been
+        held out of."""
+        probe = FaultPlan(duplicate=DuplicateSpec(rate=1.0, delay_ns=5.0))
+        network, src, dst, _times = _delivery_times(probe)
+        ser = network.config.interconnect.serialization_ns(640)
+        latency = network.topology.latency_ns(src, dst)
+        orig_arrival = ser + latency
+        unheld_dup_arrival = max(2 * ser + latency, orig_arrival + 5.0)
+
+        # Window straddles the duplicate: opens just after the original
+        # lands, closes well past the duplicate's unheld arrival.
+        window = StallSpec(start_ns=orig_arrival + 0.25,
+                           duration_ns=unheld_dup_arrival + 100.0)
+        plan = dataclasses.replace(probe, stalls=(window,))
+        network, src, dst, times = _delivery_times(plan)
+        first = network.send(_cross_msg(src, dst))
+        network.sim.run()
+
+        assert first == pytest.approx(orig_arrival)   # original: unheld
+        window_end = window.start_ns + window.duration_ns
+        assert times == [pytest.approx(orig_arrival),
+                         pytest.approx(window_end)]
+
+    def test_duplicate_pays_retry_latency(self):
+        """Regression: the duplicate is a real second transmission, so it
+        is exposed to transient loss like the original — it used to skip
+        the retry delay entirely."""
+        plan = FaultPlan(
+            # rate=1.0 makes the geometric retry chain deterministic:
+            # every transmission pays max_retries * retransmit_ns.
+            drop=DropSpec(rate=1.0, retransmit_ns=40.0, max_retries=2),
+            duplicate=DuplicateSpec(rate=1.0, delay_ns=5.0),
+        )
+        network, src, dst, times = _delivery_times(plan)
+        ser = network.config.interconnect.serialization_ns(640)
+        latency = network.topology.latency_ns(src, dst)
+        retry = 2 * 40.0
+        arrival = network.send(_cross_msg(src, dst))
+        network.sim.run()
+
+        assert arrival == pytest.approx(ser + latency + retry)
+        # Duplicate: queues behind the original on the egress port, then
+        # chains from the original's (retried) arrival and pays its own
+        # retry delay on top.
+        expected_dup = max(2 * ser + latency, arrival + 5.0) + retry
+        assert times == [pytest.approx(arrival),
+                         pytest.approx(expected_dup)]
+
+
+# ---------------------------------------------------------------------------
 # Fault-enabled litmus sweeps (safety + deadlock freedom under adversity)
 # ---------------------------------------------------------------------------
 class TestFaultSweep:
@@ -264,6 +334,21 @@ class TestFaultSweep:
         report = fault_sweep(tests, protocol="so",
                              faults="stall+degrade", runs=1)
         assert report.passed
+
+    def test_two_pod_config_passes_under_drop_dup_flap(self):
+        """Safety holds when fault-held (and duplicated) messages also
+        traverse the contended pod uplink/downlink tier: one host per
+        pod, so every cross-host message crosses pods."""
+        config = default_config(CXL, hosts=2, cores_per_host=1).with_pods(2)
+        tests = [t for t in classic_tests()
+                 if t.threads == 2
+                 and max(t.locations.values(), default=0) < 2][:4]
+        assert tests
+        report = fault_sweep(tests, protocol="cord",
+                             faults="drop+dup+flap", runs=2, config=config)
+        assert report.passed, (report.forbidden_hits, report.violations,
+                               report.deadlocks)
+        assert report.faults_injected > 0
 
 
 # ---------------------------------------------------------------------------

@@ -49,6 +49,19 @@ BASKET = [
     for faults in (None, FAULTS)
 ]
 
+#: Multi-pod coverage: the two-level fabric (pod uplink/downlink
+#: contention, inter-pod latency tier) takes code paths the pods=1
+#: basket never touches, with and without fault injection.
+POD_BASKET = [
+    (f"{protocol}+pods2{'+faults' if faults else ''}",
+     RunSpec(kind="app", protocol=protocol, workload=APPLICATIONS["CR"],
+             config=default_config(CXL).with_pods(2), seed=0, faults=faults,
+             experiment="hash-basket"))
+    for protocol in ("cord", "so")
+    for faults in (None, FAULTS)
+]
+BASKET = BASKET + POD_BASKET
+
 
 def _expected() -> dict:
     if not EXPECTED_PATH.exists():
@@ -64,7 +77,8 @@ class TestStateHashBasket:
         if os.environ.get("REPRO_UPDATE_HASHES"):
             pytest.skip("regenerating expected hashes")
         labels = [label for label, _spec in BASKET]
-        assert len(labels) == len(set(labels)) == 2 * len(PROTOCOLS)
+        assert (len(labels) == len(set(labels))
+                == 2 * len(PROTOCOLS) + len(POD_BASKET))
         assert set(_expected()) == set(labels)
 
     @pytest.mark.parametrize(

@@ -1,0 +1,117 @@
+"""Tests for the open-loop load generator (scale experiment workload)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.consistency import OpKind, Ordering
+from repro.protocols.machine import Machine
+from repro.workloads import OpenLoopSpec, build_openloop_programs
+from repro.workloads.base import consumer_core, producer_core
+from repro.workloads.openloop import (
+    DELIVERY_LATENCY_STAT,
+    SOURCE_LATENCY_STAT,
+    arrival_schedule,
+)
+
+CONFIG = SystemConfig().scaled(hosts=2, cores_per_host=2)
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = OpenLoopSpec()
+        assert spec.arrival == "poisson"
+        assert spec.request_bytes == 4 * 64
+        assert spec.sampled_requests == spec.requests - spec.warmup
+
+    def test_rejects_unknown_arrival_process(self):
+        with pytest.raises(ValueError):
+            OpenLoopSpec(arrival="bursty")
+
+    def test_rejects_non_positive_interarrival(self):
+        with pytest.raises(ValueError):
+            OpenLoopSpec(interarrival_ns=0.0)
+
+    def test_rejects_warmup_swallowing_every_request(self):
+        with pytest.raises(ValueError):
+            OpenLoopSpec(requests=4, warmup=4)
+
+
+class TestSchedule:
+    def test_deterministic_in_seed_and_host(self):
+        spec = OpenLoopSpec(requests=16, seed=3)
+        assert arrival_schedule(spec, 0) == arrival_schedule(spec, 0)
+        assert arrival_schedule(spec, 0) != arrival_schedule(spec, 1)
+        reseeded = OpenLoopSpec(requests=16, seed=4)
+        assert arrival_schedule(spec, 0) != arrival_schedule(reseeded, 0)
+
+    def test_deterministic_arrival_is_evenly_spaced(self):
+        spec = OpenLoopSpec(arrival="deterministic", interarrival_ns=500.0,
+                            requests=4)
+        assert arrival_schedule(spec, 0) == [500.0, 1000.0, 1500.0, 2000.0]
+
+    def test_poisson_mean_gap_tracks_interarrival(self):
+        spec = OpenLoopSpec(interarrival_ns=1_000.0, requests=2_000)
+        times = arrival_schedule(spec, 0)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1_000.0, rel=0.1)
+
+    def test_arrivals_strictly_increase(self):
+        times = arrival_schedule(OpenLoopSpec(requests=64), 0)
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestPrograms:
+    def test_needs_a_consumer_core(self):
+        single = SystemConfig().scaled(hosts=2, cores_per_host=1)
+        with pytest.raises(ValueError):
+            build_openloop_programs(OpenLoopSpec(), single)
+
+    def test_every_host_produces_and_consumes(self):
+        programs = build_openloop_programs(OpenLoopSpec(requests=4), CONFIG)
+        expected = set()
+        for host in range(CONFIG.hosts):
+            expected.add(producer_core(CONFIG, host))
+            expected.add(consumer_core(CONFIG, host))
+        assert set(programs) == expected
+
+    def test_producer_paces_requests_with_absolute_arrivals(self):
+        spec = OpenLoopSpec(requests=4)
+        programs = build_openloop_programs(spec, CONFIG)
+        producer = programs[producer_core(CONFIG, 0)]
+        waits = [op.meta["until_ns"] for op in producer.ops
+                 if op.kind is OpKind.COMPUTE and "until_ns" in op.meta]
+        assert waits == arrival_schedule(spec, 0)
+
+    def test_warmup_requests_are_not_sampled(self):
+        spec = OpenLoopSpec(requests=5, warmup=2)
+        programs = build_openloop_programs(spec, CONFIG)
+        producer = programs[producer_core(CONFIG, 0)]
+        releases = [op for op in producer.ops
+                    if op.is_store and op.ordering is Ordering.RELEASE]
+        assert len(releases) == spec.requests
+        sampled = [op for op in releases if "sample_ns" in op.meta]
+        assert len(sampled) == spec.sampled_requests
+        assert all(op.meta["sample_ns"][0] == SOURCE_LATENCY_STAT
+                   for op in sampled)
+
+    def test_programs_end_with_drain_fence(self):
+        programs = build_openloop_programs(OpenLoopSpec(requests=3), CONFIG)
+        assert all(program.ops[-1].kind is OpKind.FENCE
+                   for program in programs.values())
+
+
+class TestEndToEnd:
+    def test_latency_distributions_are_sampled_and_exported(self):
+        spec = OpenLoopSpec(requests=8, warmup=2, interarrival_ns=1_000.0)
+        machine = Machine(CONFIG, protocol="cord")
+        result = machine.run(build_openloop_programs(spec, CONFIG))
+        stats = result.stats.as_dict()
+        sampled = CONFIG.hosts * spec.sampled_requests
+        for name in (SOURCE_LATENCY_STAT, DELIVERY_LATENCY_STAT):
+            assert stats[f"{name}.count"] == sampled
+            assert (stats[f"{name}.p99"] >= stats[f"{name}.p95"]
+                    >= stats[f"{name}.p50"] > 0)
+        # End-to-end visibility costs at least a host crossing more than
+        # local release retirement.
+        assert (stats[f"{DELIVERY_LATENCY_STAT}.mean"]
+                > stats[f"{SOURCE_LATENCY_STAT}.mean"])
