@@ -135,7 +135,7 @@ def _run_litmus(executor: Optional[Executor] = None) -> None:
 def _run_fault_litmus(faults) -> int:
     from repro.litmus import fault_sweep
     failed = False
-    for protocol in ("cord", "so", "mp"):
+    for protocol in ("cord", "so", "mp", "tardis"):
         report = fault_sweep(protocol=protocol, faults=faults)
         status = "PASSED" if report.passed else "FAILED"
         print(f"fault litmus sweep [{protocol}]: {len(report.tests)} tests "

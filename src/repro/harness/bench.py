@@ -126,6 +126,26 @@ def _micro_runner(quick: bool) -> Callable[[], Tuple[int, float]]:
     return run
 
 
+def _micro_tardis_runner(quick: bool) -> Callable[[], Tuple[int, float]]:
+    # The same 1 MB kernel point under the table-native tardis backend:
+    # timestamp bookkeeping (lease grants, pts bumps, per-core commit
+    # gating) rides the hot path, so this point catches regressions the
+    # cord point can't see.
+    spec = RunSpec(
+        kind="micro", protocol="tardis",
+        workload=MicroSpec(store_granularity=64, sync_granularity=1024,
+                           fanout=1, total_bytes=1024 * 1024),
+        config=default_config(CXL, hosts=2, cores_per_host=1),
+        seed=0, experiment="bench",
+    )
+
+    def run() -> Tuple[int, float]:
+        record = _execute_spec(spec)
+        return record.events, record.time_ns
+
+    return run
+
+
 def _fig2_runner(quick: bool) -> Callable[[], Tuple[int, float]]:
     # The Fig. 2 CXL point: the CR application under the source-ordered
     # baseline (the protocol Fig. 2 characterizes), scaled-down Table 1.
@@ -230,6 +250,7 @@ def bench_points(quick: bool = False) -> List[Tuple[str, Callable[[], Tuple[int,
     """
     return [
         ("micro.kernel", _micro_runner(quick)),
+        ("micro.tardis", _micro_tardis_runner(quick)),
         ("fig2.cxl", _fig2_runner(quick)),
         ("litmus.classic", _litmus_runner(quick)),
         ("modelcheck", _modelcheck_runner(quick)),

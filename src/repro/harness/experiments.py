@@ -587,7 +587,7 @@ def fig12_storage_breakdown(
 # ---------------------------------------------------------------------------
 # Resilience — protocol behaviour under injected transport adversity
 # ---------------------------------------------------------------------------
-_RESILIENCE_PROTOCOLS = ("so", "cord", "mp")
+_RESILIENCE_PROTOCOLS = ("so", "cord", "mp", "tardis")
 
 
 def resilience_sweep(
@@ -603,7 +603,9 @@ def resilience_sweep(
     answer "how gracefully does each ordering scheme absorb transport
     adversity" rather than re-ranking the protocols.  SO pays on every
     store (each WT ack round-trip eats the retransmit latency), CORD on
-    release edges, MP only on delivery — the sweep quantifies that.
+    release edges, MP only on delivery, Tardis only on lease-miss read
+    round trips (stores and fences are ack-free) — the sweep quantifies
+    that.
     """
     executor = executor or default_executor()
     spec = MicroSpec(

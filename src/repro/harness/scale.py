@@ -52,8 +52,8 @@ FULL_SIZES: Tuple[Tuple[int, int], ...] = (
 #: CI / --quick topology points (still >= 3 sizes, incl. one multi-pod).
 QUICK_SIZES: Tuple[Tuple[int, int], ...] = ((2, 1), (4, 1), (8, 2))
 
-FULL_PROTOCOLS = ("mp", "cord", "so")
-QUICK_PROTOCOLS = ("cord", "so")
+FULL_PROTOCOLS = ("mp", "cord", "so", "tardis")
+QUICK_PROTOCOLS = ("cord", "so", "tardis")
 
 #: Mean per-producer interarrival times (ns); offered load rises to the
 #: right.  The quick grid keeps two points (>= 2 load points).
@@ -76,7 +76,11 @@ RUN_TABLE_COLUMNS: Dict[str, str] = {
     "offered_rps_per_host": "Offered load per producer (requests/s).",
     "rep": "Repetition index (varies machine + arrival seeds).",
     "requests": "Requests issued across all producers.",
-    "sampled": "Latency samples per distribution (warmup excluded).",
+    "sampled": ("Latency samples per distribution (warmup excluded).  "
+                "A never-sampled distribution exports no percentile "
+                "stats at all — its p50/p95/p99 columns would read 0.0 "
+                "only through the stat-missing fallback, which "
+                "validate_run_table rejects."),
     "sim_time_ns": "Last core finish time (ns).",
     "quiesce_ns": "Simulated time once all traffic drained (ns).",
     "throughput_rps": "Completed requests per second of simulated time.",
@@ -294,7 +298,11 @@ def validate_run_table(path: Union[str, Path]) -> int:
 
     Checks the header matches :data:`RUN_TABLE_COLUMNS` exactly, every
     row parses to the expected types, and the latency percentiles are
-    populated (p99 >= p95 >= p50 > 0).  Returns the row count.
+    populated (p99 >= p95 >= p50 > 0).  A never-sampled latency
+    distribution exports no percentile keys (:meth:`StatRegistry.as_dict`)
+    and surfaces here as 0.0 via ``RunRecord.stat``'s default — caught by
+    the ``> 0`` bound rather than masquerading as a measured zero.
+    Returns the row count.
     """
     import csv
 
@@ -316,8 +324,9 @@ def validate_run_table(path: Union[str, Path]) -> int:
             p99 = row[f"{prefix}_p99_ns"]
             if not (p99 >= p95 >= p50 > 0):
                 raise ValueError(
-                    f"row {index}: {prefix} percentiles unpopulated or "
-                    f"non-monotonic (p50={p50}, p95={p95}, p99={p99})"
+                    f"row {index}: {prefix} percentiles unpopulated "
+                    f"(never-sampled distributions export no percentiles) "
+                    f"or non-monotonic (p50={p50}, p95={p95}, p99={p99})"
                 )
         if row["sampled"] <= 0 or row["requests"] <= 0:
             raise ValueError(f"row {index}: no sampled requests")
@@ -337,9 +346,16 @@ def crossover_report(
     Repetitions are averaged per (protocol, hosts, pods, load) point;
     for every non-baseline protocol and load the report walks system
     sizes in order and names the smallest size where the protocol's
-    ``metric`` exceeds the baseline's (``crossover_hosts``; empty when
-    the curves never cross), plus the ratio at the smallest and largest
-    size — the shape of the scaling gap the paper plots.
+    ``metric`` exceeds the baseline's (``crossover_size``, of the form
+    ``"<hosts>x<pods>"``; empty when the curves never cross), plus the
+    ratio at the smallest and largest size — the shape of the scaling
+    gap the paper plots.
+
+    Sizes are identified by the full (hosts, pods) pair throughout: a
+    sweep that revisits a host count at a different pod count (say 8x1
+    and 8x2) keeps both points distinct — keying by host count alone
+    used to collide their ratio columns, silently dropping one and
+    misattributing the crossover.
     """
     averaged: Dict[Tuple[str, int, int, float], float] = {}
     counts: Dict[Tuple[str, int, int, float], int] = {}
@@ -360,26 +376,29 @@ def crossover_report(
         if protocol == baseline:
             continue
         for load in loads:
-            ratios: List[Tuple[int, float]] = []
+            ratios: List[Tuple[Tuple[int, int], float]] = []
             for hosts, pods in sizes:
                 value = averaged.get((protocol, hosts, pods, load))
                 base = averaged.get((baseline, hosts, pods, load))
                 if value is None or base is None or base <= 0:
                     continue
-                ratios.append((hosts, value / base))
+                ratios.append(((hosts, pods), value / base))
             if not ratios:
                 continue
             crossover = next(
-                (hosts for hosts, ratio in ratios if ratio > 1.0), None
+                (size for size, ratio in ratios if ratio > 1.0), None
             )
+            (first_h, first_p), first_ratio = ratios[0]
+            (last_h, last_p), last_ratio = ratios[-1]
             report.append({
                 "protocol": protocol,
                 "baseline": baseline,
                 "metric": metric,
                 "interarrival_ns": load,
-                f"ratio_at_{ratios[0][0]}_hosts": ratios[0][1],
-                f"ratio_at_{ratios[-1][0]}_hosts": ratios[-1][1],
-                "crossover_hosts": "" if crossover is None else crossover,
+                f"ratio_at_{first_h}h{first_p}p": first_ratio,
+                f"ratio_at_{last_h}h{last_p}p": last_ratio,
+                "crossover_size": ""
+                if crossover is None else f"{crossover[0]}x{crossover[1]}",
             })
     return report
 

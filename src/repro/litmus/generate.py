@@ -113,7 +113,7 @@ def generated_suite(
     count: int = 32,
     seed: int = 0,
     params: GeneratorParams = GeneratorParams(),
-    protocols: Tuple[str, ...] = ("cord", "so"),
+    protocols: Tuple[str, ...] = ("cord", "so", "tardis"),
 ) -> List[CaseSpec]:
     """``count`` generated tests × ``protocols`` as suite cases, seeded
     ``seed .. seed+count-1``."""

@@ -732,7 +732,9 @@ class ModelChecker:
         Drive successor generation from the declarative transition
         tables in :mod:`repro.protocols.spec` — the same table objects
         the timed interpreter executes — for every protocol that has one
-        (``so``, ``cord``, ``seq<k>``; MP stays on the inline path).
+        (``so``, ``cord``, ``seq<k>``, ``tardis``; MP stays on the
+        inline path).  ``tardis`` is table-native and keeps its spec
+        even under the legacy toggle — it has no inline model.
         ``None`` (the default) follows the ``REPRO_LEGACY_PROTOCOLS``
         environment toggle, matching the timed factory.  Table and
         legacy exploration produce identical states, transitions and
@@ -790,9 +792,12 @@ class ModelChecker:
             use_tables = not legacy_protocols_enabled()
         self.use_tables = bool(use_tables)
         # Per-core transition table (None -> legacy inline path: MP, or
-        # everything under --legacy-protocols).
+        # everything under --legacy-protocols).  Tardis is forced onto
+        # its spec even in legacy mode: it has no inline model.
         self._specs = [
-            get_spec(proto) if (self.use_tables and has_spec(proto)) else None
+            get_spec(proto)
+            if ((self.use_tables or proto == "tardis") and has_spec(proto))
+            else None
             for proto in self.core_protocols
         ]
         self._so_spec = get_spec("so")  # mixed-mode ``via: so`` carriers
@@ -1105,11 +1110,15 @@ class ModelChecker:
             core.pc += 1
             return
         if op.kind is OpKind.FENCE:
-            # SO/MP/SEQ fences carry no directory metadata: they gate in
-            # ``_core_enabled`` (SO/SEQ drain their outstanding stores; MP
-            # orders nothing) and then simply advance.  Only CORD fences
-            # issue barrier Releases below.
+            # SO/MP/SEQ/Tardis fences carry no directory metadata: they
+            # gate in ``_core_enabled`` (SO/SEQ drain their outstanding
+            # stores; MP and Tardis order nothing here — Tardis commits
+            # strictly in order, so its fences are free) and then simply
+            # advance.  Only CORD fences issue barrier Releases below.
+            fence_spec = self._specs[core_index]
             if (not op.ordering.is_release
+                    or (fence_spec is not None
+                        and not fence_spec.fence.barrier_broadcast)
                     or proto in ("so", "mp")
                     or proto.startswith("seq")):
                 core.pc += 1

@@ -210,6 +210,7 @@ class CorePort(abc.ABC):
                 "atomic": op.meta["atomic"],
                 "compare": op.meta.get("compare"),
                 "cord_meta": op.meta.get("cord_meta"),
+                "seq": op.meta.get("seq"),
                 "req_id": req_id,
             },
         ))

@@ -59,11 +59,11 @@ __all__ = [
     "G_CORD_RELAXED", "G_SEQ_WINDOW",
     # action opcodes
     "A_CALL", "A_SO_STORE", "A_CORD_RELAXED", "A_CORD_RELEASE",
-    "A_SEQ_STORE", "A_MP_POSTED",
+    "A_SEQ_STORE", "A_MP_POSTED", "A_TARDIS_STORE",
     # delivery opcodes
     "D_CALL", "D_WT_STORE", "D_SO_ACK", "D_WT_RLX", "D_WT_REL",
     "D_REQ_NOTIFY", "D_NOTIFY", "D_REL_ACK", "D_SEQ_STORE", "D_SEQ_FLUSH",
-    "D_SEQ_FLUSH_ACK", "D_POSTED",
+    "D_SEQ_FLUSH_ACK", "D_POSTED", "D_TARDIS_STORE",
 ]
 
 
@@ -85,6 +85,7 @@ A_CORD_RELAXED = 2    # on_relaxed_store; emit wt_rlx
 A_CORD_RELEASE = 3    # on_release_store; emit req_notify*, wt_rel
 A_SEQ_STORE = 4       # seq counters; emit seq_store
 A_MP_POSTED = 5       # emit posted (no state)
+A_TARDIS_STORE = 6    # seq counters; emit tardis_store (+ lease pop)
 
 # Delivery opcodes: guard + effect of one consumed message.
 D_CALL = 0
@@ -99,6 +100,7 @@ D_SEQ_STORE = 8       # machine-global commit gate; commit + board
 D_SEQ_FLUSH = 9       # watermark gate; flush-ack reply
 D_SEQ_FLUSH_ACK = 10  # core: watermark advance + wake
 D_POSTED = 11         # commit only (MP posted writes)
+D_TARDIS_STORE = 12   # per-core in-order gate; commit + ts bump + board
 
 
 def _known_guards() -> Dict[Any, int]:
@@ -109,6 +111,8 @@ def _known_guards() -> Dict[Any, int]:
         _spec_mod._so_guard: G_SO_OUTSTANDING,
         _spec_mod._cord_release_guard: G_CORD_RELEASE,
         _spec_mod._cord_relaxed_guard: G_CORD_RELAXED,
+        _spec_mod._tardis_ordered_guard: G_TRUE,
+        _spec_mod._tardis_relaxed_guard: G_TRUE,
     }
 
 
@@ -119,6 +123,7 @@ def _known_actions() -> Dict[Any, int]:
         _spec_mod._cord_issue_release: A_CORD_RELEASE,
         _spec_mod._seq_issue: A_SEQ_STORE,
         _spec_mod._mp_issue: A_MP_POSTED,
+        _spec_mod._tardis_issue: A_TARDIS_STORE,
     }
 
 
@@ -135,6 +140,7 @@ def _known_deliveries() -> Dict[Any, int]:
         _spec_mod._seq_flush_effect: D_SEQ_FLUSH,
         _spec_mod._seq_flush_ack_effect: D_SEQ_FLUSH_ACK,
         _spec_mod._posted_effect: D_POSTED,
+        _spec_mod._tardis_store_effect: D_TARDIS_STORE,
     }
 
 

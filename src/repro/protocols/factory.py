@@ -10,14 +10,19 @@ helpers):
 * ``"mp"``   — message passing / posted writes (§3.2)
 * ``"wb"``   — source-ordered write-back MESI
 * ``"seq<k>"`` — monolithic k-bit sequence numbers (e.g. ``seq8``, ``seq40``)
+* ``"tardis"`` — timestamp-counter coherence (lease-based reads, no
+  invalidations or ack collection; Yu & Devadas' Tardis adapted to the
+  write-through directory setting)
 
-``so``, ``cord``, ``mp`` and ``seq<k>`` resolve to the *table-driven*
-interpreter (:mod:`repro.protocols.table` running the compiled
-:mod:`repro.protocols.spec` transition tables — the same tables the model
-checker executes) and ``wb`` resolves through its spec's declared actor
-pair, unless the ``REPRO_LEGACY_PROTOCOLS`` environment variable is set
-(CLI: ``--legacy-protocols``), which restores the hand-written coroutine
-actors.  Only the ``cord-nonotify`` ablation remains legacy-only.
+``so``, ``cord``, ``mp``, ``seq<k>`` and ``tardis`` resolve to the
+*table-driven* interpreter (:mod:`repro.protocols.table` running the
+compiled :mod:`repro.protocols.spec` transition tables — the same tables
+the model checker executes) and ``wb`` resolves through its spec's
+declared actor pair, unless the ``REPRO_LEGACY_PROTOCOLS`` environment
+variable is set (CLI: ``--legacy-protocols``), which restores the
+hand-written coroutine actors.  ``tardis`` is table-native: it has no
+legacy actor pair, so the toggle leaves it on the tables.  Only the
+``cord-nonotify`` ablation remains legacy-only.
 """
 
 from __future__ import annotations
@@ -49,6 +54,10 @@ _STATIC = {
     "wb": (WbCorePort, WbDirectory),
 }
 
+#: Protocols born on the transition tables — no legacy actors exist, so
+#: the ``REPRO_LEGACY_PROTOCOLS`` toggle does not apply to them.
+_TABLE_ONLY = ("tardis",)
+
 _SEQ_PATTERN = re.compile(r"^seq(\d+)$")
 
 #: Environment toggle for the legacy (non-table) actor implementations.
@@ -73,7 +82,7 @@ def protocol_classes(name: str,
     deep inside actor construction.
     """
     match = _SEQ_PATTERN.match(name)
-    if name not in _STATIC and not match:
+    if name not in _STATIC and name not in _TABLE_ONLY and not match:
         raise ValueError(
             f"unknown protocol {name!r}; choose from {available_protocols()}"
         )
@@ -83,6 +92,8 @@ def protocol_classes(name: str,
             raise ValueError(f"seq bit-width out of range: {bits}")
     if legacy is None:
         legacy = legacy_protocols_enabled()
+    if name in _TABLE_ONLY:
+        legacy = False           # table-native: no legacy actors exist
     if not legacy:
         from repro.protocols.spec import get_spec, has_spec
 
@@ -100,7 +111,7 @@ def protocol_classes(name: str,
 
 
 def available_protocols() -> Tuple[str, ...]:
-    return tuple(_STATIC) + ("seq<k>",)
+    return tuple(_STATIC) + _TABLE_ONLY + ("seq<k>",)
 
 
 def checkable_protocols() -> Tuple[str, ...]:
@@ -109,13 +120,13 @@ def checkable_protocols() -> Tuple[str, ...]:
     ``wb`` (cache-state machine) and the ``cord-nonotify`` ablation are
     timed-only.
     """
-    return ("so", "cord", "mp", "seq<k>")
+    return ("so", "cord", "mp", "seq<k>", "tardis")
 
 
 def validate_checkable_protocol(name: str) -> None:
     """Raise a clear :class:`ValueError` if ``name`` cannot be model
     checked (previously an ``AttributeError`` deep inside exploration)."""
-    if name in ("so", "cord", "mp"):
+    if name in ("so", "cord", "mp", "tardis"):
         return
     match = _SEQ_PATTERN.match(name)
     if match:

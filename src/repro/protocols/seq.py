@@ -42,6 +42,11 @@ class SeqCommitBoard:
     def __init__(self, sim) -> None:
         self.sim = sim
         self.committed: Dict[int, int] = {}
+        #: Per-processor logical clocks (Tardis pts): the timestamp of the
+        #: latest event each processor has observed.  Monotone — reads and
+        #: commits only ever raise them — which is what makes stale lease
+        #: hits provably checker-reachable (DESIGN.md).
+        self.proc_ts: Dict[int, int] = {}
         self._subscribers: List[Tuple[object, Callable[[], None]]] = []
 
     def subscribe(self, origin: object,
@@ -50,6 +55,13 @@ class SeqCommitBoard:
 
     def count(self, proc: int) -> int:
         return self.committed.get(proc, 0)
+
+    def pts(self, proc: int) -> int:
+        return self.proc_ts.get(proc, 0)
+
+    def bump_pts(self, proc: int, ts: int) -> None:
+        if ts > self.proc_ts.get(proc, 0):
+            self.proc_ts[proc] = ts
 
     def commit(self, proc: int, origin: object = None) -> None:
         self.committed[proc] = self.committed.get(proc, 0) + 1

@@ -37,6 +37,7 @@ from repro.protocols.compile import (
     A_MP_POSTED,
     A_SEQ_STORE,
     A_SO_STORE,
+    A_TARDIS_STORE,
     CompiledIssue,
     D_CALL,
     D_NOTIFY,
@@ -47,12 +48,14 @@ from repro.protocols.compile import (
     D_SEQ_FLUSH_ACK,
     D_SEQ_STORE,
     D_SO_ACK,
+    D_TARDIS_STORE,
     D_WT_REL,
     D_WT_RLX,
     D_WT_STORE,
     compile_spec,
 )
 from repro.protocols.spec import (
+    TARDIS_LEASE,
     DeliveryContext,
     Emit,
     ProtocolSpec,
@@ -192,6 +195,8 @@ class TableCorePort(CorePort):
         self.seq_next = 0
         self.seq_watermark = 0
         self.seq_outstanding = 0
+        #: Tardis-only state; ``None`` doubles as the is-tardis flag.
+        self._tardis_lease: Optional[Dict[int, Tuple[Any, int]]] = None
         if spec.core_state == "cord":
             self.cord = CordProcessorState(core.core_id, self.config.cord)
             self.state = self.cord      # storage/diagnostics surface
@@ -205,6 +210,24 @@ class TableCorePort(CorePort):
                 )
         elif spec.core_state == "so":
             self.ack_signal = self.sim.signal(f"so_ack@core{core.core_id}")
+        elif spec.core_state == "tardis":
+            self.ack_signal = self.sim.signal(
+                f"tardis_ack@core{core.core_id}")
+            # Per-proc logical clocks (pts) live on the machine-global
+            # commit board: directory-side commits raise the issuing
+            # core's clock without an extra ack message.
+            self.board = self.machine.seq_board()
+            # addr -> (value, rts): leased read-only copies, readable
+            # while rts >= this core's pts.
+            self._tardis_lease = {}
+            # addr -> (value, seq): own stores still in flight, for
+            # read-own-write forwarding (dropped once committed).
+            self._tardis_fwd: Dict[int, Tuple[Any, int]] = {}
+            self._tardis_resp_ts: Optional[Tuple[int, int]] = None
+            self._lease_hits = self.machine.stats.counter(
+                "tardis.lease_hits")
+            self._lease_misses = self.machine.stats.counter(
+                "tardis.lease_misses")
         else:                           # seq
             self.flush_signal = self.sim.signal(
                 f"seq_flush@core{core.core_id}")
@@ -397,6 +420,25 @@ class TableCorePort(CorePort):
                          "seq": seq, "ordered": rule.ordered},
             ))
             return
+        if aop == A_TARDIS_STORE:
+            seq = self.seq_next
+            self.seq_next = seq + 1
+            self.seq_outstanding += 1
+            mid = rule.emit_mids[0]
+            self.network.send(Message(
+                src=self.node,
+                dst=self._dir_ids[dir_index],
+                msg_type=self._wire_names[mid],
+                size_bytes=self._data_bytes(mid, size),
+                control=self._msg_control[mid],
+                payload={"addr": addr, "value": value, "size": size,
+                         "values": values, "proc": self._cid,
+                         "program_index": program_index,
+                         "ordering": ordering,
+                         "seq": seq, "ordered": rule.ordered},
+            ))
+            self._tardis_note_store(addr, value, values, seq)
+            return
         if aop == A_CORD_RELEASE:
             # Alg. 1 lines 5-13: requests-for-notification fan out to
             # pending directories before the Release goes to its home.
@@ -431,12 +473,31 @@ class TableCorePort(CorePort):
                          "meta": issue.release, "barrier": barrier},
             ))
             return
-        for emit in rule.effects(self, dir_index, rule.ordered,
-                                 barrier=barrier):
+        emits = rule.effects(self, dir_index, rule.ordered, barrier=barrier)
+        for emit in emits:
             self._send_emit(emit, addr=addr, size=size, value=value,
                             program_index=program_index,
                             home_index=dir_index, ordering=ordering,
                             values=values, barrier=barrier)
+        if self._tardis_lease is not None and rule.op_class == "store":
+            # Interpreted mode: same lease/forward bookkeeping as the
+            # A_TARDIS_STORE fast path, keyed by the emitted seq.
+            self._tardis_note_store(addr, value, values,
+                                    emits[0].fields["seq"])
+
+    def _tardis_note_store(self, addr: int, value, values,
+                           seq: int) -> None:
+        """Issue-side Tardis bookkeeping: an own store supersedes any
+        lease on its line(s) and enters the read-own-write forward map
+        until the directory commits it (the board count passes ``seq``)."""
+        lease, fwd = self._tardis_lease, self._tardis_fwd
+        if values:
+            for a, v in values.items():
+                lease.pop(a, None)
+                fwd[a] = (v, seq)
+        else:
+            lease.pop(addr, None)
+            fwd[addr] = (value, seq)
 
     # ------------------------------------------------------------------
     # Stores
@@ -549,6 +610,65 @@ class TableCorePort(CorePort):
         self.stall(cause, self.sim.now - started)
 
     # ------------------------------------------------------------------
+    # Loads (Tardis leases; every other protocol uses the base path)
+    # ------------------------------------------------------------------
+    def load(self, op: MemOp, program_index: int) -> Generator:
+        lease = self._tardis_lease
+        if lease is None:
+            value = yield from super().load(op, program_index)
+            return value
+        if self.machine.consistency == "sc":
+            yield from self.sc_load_barrier()
+        if self._wc_enabled:
+            # Surface buffered own stores into the forward map first.
+            yield from self.wc_flush_line(op.addr)
+        acquire = op.ordering.is_acquire or self._always_ordered
+        if acquire:
+            # An acquire read observes current logical time: drop every
+            # lease so this read (and subsequent reads) go remote.
+            lease.clear()
+        board, cid = self.board, self._cid
+        fwd = self._tardis_fwd.get(op.addr)
+        if fwd is not None:
+            value, seq = fwd
+            if board.count(cid) <= seq:
+                return value        # read-own-write: store still in flight
+            del self._tardis_fwd[op.addr]
+        if not acquire:
+            entry = lease.get(op.addr)
+            if entry is not None:
+                value, rts = entry
+                pts = board.pts(cid)
+                if rts >= pts:
+                    # Tardis 2.0 self-increment: each hit advances pts,
+                    # so a grant serves at most TARDIS_LEASE hits before
+                    # the copy expires against the core's own clock.
+                    board.bump_pts(cid, pts + 1)
+                    self._lease_hits.add(1)
+                    return value
+                del lease[op.addr]
+        self._lease_misses.add(1)
+        value = yield from super().load(op, program_index)
+        ts = self._tardis_resp_ts
+        if ts is not None:
+            self._tardis_resp_ts = None
+            wts, rts = ts
+            # Observing the line pulls this core's clock up to the write
+            # timestamp — the transitive-causality edge that makes stale
+            # lease hits provably checker-reachable (DESIGN.md).
+            board.bump_pts(cid, wts)
+            lease[op.addr] = (value, rts)
+        return value
+
+    def _complete_load(self, message: Message) -> None:
+        if self._tardis_lease is not None and "wts" in message.payload:
+            # Lease grant riding the load response (atomic responses
+            # share the wire type but carry no timestamps).
+            payload = message.payload
+            self._tardis_resp_ts = (payload["wts"], payload["rts"])
+        super()._complete_load(message)
+
+    # ------------------------------------------------------------------
     # Atomics
     # ------------------------------------------------------------------
     def atomic(self, op: MemOp, program_index: int) -> Generator:
@@ -556,6 +676,13 @@ class TableCorePort(CorePort):
         ordered = self._ordered(op)
         rule = self._rule_atomic_t if ordered else self._rule_atomic_f
         home_index = self.home(op.addr).index
+        if self._tardis_lease is not None:
+            # An RMW synchronizes at the directory: drop the leases (the
+            # RMW observes and advances logical time — the directory
+            # bumps this core's pts at the commit) and the own-store
+            # forward for the line (the RMW result supersedes it).
+            self._tardis_lease.clear()
+            self._tardis_fwd.pop(op.addr, None)
         if rule.escape == "wait" and ordered:
             yield from self._wait_guard(rule, home_index)
         elif rule.escape == "barrier":
@@ -574,6 +701,9 @@ class TableCorePort(CorePort):
             meta = last.fields.get("meta")
             if meta is not None:            # CORD Relaxed RMW metadata
                 op.meta["cord_meta"] = meta
+            seq = last.fields.get("seq")
+            if seq is not None:             # Tardis: RMW rides the seq chain
+                op.meta["seq"] = seq
             old = yield from self._atomic_round_trip(op, program_index)
             return old
         # Release-ordered RMW through the ordered-store carrier (CORD):
@@ -616,6 +746,10 @@ class TableCorePort(CorePort):
     # Fences / drains
     # ------------------------------------------------------------------
     def fence(self, op: MemOp, program_index: int) -> Generator:
+        if self._tardis_lease is not None and op.ordering.is_acquire:
+            # Tardis acquire side: jump to current logical time by
+            # dropping the leases; the next read of each line goes remote.
+            self._tardis_lease.clear()
         fr = self.SPEC.fence
         if not op.ordering.is_release and not fr.timed_drain_on_acquire:
             return                          # acquire barriers are free (§4.4)
@@ -736,12 +870,20 @@ class TableDirectory(DirectoryNode):
                 node_id.index, machine.config.total_cores,
                 machine.config.cord)
         self.board = None
-        if spec.core_state == "seq":
+        if spec.core_state in ("seq", "tardis"):
             # Machine-global committed counts (divergence fix: the legacy
             # per-directory counts deadlock cross-directory releases).
             self.board = machine.seq_board()
             self.board.subscribe(self, self._progress)
             self.committed_count = self.board.committed
+        # Tardis per-line timestamps: write-ts and read-lease end, both
+        # directory-resident (no sharer lists, no invalidations).
+        self._tardis_wts: Optional[Dict[int, int]] = None
+        if spec.core_state == "tardis":
+            self._tardis_wts = {}
+            self._tardis_rts: Dict[int, int] = {}
+            self._lease_resp_bits = spec.messages["load_resp"].bit_width(
+                machine.config.cord)
         self._retry: Dict[str, List[Message]] = {
             name: [] for name in spec.retry_order
         }
@@ -754,6 +896,8 @@ class TableDirectory(DirectoryNode):
         if "seq_store" in self._retry:
             self._pending = self._retry["seq_store"]
             self._pending_flushes = self._retry["seq_flush"]
+        if "tardis_store" in self._retry:
+            self._pending = self._retry["tardis_store"]
         # Compiled dispatch mirrors the core port: per-mid wire constants
         # and delivery opcodes replace the per-message name lookups.
         compiled = compile_spec(spec)
@@ -791,7 +935,7 @@ class TableDirectory(DirectoryNode):
 
     def _fields(self, name: str, message: Message) -> Mapping[str, Any]:
         payload = message.payload
-        if name in ("seq_store", "seq_flush"):
+        if name in ("seq_store", "seq_flush", "tardis_store", "atomic"):
             # The wire names the issuing core "proc"; the table reads the
             # checker's canonical "core".
             fields = dict(payload)
@@ -915,6 +1059,17 @@ class TableDirectory(DirectoryNode):
                         self.commit_store(message)
                         board.commit(proc, origin=self)
                         changed = True
+                elif dop == D_TARDIS_STORE:
+                    board = self.board
+                    for message in list(queue):
+                        payload = message.payload
+                        proc = payload["proc"]
+                        if board.count(proc) < payload["seq"]:
+                            continue    # strict per-core in-order commit
+                        queue.remove(message)
+                        self.commit_store(message)
+                        board.commit(proc, origin=self)
+                        changed = True
                 elif dop == D_SEQ_FLUSH:
                     board = self.board
                     for message in list(queue):
@@ -945,6 +1100,74 @@ class TableDirectory(DirectoryNode):
             total += len(q)
         self._buffered_total = total
         self.track_buffered(total)
+
+    # ------------------------------------------------------------------
+    # Tardis timestamp machinery (timed-model only; no-ops elsewhere)
+    # ------------------------------------------------------------------
+    def commit_store(self, message: Message) -> None:
+        super().commit_store(message)
+        wts_map = self._tardis_wts
+        if wts_map is None:
+            return
+        # Commit point: the write lands strictly after every granted
+        # lease (max over rts) and after everything the writer has
+        # observed (max over its pts) — §Tardis write rule.
+        payload = message.payload
+        proc = payload["proc"]
+        rts_map = self._tardis_rts
+        board = self.board
+        ts = board.pts(proc)
+        values = payload.get("values")
+        for addr in (values if values else (payload["addr"],)):
+            ts = max(wts_map.get(addr, 0), rts_map.get(addr, 0), ts) + 1
+            wts_map[addr] = ts
+            rts_map[addr] = ts
+        board.bump_pts(proc, ts)
+
+    def perform_atomic(self, message: Message) -> int:
+        old = super().perform_atomic(message)
+        wts_map = self._tardis_wts
+        if wts_map is not None:
+            payload = message.payload
+            addr = payload["addr"]
+            proc = payload["proc"]
+            ts = max(wts_map.get(addr, 0), self._tardis_rts.get(addr, 0),
+                     self.board.pts(proc)) + 1
+            wts_map[addr] = ts
+            self._tardis_rts[addr] = ts
+            # Bumping the issuer's pts here (before the response leaves)
+            # threads causality through RMW chains without carrying any
+            # timestamp in the atomic response.
+            self.board.bump_pts(proc, ts)
+        return old
+
+    def on_load_req(self, message: Message) -> None:
+        wts_map = self._tardis_wts
+        if wts_map is None:
+            super().on_load_req(message)
+            return
+        # Lease grant: extend the line's read end-time and ship
+        # (value, wts, rts) back — two extra timestamps on the wire.
+        addr = message.payload["addr"]
+        self.llc.read_line(addr)
+        wts = wts_map.get(addr, 0)
+        rts = max(self._tardis_rts.get(addr, 0), wts + TARDIS_LEASE)
+        self._tardis_rts[addr] = rts
+        self.network.send(Message(
+            src=self.node_id,
+            dst=message.src,
+            msg_type="load_resp",
+            size_bytes=self.sizes.data_bytes(
+                message.payload.get("size", 8), self._lease_resp_bits),
+            control=False,
+            payload={
+                "req_id": message.payload["req_id"],
+                "value": self.read_value(addr),
+                "addr": addr,
+                "wts": wts,
+                "rts": rts,
+            },
+        ))
 
 
 # ---------------------------------------------------------------------------

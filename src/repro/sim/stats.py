@@ -83,16 +83,17 @@ class Accumulator:
     def samples(self) -> List[float]:
         return list(self._samples)
 
-    def percentile(self, q: float) -> float:
+    def percentile(self, q: float) -> Optional[float]:
         """The ``q``-th percentile (0-100) of the kept samples.
 
-        Linear interpolation between closest ranks (numpy's default
-        method).  Requires ``keep_samples``; returns 0.0 when no samples
-        were kept — matching the 0.0 the other exported aggregates report
-        for untouched accumulators.
+        Linear interpolation between the two closest ranks (numpy's
+        default ``"linear"`` method) — the one method implemented here.
+        Requires ``keep_samples``; returns ``None`` when no samples were
+        kept, so a never-sampled distribution is distinguishable from
+        one whose percentile is genuinely 0.0.
         """
         if not self._samples:
-            return 0.0
+            return None
         ordered = sorted(self._samples)
         if len(ordered) == 1:
             return ordered[0]
@@ -103,15 +104,15 @@ class Accumulator:
         return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
     @property
-    def p50(self) -> float:
+    def p50(self) -> Optional[float]:
         return self.percentile(50.0)
 
     @property
-    def p95(self) -> float:
+    def p95(self) -> Optional[float]:
         return self.percentile(95.0)
 
     @property
-    def p99(self) -> float:
+    def p99(self) -> Optional[float]:
         return self.percentile(99.0)
 
 
@@ -175,10 +176,14 @@ class StatRegistry:
             # a live RunResult can report (0.0 when no samples were added).
             result[f"{name}.min"] = acc.minimum if acc.minimum is not None else 0.0
             result[f"{name}.max"] = acc.maximum if acc.maximum is not None else 0.0
-            if acc.keep_samples:
+            if acc.keep_samples and acc._samples:
                 # Percentiles need the raw samples, so only sample-keeping
                 # accumulators export them (cached records then carry the
-                # tail latencies the scale experiment reports).
+                # tail latencies the scale experiment reports).  A
+                # never-sampled accumulator exports *no* percentile keys
+                # rather than a fake 0.0 — consumers that fall back to 0.0
+                # (``RunRecord.stat``) still see the old default, but the
+                # export itself no longer claims a measured zero.
                 result[f"{name}.p50"] = acc.p50
                 result[f"{name}.p95"] = acc.p95
                 result[f"{name}.p99"] = acc.p99

@@ -26,15 +26,16 @@ def quick_payload():
 class TestBasket:
     def test_basket_names_are_fixed(self):
         names = [name for name, _runner in bench_points(quick=True)]
-        assert names == ["micro.kernel", "fig2.cxl", "litmus.classic",
-                         "modelcheck", "modelcheck.sym", "modelcheck.par"]
+        assert names == ["micro.kernel", "micro.tardis", "fig2.cxl",
+                         "litmus.classic", "modelcheck", "modelcheck.sym",
+                         "modelcheck.par"]
         assert names == [name for name, _ in bench_points(quick=False)]
 
     def test_payload_is_schema_valid(self, quick_payload):
         validate_payload(quick_payload)  # must not raise
         assert quick_payload["schema"] == SCHEMA_VERSION
         assert quick_payload["quick"] is True
-        assert len(quick_payload["points"]) == 6
+        assert len(quick_payload["points"]) == 7
         for point in quick_payload["points"]:
             assert point["events"] > 0
             assert point["wall_s"] > 0
@@ -121,7 +122,8 @@ class TestComparison:
             point["events_per_sec"] *= 1.1    # current is 10% slower
         rows = compare_payloads(quick_payload, previous, threshold=0.25)
         # Only the points above the MIN_COMPARE_EVENTS floor compare.
-        assert [row["name"] for row in rows] == ["micro.kernel", "fig2.cxl"]
+        assert [row["name"] for row in rows] == ["micro.kernel",
+                                                 "micro.tardis", "fig2.cxl"]
         assert not any(row["regressed"] for row in rows)
 
     def test_beyond_threshold_is_regressed(self, quick_payload):

@@ -96,8 +96,8 @@ class TestRunTable:
             validate_run_table(csv_path)
 
 
-def _synthetic_row(protocol, hosts, p99, load=2_000.0, rep=0):
-    return {"protocol": protocol, "hosts": hosts, "pods": 1,
+def _synthetic_row(protocol, hosts, p99, load=2_000.0, rep=0, pods=1):
+    return {"protocol": protocol, "hosts": hosts, "pods": pods,
             "interarrival_ns": load, "rep": rep,
             "delivery_latency_p99_ns": p99}
 
@@ -111,9 +111,9 @@ class TestCrossover:
         ]
         (entry,) = crossover_report(rows)
         assert entry["protocol"] == "so"
-        assert entry["crossover_hosts"] == 4
-        assert entry["ratio_at_2_hosts"] == pytest.approx(0.9)
-        assert entry["ratio_at_8_hosts"] == pytest.approx(4.0)
+        assert entry["crossover_size"] == "4x1"
+        assert entry["ratio_at_2h1p"] == pytest.approx(0.9)
+        assert entry["ratio_at_8h1p"] == pytest.approx(4.0)
 
     def test_repetitions_are_averaged_per_point(self):
         rows = [
@@ -123,7 +123,7 @@ class TestCrossover:
             _synthetic_row("so", 2, 400.0, rep=1),
         ]
         (entry,) = crossover_report(rows)
-        assert entry["ratio_at_2_hosts"] == pytest.approx(2.0)
+        assert entry["ratio_at_2h1p"] == pytest.approx(2.0)
 
     def test_curves_that_never_cross_report_empty(self):
         rows = [
@@ -131,4 +131,21 @@ class TestCrossover:
             _synthetic_row("cord", 4, 100.0), _synthetic_row("so", 4, 60.0),
         ]
         (entry,) = crossover_report(rows)
-        assert entry["crossover_hosts"] == ""
+        assert entry["crossover_size"] == ""
+
+    def test_repeated_host_counts_stay_distinct_across_pod_counts(self):
+        """Regression: sizes were keyed by host count alone, so a sweep
+        visiting 8x1 and 8x2 collided the two points — the averaged map,
+        the ratio columns and the crossover attribution all merged them.
+        With (hosts, pods) keys, 8x1 (below baseline) and 8x2 (above)
+        must stay separate and the crossover lands on 8x2."""
+        rows = [
+            _synthetic_row("cord", 8, 100.0, pods=1),
+            _synthetic_row("so", 8, 80.0, pods=1),
+            _synthetic_row("cord", 8, 100.0, pods=2),
+            _synthetic_row("so", 8, 300.0, pods=2),
+        ]
+        (entry,) = crossover_report(rows)
+        assert entry["ratio_at_8h1p"] == pytest.approx(0.8)
+        assert entry["ratio_at_8h2p"] == pytest.approx(3.0)
+        assert entry["crossover_size"] == "8x2"

@@ -54,15 +54,15 @@ class TestGenerator:
 
     def test_suite_pairs_tests_with_protocols(self):
         cases = generated_suite(count=3, seed=5)
-        assert len(cases) == 6
-        assert {c.protocol for c in cases} == {"cord", "so"}
+        assert len(cases) == 9
+        assert {c.protocol for c in cases} == {"cord", "so", "tardis"}
         assert cases[0].test.name.startswith("gen5.")
 
 
 class TestReadOwnWrite:
     """A core's load must observe its own program-order-earlier store."""
 
-    @pytest.mark.parametrize("protocol", ("cord", "so", "mp"))
+    @pytest.mark.parametrize("protocol", ("cord", "so", "mp", "tardis"))
     def test_store_then_load_never_reads_stale_zero(self, protocol):
         test = LitmusTest(
             name="rowa", locations={"A": 0},
@@ -87,7 +87,7 @@ class TestReadOwnWrite:
 
 @pytest.mark.slow
 class TestGeneratedDifferential:
-    @pytest.mark.parametrize("protocol", ("cord", "so", "mp"))
+    @pytest.mark.parametrize("protocol", ("cord", "so", "mp", "tardis"))
     def test_timed_outcomes_subset_of_checker(self, protocol):
         for seed in range(4):
             assert_timed_subset_of_checker(generate_test(seed), protocol)

@@ -233,7 +233,8 @@ class TestCompiledInterpretedDifferential:
     """Same tables, opposite dispatch: the int-coded fast paths and the
     original closures must time out to byte-identical final states."""
 
-    @pytest.mark.parametrize("protocol", ["so", "cord", "seq8", "mp", "wb"])
+    @pytest.mark.parametrize(
+        "protocol", ["so", "cord", "seq8", "mp", "wb", "tardis"])
     def test_final_state_hash_matches(self, protocol, monkeypatch):
         spec = _point(protocol)
         monkeypatch.delenv(LEGACY_ENV, raising=False)

@@ -55,8 +55,9 @@ class TestFactoryValidation:
             ModelChecker(SMOKE, "mesi")
 
     def test_checkable_set(self):
-        assert checkable_protocols() == ("so", "cord", "mp", "seq<k>")
-        for name in ("so", "cord", "mp", "seq2", "seq40"):
+        assert checkable_protocols() == ("so", "cord", "mp", "seq<k>",
+                                         "tardis")
+        for name in ("so", "cord", "mp", "seq2", "seq40", "tardis"):
             validate_checkable_protocol(name)  # must not raise
 
 
@@ -104,3 +105,11 @@ class TestLegacyToggle:
         for name in ("wb", "cord-nonotify"):
             port_cls, _ = protocol_classes(name)
             assert not port_cls.__name__.startswith("Table")
+
+    def test_tardis_stays_on_tables_under_legacy_toggle(self, monkeypatch):
+        # Table-native: tardis has no legacy actor pair, so the toggle
+        # must leave it on the table interpreter instead of failing.
+        monkeypatch.setenv(LEGACY_ENV, "1")
+        port_cls, dir_cls = protocol_classes("tardis")
+        assert port_cls.__name__ == "TableTardisCorePort"
+        assert dir_cls.__name__ == "TableTardisDirectory"

@@ -18,7 +18,7 @@ from repro.protocols.spec import (
     spec_protocols,
 )
 
-ALL_TABLES = ("so", "cord", "mp", "seq2", "seq8", "seq40")
+ALL_TABLES = ("so", "cord", "mp", "seq2", "seq8", "seq40", "tardis")
 
 
 class TestLinter:
@@ -27,7 +27,7 @@ class TestLinter:
         assert lint_spec(get_spec(name)) == []
 
     def test_rule_complete_set_matches_factory_default(self):
-        assert spec_protocols() == ("so", "cord", "mp", "seq<k>")
+        assert spec_protocols() == ("so", "cord", "mp", "seq<k>", "tardis")
 
     @pytest.mark.parametrize("name", ALL_TABLES)
     def test_every_message_names_a_fifo_class(self, name):
@@ -63,4 +63,5 @@ class TestDerivedCheckerMetadata:
         assert ample_kinds() == frozenset(
             {"so_ack", "notify", "atomic_resp"})
         assert forwarding_kinds() == frozenset(
-            {"wt_rlx", "wt_rel", "wt_store", "seq_store", "posted"})
+            {"wt_rlx", "wt_rel", "wt_store", "seq_store", "posted",
+             "tardis_store"})

@@ -95,8 +95,17 @@ class TestPercentiles:
             acc.add(value)
         return acc
 
-    def test_empty_percentile_is_zero(self):
-        assert self._acc().percentile(99.0) == 0.0
+    def test_empty_percentile_is_none(self):
+        """Regression: an empty accumulator used to report 0.0, which is
+        indistinguishable from a genuine zero-latency percentile."""
+        acc = self._acc()
+        assert acc.percentile(99.0) is None
+        assert acc.p50 is None and acc.p95 is None and acc.p99 is None
+
+    def test_genuine_zero_percentile_stays_zero(self):
+        acc = self._acc(0.0, 0.0, 0.0)
+        assert acc.percentile(99.0) == 0.0
+        assert acc.p50 == 0.0
 
     def test_single_sample_is_every_percentile(self):
         acc = self._acc(7.0)
@@ -124,6 +133,17 @@ class TestPercentiles:
         assert flattened["kept.p95"] == 2.0
         assert flattened["kept.p99"] == 2.0
         assert "dropped.p50" not in flattened
+
+    def test_as_dict_omits_percentiles_for_never_sampled_accumulators(self):
+        """A keep_samples accumulator nothing was ever added to exports
+        no percentile keys at all — not a fake measured 0.0."""
+        stats = StatRegistry()
+        stats.accumulator("idle", keep_samples=True)
+        flattened = stats.as_dict()
+        assert "idle.p50" not in flattened
+        assert "idle.p95" not in flattened
+        assert "idle.p99" not in flattened
+        assert flattened["idle.count"] == 0
 
 
 class TestViews:

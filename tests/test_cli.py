@@ -48,8 +48,8 @@ class TestScaleCli:
         stdout = capsys.readouterr().out
         assert "crossover" in stdout
         assert "run_table.csv" in stdout
-        # 2 protocols x 3 sizes x 2 loads x 1 rep, all schema-valid.
-        assert validate_run_table(out / "run_table.csv") == 12
+        # 3 protocols x 3 sizes x 2 loads x 1 rep, all schema-valid.
+        assert validate_run_table(out / "run_table.csv") == 18
         assert (out / "run_table.columns.md").exists()
 
     def test_bad_reps_value_fails(self, capsys):

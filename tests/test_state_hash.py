@@ -5,8 +5,8 @@ is performance-tuned under a strict no-behavior-change contract: every
 optimization must leave simulation results *byte-identical*.  This module
 enforces that contract by pinning the ``final_state_hash`` — a SHA-256
 over final register values, timings and the full stats dict — of a basket
-spanning all five protocols on the Fig. 2 CXL application point, with and
-without fault injection.
+spanning every statically-registered protocol (plus table-native tardis)
+on the Fig. 2 CXL application point, with and without fault injection.
 
 If a hash changes, either the change was an intended semantic fix (then
 regenerate: ``REPRO_UPDATE_HASHES=1 pytest tests/test_state_hash.py`` and
@@ -29,9 +29,10 @@ from repro.workloads.table2 import APPLICATIONS
 
 EXPECTED_PATH = Path(__file__).parent / "data" / "state_hash_basket.json"
 
-#: The five statically-registered protocols (seq<k> is excluded: monolithic
-#: sequence numbers make the CR app exceed any reasonable event budget).
-PROTOCOLS = ("so", "cord", "cord-nonotify", "mp", "wb")
+#: The five statically-registered protocols plus table-native tardis
+#: (seq<k> is excluded: monolithic sequence numbers make the CR app
+#: exceed any reasonable event budget).
+PROTOCOLS = ("so", "cord", "cord-nonotify", "mp", "wb", "tardis")
 
 #: Deterministic adversity: drops, duplicates and a periodic link flap.
 FAULTS = FaultPlan(
